@@ -1,0 +1,158 @@
+//! Analyzer configuration: the thresholds and weights of paper
+//! Eqs. (1)–(3) and the geometric limits of the re-tiler (§III-B).
+
+use serde::{Deserialize, Serialize};
+
+/// All tunables of the content analyzer and re-tiler.
+///
+/// Defaults implement the paper's choices: texture thresholds on the
+/// coefficient of variation, motion weights α=1, β=3, γ=3 with
+/// threshold M_th = 3, 25% growth steps, and at least 4 tiles for the
+/// high-activity center.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzerConfig {
+    /// CV at or below which texture is Low (`T_th,l` in Eq. 1).
+    pub texture_low: f64,
+    /// CV above which texture is High (`T_th,h` in Eq. 1).
+    pub texture_high: f64,
+    /// Absolute luma standard deviation at or below which a region is
+    /// Low texture regardless of CV. CV (σ/μ) is scale-invariant, so a
+    /// near-black border with faint residual glow can show a large CV
+    /// while carrying almost no codable AC energy; the paper's clinical
+    /// material has hard-black borders where this never arises, but a
+    /// robust classifier needs the absolute floor.
+    pub texture_stddev_floor: f64,
+    /// Weight of the four corner comparisons (α in Eq. 2).
+    pub alpha: f64,
+    /// Weight of the center comparison (β in Eq. 2).
+    pub beta: f64,
+    /// Weight of the maximum-point comparison (γ in Eq. 2).
+    pub gamma: f64,
+    /// Motion threshold `M_th` of Eq. 3.
+    pub motion_threshold: f64,
+    /// Luma tolerance for "pixels are equal": differences at or below
+    /// this are treated as equal, absorbing sensor/speckle noise.
+    pub pixel_tolerance: u8,
+    /// Minimum tile width in samples (8-aligned).
+    pub min_tile_width: usize,
+    /// Minimum tile height in samples (8-aligned).
+    pub min_tile_height: usize,
+    /// Maximum number of tiles in a frame.
+    pub max_tiles: usize,
+    /// Minimum number of tiles covering the high-activity center
+    /// (paper: 4).
+    pub min_center_tiles: usize,
+    /// Border growth step as a fraction of the current size (paper:
+    /// 25%).
+    pub growth_step: f64,
+}
+
+impl AnalyzerConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.texture_low >= 0.0 && self.texture_low < self.texture_high) {
+            return Err(format!(
+                "texture thresholds must satisfy 0 <= low < high, got {} / {}",
+                self.texture_low, self.texture_high
+            ));
+        }
+        if self.min_tile_width % 8 != 0 || self.min_tile_height % 8 != 0 {
+            return Err("minimum tile size must be 8-aligned".into());
+        }
+        if self.min_tile_width == 0 || self.min_tile_height == 0 {
+            return Err("minimum tile size must be non-zero".into());
+        }
+        if self.max_tiles < self.min_center_tiles {
+            return Err(format!(
+                "max tiles {} below min center tiles {}",
+                self.max_tiles, self.min_center_tiles
+            ));
+        }
+        if !(0.0 < self.growth_step && self.growth_step <= 1.0) {
+            return Err("growth step must be in (0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        // Texture thresholds are content-calibrated (the paper tuned
+        // theirs to the partners' clinical videos); these defaults are
+        // calibrated to the phantom suite in `medvt_frame::synth`.
+        Self {
+            texture_low: 0.12,
+            texture_high: 0.35,
+            texture_stddev_floor: 6.0,
+            alpha: 1.0,
+            beta: 3.0,
+            gamma: 3.0,
+            motion_threshold: 3.0,
+            pixel_tolerance: 3,
+            min_tile_width: 64,
+            min_tile_height: 64,
+            max_tiles: 16,
+            min_center_tiles: 4,
+            growth_step: 0.25,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper() {
+        let cfg = AnalyzerConfig::default();
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.alpha, 1.0);
+        assert_eq!(cfg.beta, 3.0);
+        assert_eq!(cfg.gamma, 3.0);
+        assert_eq!(cfg.motion_threshold, 3.0);
+        assert_eq!(cfg.min_center_tiles, 4);
+        assert!((cfg.growth_step - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_bad_thresholds() {
+        let cfg = AnalyzerConfig {
+            texture_low: 0.5,
+            texture_high: 0.4,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_unaligned_min_tile() {
+        let cfg = AnalyzerConfig {
+            min_tile_width: 60,
+            ..Default::default()
+        };
+        assert!(cfg.validate().unwrap_err().contains("8-aligned"));
+    }
+
+    #[test]
+    fn validation_catches_tile_budget_conflict() {
+        let cfg = AnalyzerConfig {
+            max_tiles: 3,
+            min_center_tiles: 4,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_growth() {
+        let cfg = AnalyzerConfig {
+            growth_step: 0.0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! The low-overhead motion probe — paper Eqs. (2)–(3).
+//!
+//! Instead of estimating motion vectors, the analyzer compares a
+//! handful of salient samples between the current and previous frame:
+//! the four tile corners, the tile center, and the location of the
+//! previous frame's maximum sample. The weighted count of changed
+//! samples, `M = α·Σxᵢ + β·c + γ·m`, thresholds into a binary
+//! low/high motion class.
+
+use crate::AnalyzerConfig;
+use medvt_frame::{Plane, Rect, RegionStats};
+use medvt_motion::MotionLevel;
+use serde::{Deserialize, Serialize};
+
+/// Result of probing one tile for motion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MotionScore {
+    /// The weighted score `M` of Eq. (2).
+    pub m: f64,
+    /// Classified motion level (Eq. 3).
+    pub level: MotionLevel,
+    /// How many of the four corner samples changed.
+    pub corners_changed: u8,
+    /// Whether the center sample changed.
+    pub center_changed: bool,
+    /// Whether the previous-frame maximum point changed.
+    pub max_changed: bool,
+}
+
+/// Probes `rect` for motion between `prev` and `cur`.
+///
+/// Samples compared: the four inner corners of the tile, its center,
+/// and the coordinates of `prev`'s maximum sample inside the tile
+/// (medical imaging: the brightest structure is diagnostic content, so
+/// its movement matters most — hence γ = 3).
+///
+/// # Panics
+///
+/// Panics when the planes differ in size or `rect` is empty or outside
+/// them.
+pub fn probe_motion(
+    cur: &Plane,
+    prev: &Plane,
+    rect: &Rect,
+    cfg: &AnalyzerConfig,
+) -> MotionScore {
+    assert_eq!(cur.width(), prev.width(), "plane widths differ");
+    assert_eq!(cur.height(), prev.height(), "plane heights differ");
+    assert!(!rect.is_empty(), "cannot probe an empty rect");
+    assert!(
+        cur.bounds().contains_rect(rect),
+        "rect {rect} outside planes"
+    );
+    let differs = |x: usize, y: usize| -> bool {
+        let a = cur.get(x, y) as i16;
+        let b = prev.get(x, y) as i16;
+        (a - b).unsigned_abs() > cfg.pixel_tolerance as u16
+    };
+    let corners = [
+        (rect.x, rect.y),
+        (rect.right() - 1, rect.y),
+        (rect.x, rect.bottom() - 1),
+        (rect.right() - 1, rect.bottom() - 1),
+    ];
+    let corners_changed = corners.iter().filter(|&&(x, y)| differs(x, y)).count() as u8;
+    let (cx, cy) = rect.center();
+    let center_changed = differs(cx, cy);
+    let (mx, my) = RegionStats::of(prev, rect).max_pos;
+    let max_changed = differs(mx, my);
+    let m = cfg.alpha * corners_changed as f64
+        + cfg.beta * f64::from(center_changed)
+        + cfg.gamma * f64::from(max_changed);
+    let level = if m < cfg.motion_threshold {
+        MotionLevel::Low
+    } else {
+        MotionLevel::High
+    };
+    MotionScore {
+        m,
+        level,
+        corners_changed,
+        center_changed,
+        max_changed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medvt_frame::synth::{BodyPart, MotionPattern, PhantomVideo};
+    use medvt_frame::Resolution;
+
+    fn cfg() -> AnalyzerConfig {
+        AnalyzerConfig::default()
+    }
+
+    #[test]
+    fn identical_frames_are_low_motion() {
+        let p = Plane::filled(64, 64, 90);
+        let s = probe_motion(&p, &p, &Rect::frame(64, 64), &cfg());
+        assert_eq!(s.m, 0.0);
+        assert_eq!(s.level, MotionLevel::Low);
+        assert_eq!(s.corners_changed, 0);
+        assert!(!s.center_changed);
+        assert!(!s.max_changed);
+    }
+
+    #[test]
+    fn center_change_alone_crosses_threshold() {
+        // β = 3 = M_th: a moving center is High motion by itself.
+        let prev = Plane::filled(64, 64, 90);
+        let mut cur = prev.clone();
+        let r = Rect::frame(64, 64);
+        let (cx, cy) = r.center();
+        cur.set(cx, cy, 200);
+        let s = probe_motion(&cur, &prev, &r, &cfg());
+        assert!(s.center_changed);
+        assert_eq!(s.m, 3.0);
+        assert_eq!(s.level, MotionLevel::High);
+    }
+
+    #[test]
+    fn max_point_movement_crosses_threshold() {
+        let mut prev = Plane::filled(64, 64, 50);
+        prev.set(10, 10, 255); // bright structure
+        let mut cur = prev.clone();
+        cur.set(10, 10, 50); // structure moved away
+        cur.set(14, 10, 255);
+        let s = probe_motion(&cur, &prev, &Rect::frame(64, 64), &cfg());
+        assert!(s.max_changed);
+        assert_eq!(s.level, MotionLevel::High);
+    }
+
+    #[test]
+    fn corner_changes_need_three_to_trigger() {
+        // Pin the maximum point away from the corners so only the α
+        // term reacts.
+        let mut prev = Plane::filled(64, 64, 50);
+        prev.set(32, 32, 210);
+        let r = Rect::frame(64, 64);
+        // Two corners changed: M = 2 < 3 → Low.
+        let mut cur = prev.clone();
+        cur.set(0, 0, 200);
+        cur.set(63, 0, 200);
+        let s = probe_motion(&cur, &prev, &r, &cfg());
+        assert_eq!(s.corners_changed, 2);
+        assert!(!s.max_changed);
+        assert_eq!(s.level, MotionLevel::Low);
+        // Three corners: M = 3 → High.
+        cur.set(0, 63, 200);
+        let s = probe_motion(&cur, &prev, &r, &cfg());
+        assert_eq!(s.corners_changed, 3);
+        assert_eq!(s.level, MotionLevel::High);
+    }
+
+    #[test]
+    fn tolerance_absorbs_noise() {
+        let prev = Plane::filled(64, 64, 100);
+        let mut cur = Plane::filled(64, 64, 100);
+        // ±3 jitter everywhere: within tolerance.
+        for (i, s) in cur.samples_mut().iter_mut().enumerate() {
+            *s = (100 + (i % 7) as i32 - 3) as u8;
+        }
+        let s = probe_motion(&cur, &prev, &Rect::frame(64, 64), &cfg());
+        assert_eq!(s.level, MotionLevel::Low, "m={}", s.m);
+    }
+
+    #[test]
+    fn phantom_center_tile_high_corner_tile_low() {
+        let v = PhantomVideo::builder(BodyPart::Bones)
+            .resolution(Resolution::new(160, 120))
+            .motion(MotionPattern::Pan { dx: 1.5, dy: 0.0 })
+            .seed(4)
+            .build();
+        let f0 = v.render(0);
+        let f1 = v.render(4);
+        let c = cfg();
+        let corner = probe_motion(f1.y(), f0.y(), &Rect::new(0, 0, 40, 32), &c);
+        assert_eq!(corner.level, MotionLevel::Low, "corner m={}", corner.m);
+        let center = probe_motion(f1.y(), f0.y(), &Rect::new(48, 40, 64, 40), &c);
+        assert_eq!(center.level, MotionLevel::High, "center m={}", center.m);
+    }
+
+    #[test]
+    fn max_score_is_ten_with_paper_weights() {
+        let prev = Plane::filled(16, 16, 0);
+        let cur = Plane::filled(16, 16, 255);
+        let s = probe_motion(&cur, &prev, &Rect::frame(16, 16), &cfg());
+        assert_eq!(s.m, 4.0 + 3.0 + 3.0);
+        assert_eq!(s.level, MotionLevel::High);
+    }
+}

@@ -1,0 +1,80 @@
+//! Criterion benchmarks of the content analyzer: the paper requires
+//! motion/texture evaluation and re-tiling to be "fast enough to avoid
+//! any computational overhead" (§III-A) — these benches quantify that.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medvt_analyze::{
+    analyze_tiling, measure_texture, probe_motion, AnalyzerConfig, CapacityBalancedTiler,
+    Retiler, Tiling,
+};
+use medvt_frame::synth::{BodyPart, MotionPattern, PhantomVideo};
+use medvt_frame::{Rect, Resolution};
+
+fn frames() -> (medvt_frame::Frame, medvt_frame::Frame) {
+    let video = PhantomVideo::builder(BodyPart::Brain)
+        .resolution(Resolution::new(320, 240))
+        .motion(MotionPattern::Pan { dx: 1.0, dy: 0.5 })
+        .seed(17)
+        .build();
+    (video.render(0), video.render(4))
+}
+
+fn bench_texture(c: &mut Criterion) {
+    let (f0, _) = frames();
+    let cfg = AnalyzerConfig::default();
+    let mut group = c.benchmark_group("texture_cv");
+    for size in [32usize, 64, 128] {
+        let rect = Rect::new(64, 48, size, size.min(160));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &rect, |b, rect| {
+            b.iter(|| measure_texture(f0.y(), rect, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_motion_probe(c: &mut Criterion) {
+    let (f0, f1) = frames();
+    let cfg = AnalyzerConfig::default();
+    c.bench_function("motion_probe_full_frame_tile", |b| {
+        b.iter(|| probe_motion(f1.y(), f0.y(), &Rect::new(64, 48, 128, 96), &cfg))
+    });
+}
+
+fn bench_retile(c: &mut Criterion) {
+    let (f0, f1) = frames();
+    let retiler = Retiler::new(AnalyzerConfig {
+        min_tile_width: 32,
+        min_tile_height: 32,
+        ..Default::default()
+    })
+    .expect("valid config");
+    c.bench_function("content_aware_retile_320x240", |b| {
+        b.iter(|| retiler.retile(f1.y(), Some(f0.y())))
+    });
+}
+
+fn bench_baseline_tiler(c: &mut Criterion) {
+    let (f0, _) = frames();
+    c.bench_function("capacity_balanced_tile_5", |b| {
+        b.iter(|| CapacityBalancedTiler::new(5).tile(f0.y()))
+    });
+}
+
+fn bench_analyze_tiling(c: &mut Criterion) {
+    let (f0, f1) = frames();
+    let cfg = AnalyzerConfig::default();
+    let tiling = Tiling::uniform(f0.y().bounds(), 5, 4);
+    c.bench_function("analyze_20_tiles", |b| {
+        b.iter(|| analyze_tiling(f1.y(), Some(f0.y()), &tiling, &cfg))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_texture,
+    bench_motion_probe,
+    bench_retile,
+    bench_baseline_tiler,
+    bench_analyze_tiling
+);
+criterion_main!(benches);

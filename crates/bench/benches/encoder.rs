@@ -1,0 +1,91 @@
+//! Criterion benchmarks of the encoder substrate: transform/quant
+//! throughput, tile encoding by QP, and the parallel-tile speedup the
+//! paper's frame-level parallelization relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medvt_encoder::{
+    encode_frame, encode_tile, transform, EncoderConfig, FramePlan, Qp, SearchSpec, TileConfig,
+};
+use medvt_frame::synth::{BodyPart, MotionPattern, PhantomVideo};
+use medvt_frame::{FrameKind, Rect, Resolution};
+use medvt_motion::SearchWindow;
+
+fn bench_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dct_forward");
+    for n in transform::TRANSFORM_SIZES {
+        let input: Vec<i32> = (0..n * n).map(|i| (i as i32 * 7) % 255 - 127).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| transform::forward(n, input))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tile_by_qp(c: &mut Criterion) {
+    let video = PhantomVideo::builder(BodyPart::Cardiac)
+        .resolution(Resolution::new(192, 144))
+        .motion(MotionPattern::Pan { dx: 1.0, dy: 0.0 })
+        .seed(9)
+        .build();
+    let reference = video.render(0);
+    let current = video.render(1);
+    let ecfg = EncoderConfig::default();
+    let mut group = c.benchmark_group("tile_encode_by_qp");
+    group.sample_size(20);
+    for qp in [22u8, 32, 42] {
+        let tcfg = TileConfig {
+            qp: Qp::new(qp).expect("valid"),
+            search: SearchSpec::Diamond,
+            window: SearchWindow::W16,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(qp), &tcfg, |b, tcfg| {
+            b.iter(|| {
+                encode_tile(
+                    &current,
+                    &[&reference],
+                    FrameKind::Predicted,
+                    Rect::new(48, 40, 96, 64),
+                    tcfg,
+                    &ecfg,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_tiles(c: &mut Criterion) {
+    let video = PhantomVideo::builder(BodyPart::LungChest)
+        .resolution(Resolution::new(320, 240))
+        .seed(3)
+        .build();
+    let frame = video.render(0);
+    let ecfg = EncoderConfig::default();
+    let plan = FramePlan::uniform(
+        frame.y().bounds(),
+        4,
+        2,
+        TileConfig {
+            qp: Qp::new(32).expect("valid"),
+            search: SearchSpec::Diamond,
+            window: SearchWindow::W16,
+        },
+    );
+    let mut group = c.benchmark_group("frame_encode_4x2");
+    group.sample_size(10);
+    for parallel in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if parallel { "parallel" } else { "serial" }),
+            &parallel,
+            |b, &parallel| {
+                b.iter(|| {
+                    encode_frame(&frame, &[], FrameKind::Intra, 0, &plan, &ecfg, parallel)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform, bench_tile_by_qp, bench_parallel_tiles);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks of the motion-search algorithms — the
+//! per-block complexity behind Table I's speedup rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medvt_frame::synth::{BodyPart, MotionPattern, PhantomVideo};
+use medvt_frame::{Plane, Rect, Resolution};
+use medvt_motion::{
+    BioMedicalSearch, CostMetric, CrossSearch, DiamondSearch, FullSearch, GopPhase,
+    HexOrientation, HexagonSearch, MotionLevel, MotionSearch, MotionVector, OneAtATimeSearch,
+    SearchContext, SearchWindow, ThreeStepSearch, TzSearch,
+};
+
+fn planes() -> (Plane, Plane) {
+    let video = PhantomVideo::builder(BodyPart::LungChest)
+        .resolution(Resolution::new(320, 240))
+        .motion(MotionPattern::Pan { dx: 1.5, dy: 0.5 })
+        .seed(5)
+        .build();
+    let (cur, _, _) = video.render(4).into_planes();
+    let (reference, _, _) = video.render(0).into_planes();
+    (cur, reference)
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let (cur, reference) = planes();
+    let block = Rect::new(144, 104, 16, 16);
+    let algorithms: Vec<(&str, Box<dyn MotionSearch>)> = vec![
+        ("full", Box::new(FullSearch)),
+        ("three-step", Box::new(ThreeStepSearch)),
+        ("diamond", Box::new(DiamondSearch)),
+        ("cross", Box::new(CrossSearch)),
+        ("one-at-a-time", Box::new(OneAtATimeSearch::new())),
+        (
+            "hexagon",
+            Box::new(HexagonSearch::new(HexOrientation::Horizontal)),
+        ),
+        ("tz", Box::new(TzSearch::new())),
+        (
+            "biomed-first",
+            Box::new(BioMedicalSearch::new(MotionLevel::High, GopPhase::First)),
+        ),
+        (
+            "biomed-followup",
+            Box::new(BioMedicalSearch::new(
+                MotionLevel::Low,
+                GopPhase::Subsequent {
+                    direction: MotionVector::new(-6, -2),
+                },
+            )),
+        ),
+    ];
+    let mut group = c.benchmark_group("me_search_16x16_w64");
+    for (name, algo) in &algorithms {
+        group.bench_with_input(BenchmarkId::from_parameter(name), algo, |b, algo| {
+            b.iter(|| {
+                let ctx = SearchContext::new(
+                    &cur,
+                    &reference,
+                    block,
+                    SearchWindow::W64,
+                    CostMetric::Sad,
+                    MotionVector::ZERO,
+                );
+                algo.search(&ctx)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_windows(c: &mut Criterion) {
+    let (cur, reference) = planes();
+    let block = Rect::new(144, 104, 16, 16);
+    let mut group = c.benchmark_group("tz_by_window");
+    for window in SearchWindow::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(window.size()),
+            &window,
+            |b, &window| {
+                b.iter(|| {
+                    let ctx = SearchContext::new(
+                        &cur,
+                        &reference,
+                        block,
+                        window,
+                        CostMetric::Sad,
+                        MotionVector::ZERO,
+                    );
+                    TzSearch::new().search(&ctx)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_windows);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion benchmarks of the scheduling layer: Algorithm 2
+//! allocation, the baseline allocator, LUT estimation and slot
+//! simulation — all of which run on the 1/FPS critical path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medvt_analyze::TextureClass;
+use medvt_encoder::Qp;
+use medvt_frame::{FrameKind, Rect};
+use medvt_motion::MotionLevel;
+use medvt_mpsoc::{simulate_slot, DvfsPolicy, Platform, PowerModel};
+use medvt_sched::{allocate, baseline_allocate, LutKey, UserDemand, WorkloadLut};
+
+const SLOT: f64 = 1.0 / 24.0;
+
+fn users(n: usize, tiles: usize) -> Vec<UserDemand> {
+    (0..n)
+        .map(|u| {
+            UserDemand::new(
+                u,
+                (0..tiles)
+                    .map(|t| SLOT / 8.0 * (1.0 + 0.1 * ((u + t) % 5) as f64))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn bench_allocate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm2_allocate");
+    for n in [8usize, 24, 64] {
+        let demands = users(n, 10);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &demands, |b, demands| {
+            b.iter(|| allocate(32, SLOT, demands))
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline_allocate(c: &mut Criterion) {
+    let demands = users(24, 5);
+    c.bench_function("baseline19_allocate_24users", |b| {
+        b.iter(|| baseline_allocate(32, &demands))
+    });
+}
+
+fn bench_lut(c: &mut Criterion) {
+    let mut lut = WorkloadLut::new();
+    let keys: Vec<LutKey> = (0..200)
+        .map(|i| {
+            LutKey::new(
+                &Rect::new(0, 0, 64 + (i % 7) * 16, 64 + (i % 5) * 16),
+                match i % 3 {
+                    0 => TextureClass::Low,
+                    1 => TextureClass::Medium,
+                    _ => TextureClass::High,
+                },
+                if i % 2 == 0 {
+                    MotionLevel::Low
+                } else {
+                    MotionLevel::High
+                },
+                Qp::new(22 + (i % 5) as u8 * 5).expect("valid"),
+                "biomed",
+                FrameKind::BiPredicted,
+            )
+        })
+        .collect();
+    for (i, k) in keys.iter().enumerate() {
+        for s in 0..32 {
+            lut.observe(*k, 1_000_000 + (i * 100 + s) as u64);
+        }
+    }
+    c.bench_function("lut_estimate_or_model", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            lut.estimate_or_model(&keys[i])
+        })
+    });
+}
+
+fn bench_slot_sim(c: &mut Criterion) {
+    let platform = Platform::xeon_e5_2667_quad();
+    let power = PowerModel::default();
+    let loads: Vec<f64> = (0..32).map(|k| SLOT * 0.03 * (k % 7) as f64).collect();
+    let prev = vec![platform.fmin(); 32];
+    c.bench_function("simulate_slot_32cores", |b| {
+        b.iter(|| {
+            simulate_slot(
+                &platform,
+                &power,
+                DvfsPolicy::StretchToDeadline,
+                &loads,
+                &prev,
+                SLOT,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_allocate,
+    bench_baseline_allocate,
+    bench_lut,
+    bench_slot_sim
+);
+criterion_main!(benches);

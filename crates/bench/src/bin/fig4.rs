@@ -1,0 +1,65 @@
+//! Regenerates **Fig. 4**: average power savings of the proposed
+//! approach vs the baseline [19] at equal throughput, for 1–12 users.
+//!
+//! Run: `cargo run --release -p medvt-bench --bin fig4`
+
+use medvt_bench::{baseline_profiles, proposed_profiles, write_artifact, Scale};
+use medvt_core::{Approach, ServerConfig, ServerSim};
+use serde::Serialize;
+
+const USER_COUNTS: [usize; 9] = [1, 2, 3, 4, 5, 6, 8, 10, 12];
+
+#[derive(Debug, Serialize)]
+struct Fig4Point {
+    users: usize,
+    proposed_w: f64,
+    baseline_w: f64,
+    savings_pct: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("profiling suites…");
+    let prop_profiles = proposed_profiles(scale);
+    let base_profiles = baseline_profiles(scale);
+    let sim = ServerSim::new(ServerConfig::default());
+
+    println!("Fig. 4 — power savings (%) vs number of users (equal throughput)\n");
+    println!("{:>6} {:>12} {:>12} {:>10}", "users", "proposed(W)", "[19](W)", "savings%");
+    let mut points = Vec::new();
+    for &n in &USER_COUNTS {
+        let base = sim.serve_fixed(&base_profiles, n, Approach::Baseline);
+        let prop = sim.serve_fixed(&prop_profiles, n, Approach::Proposed);
+        match (base, prop) {
+            (Some(b), Some(p)) => {
+                let savings = (b.avg_power_w - p.avg_power_w) / b.avg_power_w * 100.0;
+                println!(
+                    "{:>6} {:>12.1} {:>12.1} {:>10.1}",
+                    n, p.avg_power_w, b.avg_power_w, savings
+                );
+                points.push(Fig4Point {
+                    users: n,
+                    proposed_w: p.avg_power_w,
+                    baseline_w: b.avg_power_w,
+                    savings_pct: savings,
+                });
+            }
+            _ => {
+                println!("{n:>6} {:>12} {:>12} {:>10}", "-", "infeasible", "-");
+            }
+        }
+    }
+
+    if let (Some(first), Some(last)) = (points.first(), points.last()) {
+        println!(
+            "\nshape: savings grow from {:.0}% at {} user(s) toward {:.0}% at {} users (paper: up to ~44%)",
+            first.savings_pct, first.users, last.savings_pct, last.users
+        );
+        let avg: f64 =
+            points.iter().map(|p| p.savings_pct).sum::<f64>() / points.len() as f64;
+        println!("shape: mean savings across the sweep {avg:.0}%");
+    }
+
+    let path = write_artifact("fig4", &points);
+    println!("artifact: {}", path.display());
+}

@@ -1,0 +1,175 @@
+//! Residual coding of one prediction block: transform, quantization,
+//! entropy coding and reconstruction.
+
+use crate::bits::{code_block, BitWriter};
+use crate::config::Qp;
+use crate::quant::{dequantize, quantize};
+use crate::transform;
+
+/// Outcome of coding one residual region.
+#[derive(Debug, Clone)]
+pub struct CodedResidual {
+    /// Reconstructed samples (prediction + dequantized residual),
+    /// row-major, same geometry as the input.
+    pub recon: Vec<u8>,
+    /// Bits emitted for the residual coefficients.
+    pub bits: u64,
+    /// Samples pushed through the transform (fwd+inv counted once).
+    pub transform_samples: u64,
+    /// Sum of squared error of `recon` against the original.
+    pub ssd: u64,
+}
+
+/// Codes the residual `original - prediction` of a `w x h` region using
+/// `tx_size` transforms, writing coefficients into `writer`.
+///
+/// `w` and `h` must be multiples of `tx_size` (the tiling layer aligns
+/// tiles to an 8-sample grid to guarantee this).
+///
+/// # Panics
+///
+/// Panics when the buffers do not match `w * h` or the dimensions are
+/// not multiples of `tx_size`.
+pub fn code_residual(
+    original: &[u8],
+    prediction: &[u8],
+    w: usize,
+    h: usize,
+    tx_size: usize,
+    qp: Qp,
+    writer: &mut BitWriter,
+) -> CodedResidual {
+    assert_eq!(original.len(), w * h, "original buffer mismatch");
+    assert_eq!(prediction.len(), w * h, "prediction buffer mismatch");
+    assert!(
+        w % tx_size == 0 && h % tx_size == 0,
+        "{w}x{h} region not divisible into {tx_size}x{tx_size} transforms"
+    );
+    let mut recon = prediction.to_vec();
+    let mut bits = 0u64;
+    let mut transform_samples = 0u64;
+    let mut residual = vec![0i32; tx_size * tx_size];
+    let mut ty = 0;
+    while ty < h {
+        let mut tx = 0;
+        while tx < w {
+            // Gather the residual sub-block.
+            for r in 0..tx_size {
+                for c in 0..tx_size {
+                    let idx = (ty + r) * w + (tx + c);
+                    residual[r * tx_size + c] =
+                        original[idx] as i32 - prediction[idx] as i32;
+                }
+            }
+            let coeffs = transform::forward(tx_size, &residual);
+            let levels = quantize(&coeffs, qp);
+            bits += code_block(&levels, tx_size, writer);
+            transform_samples += (tx_size * tx_size) as u64;
+            let rec_coeffs = dequantize(&levels, qp);
+            let rec_res = transform::inverse(tx_size, &rec_coeffs);
+            for r in 0..tx_size {
+                for c in 0..tx_size {
+                    let idx = (ty + r) * w + (tx + c);
+                    let v = prediction[idx] as f64 + rec_res[r * tx_size + c];
+                    recon[idx] = v.round().clamp(0.0, 255.0) as u8;
+                }
+            }
+            tx += tx_size;
+        }
+        ty += tx_size;
+    }
+    let ssd = original
+        .iter()
+        .zip(&recon)
+        .map(|(&o, &r)| {
+            let d = o as i64 - r as i64;
+            (d * d) as u64
+        })
+        .sum();
+    CodedResidual {
+        recon,
+        bits,
+        transform_samples,
+        ssd,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qp(v: u8) -> Qp {
+        Qp::new(v).expect("valid QP")
+    }
+
+    #[test]
+    fn perfect_prediction_costs_one_bit_per_block() {
+        let original = vec![100u8; 64];
+        let prediction = original.clone();
+        let mut w = BitWriter::new();
+        let out = code_residual(&original, &prediction, 8, 8, 8, qp(32), &mut w);
+        assert_eq!(out.bits, 1); // single empty coded_block_flag
+        assert_eq!(out.recon, original);
+        assert_eq!(out.ssd, 0);
+        assert_eq!(out.transform_samples, 64);
+    }
+
+    #[test]
+    fn low_qp_reconstructs_nearly_exactly() {
+        let original: Vec<u8> = (0..256).map(|i| ((i * 13) % 200 + 20) as u8).collect();
+        let prediction = vec![128u8; 256];
+        let mut w = BitWriter::new();
+        let out = code_residual(&original, &prediction, 16, 16, 8, qp(4), &mut w);
+        // QP4 step = 1: error per sample ≤ ~1.
+        let max_err = original
+            .iter()
+            .zip(&out.recon)
+            .map(|(&a, &b)| (a as i16 - b as i16).abs())
+            .max()
+            .unwrap();
+        assert!(max_err <= 2, "max_err={max_err}");
+        assert!(out.bits > 64, "rich residual must cost real bits");
+    }
+
+    #[test]
+    fn higher_qp_fewer_bits_more_distortion() {
+        let original: Vec<u8> = (0..256)
+            .map(|i| (128.0 + 60.0 * ((i as f64) * 0.37).sin()) as u8)
+            .collect();
+        let prediction = vec![128u8; 256];
+        let mut w22 = BitWriter::new();
+        let fine = code_residual(&original, &prediction, 16, 16, 8, qp(22), &mut w22);
+        let mut w42 = BitWriter::new();
+        let coarse = code_residual(&original, &prediction, 16, 16, 8, qp(42), &mut w42);
+        assert!(coarse.bits < fine.bits, "rate must fall with QP");
+        assert!(coarse.ssd >= fine.ssd, "distortion must rise with QP");
+    }
+
+    #[test]
+    fn recon_improves_on_prediction() {
+        let original: Vec<u8> = (0..64).map(|i| (i * 4) as u8).collect();
+        let prediction = vec![0u8; 64];
+        let pred_ssd: u64 = original.iter().map(|&o| (o as u64) * (o as u64)).sum();
+        let mut w = BitWriter::new();
+        let out = code_residual(&original, &prediction, 8, 8, 8, qp(27), &mut w);
+        assert!(out.ssd < pred_ssd / 4, "coding should fix most of the error");
+    }
+
+    #[test]
+    fn works_with_4x4_transforms() {
+        let original = vec![77u8; 64];
+        let prediction = vec![80u8; 64];
+        let mut w = BitWriter::new();
+        let out = code_residual(&original, &prediction, 8, 8, 4, qp(10), &mut w);
+        assert_eq!(out.transform_samples, 64);
+        assert!(out.ssd <= 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_unaligned_regions() {
+        let buf = vec![0u8; 12 * 8];
+        let mut w = BitWriter::new();
+        code_residual(&buf, &buf, 12, 8, 8, qp(32), &mut w);
+    }
+}

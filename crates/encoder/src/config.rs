@@ -1,0 +1,359 @@
+//! Encoder configuration: quantization parameters, motion-search
+//! specification and the per-tile encoding configuration the
+//! content-aware pipeline tunes.
+
+use medvt_motion::{
+    BioMedicalSearch, CrossSearch, DiamondSearch, FullSearch, GopPhase, HexOrientation,
+    HexagonSearch, MotionLevel, MotionSearch, MotionVector, OneAtATimeSearch, SearchWindow,
+    ThreeStepSearch, TzSearch,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// HEVC quantization parameter, valid range `0..=51`.
+///
+/// The paper's per-tile QP ladder is {42, 37, 32, 27, 22} (§III-C1).
+///
+/// # Examples
+///
+/// ```
+/// use medvt_encoder::Qp;
+///
+/// let qp = Qp::new(32).unwrap();
+/// assert_eq!(qp.value(), 32);
+/// assert!(Qp::new(52).is_none());
+/// assert!(qp.step_size() > Qp::new(27).unwrap().step_size());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Qp(u8);
+
+impl Qp {
+    /// Lowest representable QP.
+    pub const MIN: Qp = Qp(0);
+    /// Highest representable QP.
+    pub const MAX: Qp = Qp(51);
+
+    /// The paper's per-texture QP defaults, lowest-texture first:
+    /// very-low 42, low 37, medium 32, high 27, extreme 22.
+    pub const PAPER_LADDER: [Qp; 5] = [Qp(42), Qp(37), Qp(32), Qp(27), Qp(22)];
+
+    /// Creates a QP, returning `None` outside `0..=51`.
+    pub const fn new(value: u8) -> Option<Qp> {
+        if value <= 51 {
+            Some(Qp(value))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a QP, clamping into `0..=51`.
+    pub const fn saturating(value: i32) -> Qp {
+        if value < 0 {
+            Qp(0)
+        } else if value > 51 {
+            Qp(51)
+        } else {
+            Qp(value as u8)
+        }
+    }
+
+    /// The numeric QP value.
+    pub const fn value(&self) -> u8 {
+        self.0
+    }
+
+    /// HEVC quantization step size `2^((QP-4)/6)`.
+    pub fn step_size(&self) -> f64 {
+        2f64.powf((self.0 as f64 - 4.0) / 6.0)
+    }
+
+    /// The HM-style Lagrange multiplier `0.85 * 2^((QP-12)/3)` used in
+    /// mode decisions.
+    pub fn lambda(&self) -> f64 {
+        0.85 * 2f64.powf((self.0 as f64 - 12.0) / 3.0)
+    }
+
+    /// This QP shifted by `delta`, clamped to the valid range.
+    pub fn offset(&self, delta: i32) -> Qp {
+        Qp::saturating(self.0 as i32 + delta)
+    }
+}
+
+impl Default for Qp {
+    fn default() -> Self {
+        Qp(32)
+    }
+}
+
+impl fmt::Display for Qp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QP{}", self.0)
+    }
+}
+
+/// Serializable specification of a motion-search algorithm, turned into
+/// a live searcher with [`SearchSpec::instantiate`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SearchSpec {
+    /// Exhaustive full search.
+    Full,
+    /// Three-step search.
+    ThreeStep,
+    /// Diamond search.
+    Diamond,
+    /// Cross-search.
+    Cross,
+    /// One-at-a-time search (classic horizontal-first).
+    OneAtATime,
+    /// Hexagon-based search with fixed orientation policy.
+    Hexagon(HexOrientation),
+    /// HM Test Zone search — the reference of Table I.
+    Tz,
+    /// The paper's proposed bio-medical policy.
+    BioMedical {
+        /// Tile motion level from the analyzer.
+        level: MotionLevel,
+        /// GOP phase (first frame discovers direction, later frames
+        /// inherit it).
+        phase: GopPhase,
+    },
+}
+
+impl SearchSpec {
+    /// The proposed policy for the first frame of a GOP.
+    pub const fn biomed_first(level: MotionLevel) -> SearchSpec {
+        SearchSpec::BioMedical {
+            level,
+            phase: GopPhase::First,
+        }
+    }
+
+    /// The proposed policy for later GOP frames.
+    pub const fn biomed_subsequent(level: MotionLevel, direction: MotionVector) -> SearchSpec {
+        SearchSpec::BioMedical {
+            level,
+            phase: GopPhase::Subsequent { direction },
+        }
+    }
+
+    /// Builds the boxed searcher.
+    pub fn instantiate(&self) -> Box<dyn MotionSearch + Send + Sync> {
+        match *self {
+            SearchSpec::Full => Box::new(FullSearch),
+            SearchSpec::ThreeStep => Box::new(ThreeStepSearch),
+            SearchSpec::Diamond => Box::new(DiamondSearch),
+            SearchSpec::Cross => Box::new(CrossSearch),
+            SearchSpec::OneAtATime => Box::new(OneAtATimeSearch::new()),
+            SearchSpec::Hexagon(orientation) => Box::new(HexagonSearch::new(orientation)),
+            SearchSpec::Tz => Box::new(TzSearch::new()),
+            SearchSpec::BioMedical { level, phase } => {
+                Box::new(BioMedicalSearch::new(level, phase))
+            }
+        }
+    }
+
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SearchSpec::Full => "full",
+            SearchSpec::ThreeStep => "three-step",
+            SearchSpec::Diamond => "diamond",
+            SearchSpec::Cross => "cross",
+            SearchSpec::OneAtATime => "one-at-a-time",
+            SearchSpec::Hexagon(HexOrientation::Horizontal) => "hexagon-h",
+            SearchSpec::Hexagon(HexOrientation::Vertical) => "hexagon-v",
+            SearchSpec::Hexagon(HexOrientation::Rotating) => "hexagon-rot",
+            SearchSpec::Tz => "tz",
+            SearchSpec::BioMedical { .. } => "biomed",
+        }
+    }
+}
+
+impl Default for SearchSpec {
+    fn default() -> Self {
+        SearchSpec::Hexagon(HexOrientation::Horizontal)
+    }
+}
+
+/// Per-tile encoding configuration — the knobs the paper tunes per tile
+/// (§III-C): QP, search algorithm and search window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TileConfig {
+    /// Quantization parameter for the tile.
+    pub qp: Qp,
+    /// Motion search algorithm.
+    pub search: SearchSpec,
+    /// Maximum search window for the tile.
+    pub window: SearchWindow,
+}
+
+impl TileConfig {
+    /// A tile configuration with the given QP and defaults elsewhere.
+    pub fn with_qp(qp: Qp) -> Self {
+        Self {
+            qp,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        Self {
+            qp: Qp::default(),
+            search: SearchSpec::default(),
+            window: SearchWindow::W64,
+        }
+    }
+}
+
+/// Whole-encoder configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EncoderConfig {
+    /// Luma coding-block size (chroma uses half), default 16.
+    pub block_size: usize,
+    /// GOP length for the Random Access structure, default 8 (paper
+    /// §III-D2).
+    pub gop_size: usize,
+    /// Intra period in GOPs: an I-frame opens every `intra_period_gops`
+    /// GOPs, default 4.
+    pub intra_period_gops: usize,
+    /// Chroma QP offset relative to luma.
+    pub chroma_qp_offset: i32,
+    /// Encode chroma planes (disable for luma-only experiments).
+    pub chroma: bool,
+}
+
+impl EncoderConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the block size is not a positive multiple
+    /// of 8 or the GOP size is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.block_size == 0 || self.block_size % 8 != 0 {
+            return Err(format!(
+                "block size {} must be a positive multiple of 8",
+                self.block_size
+            ));
+        }
+        if self.gop_size == 0 {
+            return Err("gop size must be non-zero".into());
+        }
+        if self.intra_period_gops == 0 {
+            return Err("intra period must be non-zero".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        Self {
+            block_size: 16,
+            gop_size: 8,
+            intra_period_gops: 4,
+            chroma_qp_offset: 0,
+            chroma: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qp_range_enforced() {
+        assert!(Qp::new(0).is_some());
+        assert!(Qp::new(51).is_some());
+        assert!(Qp::new(52).is_none());
+        assert_eq!(Qp::saturating(-5), Qp::MIN);
+        assert_eq!(Qp::saturating(99), Qp::MAX);
+    }
+
+    #[test]
+    fn qp_step_doubles_every_six() {
+        let a = Qp::new(22).unwrap().step_size();
+        let b = Qp::new(28).unwrap().step_size();
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qp4_step_is_one() {
+        assert!((Qp::new(4).unwrap().step_size() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_grows_with_qp() {
+        assert!(Qp::new(37).unwrap().lambda() > Qp::new(22).unwrap().lambda());
+    }
+
+    #[test]
+    fn offset_clamps() {
+        let qp = Qp::new(50).unwrap();
+        assert_eq!(qp.offset(5), Qp::MAX);
+        assert_eq!(qp.offset(-60), Qp::MIN);
+        assert_eq!(qp.offset(-5).value(), 45);
+    }
+
+    #[test]
+    fn paper_ladder_is_descending_quality() {
+        let ladder = Qp::PAPER_LADDER;
+        assert_eq!(ladder[0].value(), 42);
+        assert_eq!(ladder[4].value(), 22);
+        for w in ladder.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn search_spec_instantiates_all() {
+        let specs = [
+            SearchSpec::Full,
+            SearchSpec::ThreeStep,
+            SearchSpec::Diamond,
+            SearchSpec::Cross,
+            SearchSpec::OneAtATime,
+            SearchSpec::Hexagon(HexOrientation::Rotating),
+            SearchSpec::Tz,
+            SearchSpec::biomed_first(MotionLevel::High),
+            SearchSpec::biomed_subsequent(MotionLevel::Low, MotionVector::new(1, 0)),
+        ];
+        for s in specs {
+            let algo = s.instantiate();
+            assert!(!algo.name().is_empty());
+            assert!(!s.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn encoder_config_validation() {
+        assert!(EncoderConfig::default().validate().is_ok());
+        let bad = EncoderConfig {
+            block_size: 12,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = EncoderConfig {
+            gop_size: 0,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn tile_config_defaults() {
+        let tc = TileConfig::default();
+        assert_eq!(tc.qp.value(), 32);
+        assert_eq!(tc.window, SearchWindow::W64);
+        assert_eq!(TileConfig::with_qp(Qp::new(27).unwrap()).qp.value(), 27);
+    }
+
+    #[test]
+    fn qp_display() {
+        assert_eq!(Qp::new(37).unwrap().to_string(), "QP37");
+    }
+}

@@ -1,0 +1,354 @@
+//! Whole-frame encoding: tile partition validation, parallel per-tile
+//! encoding and reconstruction stitching.
+
+use crate::config::{EncoderConfig, TileConfig};
+use crate::stats::FrameStats;
+use crate::tile::{encode_tile, TileOutcome};
+use medvt_frame::{Frame, FrameKind, Rect};
+use medvt_motion::MotionVector;
+
+/// The tiling and per-tile configurations for one frame — what the
+/// content-aware pipeline produces per GOP and the encoder consumes
+/// per frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FramePlan {
+    /// Tile rectangles (must exactly partition the frame on the
+    /// 8-sample grid).
+    pub tiles: Vec<Rect>,
+    /// Per-tile configuration, same order and length as `tiles`.
+    pub configs: Vec<TileConfig>,
+}
+
+impl FramePlan {
+    /// A uniform `cols x rows` plan with one shared configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the grid does not divide the frame into 8-aligned
+    /// tiles (see [`FramePlan::validate`]).
+    pub fn uniform(frame: Rect, cols: usize, rows: usize, config: TileConfig) -> Self {
+        let tiles = split_aligned(frame, cols, rows);
+        let configs = vec![config; tiles.len()];
+        let plan = Self { tiles, configs };
+        plan.validate(&frame).expect("uniform plan must be valid");
+        plan
+    }
+
+    /// Validates that the plan exactly partitions `frame` with
+    /// 8-aligned tiles and one config per tile.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self, frame: &Rect) -> Result<(), String> {
+        if self.tiles.is_empty() {
+            return Err("plan has no tiles".into());
+        }
+        if self.tiles.len() != self.configs.len() {
+            return Err(format!(
+                "{} tiles but {} configs",
+                self.tiles.len(),
+                self.configs.len()
+            ));
+        }
+        let mut area = 0usize;
+        for t in &self.tiles {
+            if t.is_empty() {
+                return Err(format!("empty tile {t}"));
+            }
+            if !frame.contains_rect(t) {
+                return Err(format!("tile {t} outside frame {frame}"));
+            }
+            if t.x % 8 != 0 || t.y % 8 != 0 || t.w % 8 != 0 || t.h % 8 != 0 {
+                return Err(format!("tile {t} not 8-aligned"));
+            }
+            area += t.area();
+        }
+        if area != frame.area() {
+            return Err(format!(
+                "tiles cover {area} samples, frame has {}",
+                frame.area()
+            ));
+        }
+        for (i, a) in self.tiles.iter().enumerate() {
+            for b in self.tiles.iter().skip(i + 1) {
+                if a.intersects(b) {
+                    return Err(format!("tiles {a} and {b} overlap"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of tiles.
+    pub fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+}
+
+/// Splits `frame` into a `cols x rows` grid whose interior boundaries
+/// snap to the 8-sample grid (HEVC tiles snap to CTUs; 8 is this
+/// substrate's coding granularity).
+///
+/// # Panics
+///
+/// Panics when the frame is too small for the requested grid.
+pub fn split_aligned(frame: Rect, cols: usize, rows: usize) -> Vec<Rect> {
+    assert!(cols > 0 && rows > 0, "grid must be non-empty");
+    let xs = aligned_axis(frame.x, frame.w, cols);
+    let ys = aligned_axis(frame.y, frame.h, rows);
+    let mut tiles = Vec::with_capacity(cols * rows);
+    for (y, h) in &ys {
+        for (x, w) in &xs {
+            tiles.push(Rect::new(*x, *y, *w, *h));
+        }
+    }
+    tiles
+}
+
+fn aligned_axis(origin: usize, len: usize, n: usize) -> Vec<(usize, usize)> {
+    assert!(
+        len / 8 >= n,
+        "cannot split {len} samples into {n} tiles of >=8 samples"
+    );
+    let units = len / 8; // length is a multiple of 8 for supported frames
+    assert!(len % 8 == 0, "frame dimension {len} not 8-aligned");
+    let base = units / n;
+    let extra = units % n;
+    let mut out = Vec::with_capacity(n);
+    let mut pos = origin;
+    for i in 0..n {
+        let span = (base + usize::from(i < extra)) * 8;
+        out.push((pos, span));
+        pos += span;
+    }
+    out
+}
+
+/// An encoded frame: reconstruction, statistics, per-tile dominant
+/// motion and the bitstream.
+#[derive(Debug, Clone)]
+pub struct EncodedFrame {
+    /// The reconstructed picture (what a decoder would output), used
+    /// as reference for later frames.
+    pub recon: Frame,
+    /// Per-tile statistics.
+    pub stats: FrameStats,
+    /// Median motion vector per tile, the direction later GOP frames
+    /// inherit.
+    pub dominant_mvs: Vec<MotionVector>,
+    /// Concatenated tile bitstreams.
+    pub bytes: Vec<u8>,
+}
+
+/// Encodes one frame according to `plan`.
+///
+/// With `parallel` set, tiles are encoded on scoped threads — the
+/// frame-level parallelization the paper's scheduler distributes over
+/// MPSoC cores.
+///
+/// # Panics
+///
+/// Panics when the plan fails [`FramePlan::validate`] or `refs` is
+/// empty for an inter `kind`.
+pub fn encode_frame(
+    original: &Frame,
+    refs: &[&Frame],
+    kind: FrameKind,
+    poc: usize,
+    plan: &FramePlan,
+    ecfg: &EncoderConfig,
+    parallel: bool,
+) -> EncodedFrame {
+    let frame_rect = original.y().bounds();
+    plan.validate(&frame_rect)
+        .expect("frame plan must partition the frame");
+    let outcomes: Vec<TileOutcome> = if parallel && plan.tiles.len() > 1 {
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = plan
+                .tiles
+                .iter()
+                .zip(&plan.configs)
+                .map(|(tile, cfg)| {
+                    let tile = *tile;
+                    let cfg = *cfg;
+                    s.spawn(move |_| encode_tile(original, refs, kind, tile, &cfg, ecfg))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("tile thread panicked"))
+                .collect()
+        })
+        .expect("tile scope panicked")
+    } else {
+        plan.tiles
+            .iter()
+            .zip(&plan.configs)
+            .map(|(tile, cfg)| encode_tile(original, refs, kind, *tile, cfg, ecfg))
+            .collect()
+    };
+
+    // Stitch tile reconstructions into the frame reconstruction.
+    let mut recon = Frame::black(original.resolution());
+    let mut stats = FrameStats {
+        poc,
+        tiles: Vec::with_capacity(outcomes.len()),
+    };
+    let mut dominant_mvs = Vec::with_capacity(outcomes.len());
+    let mut bytes = Vec::new();
+    for (tile, outcome) in plan.tiles.iter().zip(outcomes) {
+        recon.y_mut().write_rect(tile, outcome.recon_y.samples());
+        let c_rect = Rect::new(tile.x / 2, tile.y / 2, tile.w / 2, tile.h / 2);
+        recon.u_mut().write_rect(&c_rect, outcome.recon_u.samples());
+        recon.v_mut().write_rect(&c_rect, outcome.recon_v.samples());
+        stats.tiles.push(outcome.stats);
+        dominant_mvs.push(outcome.dominant_mv);
+        bytes.extend_from_slice(&outcome.bytes);
+    }
+    EncodedFrame {
+        recon,
+        stats,
+        dominant_mvs,
+        bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Qp;
+    use medvt_frame::quality::frame_psnr;
+    use medvt_frame::synth::{BodyPart, PhantomVideo};
+    use medvt_frame::Resolution;
+
+    fn frame() -> Frame {
+        PhantomVideo::builder(BodyPart::LungChest)
+            .resolution(Resolution::new(128, 96))
+            .seed(5)
+            .build()
+            .render(0)
+    }
+
+    #[test]
+    fn uniform_plan_partitions_exactly() {
+        let rect = Rect::frame(640, 480);
+        for (c, r) in [(1, 1), (2, 2), (5, 3), (5, 4), (4, 6), (5, 6)] {
+            let plan = FramePlan::uniform(rect, c, r, TileConfig::default());
+            assert_eq!(plan.tile_count(), c * r);
+            assert!(plan.validate(&rect).is_ok());
+        }
+    }
+
+    #[test]
+    fn validate_catches_overlap_and_gap() {
+        let rect = Rect::frame(64, 64);
+        let cfg = TileConfig::default();
+        // Gap: only half covered.
+        let plan = FramePlan {
+            tiles: vec![Rect::new(0, 0, 64, 32)],
+            configs: vec![cfg],
+        };
+        assert!(plan.validate(&rect).unwrap_err().contains("cover"));
+        // Overlap.
+        let plan = FramePlan {
+            tiles: vec![Rect::new(0, 0, 64, 40), Rect::new(0, 32, 64, 32)],
+            configs: vec![cfg, cfg],
+        };
+        assert!(plan.validate(&rect).is_err());
+        // Misaligned.
+        let plan = FramePlan {
+            tiles: vec![Rect::new(0, 0, 60, 64), Rect::new(60, 0, 4, 64)],
+            configs: vec![cfg, cfg],
+        };
+        assert!(plan.validate(&rect).unwrap_err().contains("8-aligned"));
+    }
+
+    #[test]
+    fn encode_frame_stitches_full_reconstruction() {
+        let f = frame();
+        let plan = FramePlan::uniform(
+            f.y().bounds(),
+            2,
+            2,
+            TileConfig::with_qp(Qp::new(22).unwrap()),
+        );
+        let encoded = encode_frame(
+            &f,
+            &[],
+            FrameKind::Intra,
+            0,
+            &plan,
+            &EncoderConfig::default(),
+            false,
+        );
+        assert_eq!(encoded.stats.tiles.len(), 4);
+        let psnr = frame_psnr(&f, &encoded.recon);
+        assert!(psnr > 32.0, "stitched recon psnr {psnr}");
+        assert!(!encoded.bytes.is_empty());
+        // Stats PSNR must agree with the stitched reconstruction PSNR.
+        assert!((encoded.stats.psnr() - psnr).abs() < 0.5);
+    }
+
+    #[test]
+    fn parallel_and_serial_encode_identically() {
+        let f = frame();
+        let plan = FramePlan::uniform(
+            f.y().bounds(),
+            2,
+            2,
+            TileConfig::with_qp(Qp::new(32).unwrap()),
+        );
+        let a = encode_frame(
+            &f,
+            &[],
+            FrameKind::Intra,
+            0,
+            &plan,
+            &EncoderConfig::default(),
+            false,
+        );
+        let b = encode_frame(
+            &f,
+            &[],
+            FrameKind::Intra,
+            0,
+            &plan,
+            &EncoderConfig::default(),
+            true,
+        );
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.recon, b.recon);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn more_tiles_same_frame_cover() {
+        let f = frame();
+        let rect = f.y().bounds();
+        let p1 = FramePlan::uniform(rect, 1, 1, TileConfig::default());
+        let p6 = FramePlan::uniform(rect, 3, 2, TileConfig::default());
+        let total1: usize = p1.tiles.iter().map(Rect::area).sum();
+        let total6: usize = p6.tiles.iter().map(Rect::area).sum();
+        assert_eq!(total1, total6);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition")]
+    fn bad_plan_panics_encode() {
+        let f = frame();
+        let plan = FramePlan {
+            tiles: vec![Rect::new(0, 0, 64, 64)],
+            configs: vec![TileConfig::default()],
+        };
+        encode_frame(
+            &f,
+            &[],
+            FrameKind::Intra,
+            0,
+            &plan,
+            &EncoderConfig::default(),
+            false,
+        );
+    }
+}

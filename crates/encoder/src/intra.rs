@@ -1,0 +1,286 @@
+//! Intra prediction: DC, planar, horizontal and vertical modes.
+//!
+//! Prediction references the *reconstructed* samples above and left of
+//! the block, like HEVC, and never crosses tile boundaries (tiles are
+//! independently decodable).
+
+use medvt_frame::{Plane, Rect};
+use serde::{Deserialize, Serialize};
+
+/// The implemented subset of HEVC's 35 intra modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntraMode {
+    /// Mean of the available reference samples.
+    Dc,
+    /// Bilinear blend of the top/left references.
+    Planar,
+    /// Copy the left reference column across each row.
+    Horizontal,
+    /// Copy the top reference row down each column.
+    Vertical,
+}
+
+impl IntraMode {
+    /// All modes in mode-decision order.
+    pub const ALL: [IntraMode; 4] = [
+        IntraMode::Dc,
+        IntraMode::Planar,
+        IntraMode::Horizontal,
+        IntraMode::Vertical,
+    ];
+
+    /// Mode index used in the bitstream header (2 bits).
+    pub const fn index(&self) -> u32 {
+        match self {
+            IntraMode::Dc => 0,
+            IntraMode::Planar => 1,
+            IntraMode::Horizontal => 2,
+            IntraMode::Vertical => 3,
+        }
+    }
+}
+
+/// Reference samples for one block: the row above and column left of
+/// the block, when available inside the tile.
+#[derive(Debug, Clone)]
+pub struct IntraRefs {
+    top: Option<Vec<u8>>,
+    left: Option<Vec<u8>>,
+}
+
+impl IntraRefs {
+    /// Gathers reference samples for `block` from the reconstructed
+    /// plane, restricted to `tile` (no prediction across tile borders).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block` is not inside `tile`.
+    pub fn gather(recon: &Plane, block: &Rect, tile: &Rect) -> Self {
+        assert!(
+            tile.contains_rect(block),
+            "block {block} outside tile {tile}"
+        );
+        let top = if block.y > tile.y {
+            let row = block.y - 1;
+            Some(
+                (block.x..block.right())
+                    .map(|col| recon.get(col, row))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let left = if block.x > tile.x {
+            let col = block.x - 1;
+            Some(
+                (block.y..block.bottom())
+                    .map(|row| recon.get(col, row))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        Self { top, left }
+    }
+
+    /// `true` when neither reference edge is available (tile corner).
+    pub fn is_empty(&self) -> bool {
+        self.top.is_none() && self.left.is_none()
+    }
+
+    /// Predicts a `w x h` block with `mode`, returning row-major samples.
+    ///
+    /// Unavailable references fall back to the HEVC default level 128,
+    /// and directional modes degrade to DC when their edge is missing.
+    pub fn predict(&self, mode: IntraMode, w: usize, h: usize) -> Vec<u8> {
+        match mode {
+            IntraMode::Dc => vec![self.dc_value(), 0][..1].repeat(w * h),
+            IntraMode::Planar => self.predict_planar(w, h),
+            IntraMode::Horizontal => match &self.left {
+                Some(left) => {
+                    let mut out = Vec::with_capacity(w * h);
+                    for row in 0..h {
+                        out.extend(std::iter::repeat(left[row]).take(w));
+                    }
+                    out
+                }
+                None => vec![self.dc_value(); w * h],
+            },
+            IntraMode::Vertical => match &self.top {
+                Some(top) => {
+                    let mut out = Vec::with_capacity(w * h);
+                    for _ in 0..h {
+                        out.extend_from_slice(top);
+                    }
+                    out
+                }
+                None => vec![self.dc_value(); w * h],
+            },
+        }
+    }
+
+    /// DC level: mean of available references, 128 when none exist.
+    fn dc_value(&self) -> u8 {
+        let mut sum = 0u32;
+        let mut count = 0u32;
+        if let Some(top) = &self.top {
+            sum += top.iter().map(|&s| s as u32).sum::<u32>();
+            count += top.len() as u32;
+        }
+        if let Some(left) = &self.left {
+            sum += left.iter().map(|&s| s as u32).sum::<u32>();
+            count += left.len() as u32;
+        }
+        if count == 0 {
+            128
+        } else {
+            ((sum + count / 2) / count) as u8
+        }
+    }
+
+    fn predict_planar(&self, w: usize, h: usize) -> Vec<u8> {
+        let dc = self.dc_value();
+        let top: Vec<u16> = match &self.top {
+            Some(t) => t.iter().map(|&s| s as u16).collect(),
+            None => vec![dc as u16; w],
+        };
+        let left: Vec<u16> = match &self.left {
+            Some(l) => l.iter().map(|&s| s as u16).collect(),
+            None => vec![dc as u16; h],
+        };
+        let top_right = *top.last().expect("top non-empty") as u32;
+        let bottom_left = *left.last().expect("left non-empty") as u32;
+        let mut out = Vec::with_capacity(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                // HEVC-style planar: horizontal + vertical linear blends.
+                let hor = (w as u32 - 1 - x as u32) * left[y] as u32
+                    + (x as u32 + 1) * top_right;
+                let ver = (h as u32 - 1 - y as u32) * top[x] as u32
+                    + (y as u32 + 1) * bottom_left;
+                let v = (hor * h as u32 + ver * w as u32 + (w * h) as u32)
+                    / (2 * (w * h) as u32);
+                out.push(v.min(255) as u8);
+            }
+        }
+        out
+    }
+
+    /// Picks the mode with the lowest SAD against `original` (row-major
+    /// `w x h` samples), returning the mode, its prediction and the SAD.
+    pub fn best_mode(&self, original: &[u8], w: usize, h: usize) -> (IntraMode, Vec<u8>, u64) {
+        let mut best: Option<(IntraMode, Vec<u8>, u64)> = None;
+        for mode in IntraMode::ALL {
+            let pred = self.predict(mode, w, h);
+            let sad: u64 = original
+                .iter()
+                .zip(&pred)
+                .map(|(&a, &b)| (a as i16 - b as i16).unsigned_abs() as u64)
+                .sum();
+            if best.as_ref().map_or(true, |(_, _, c)| sad < *c) {
+                best = Some((mode, pred, sad));
+            }
+        }
+        best.expect("at least one intra mode")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recon_with_borders() -> Plane {
+        let mut p = Plane::filled(16, 16, 0);
+        // Row above the block at y=4: value 100; column left at x=4: 50.
+        for col in 0..16 {
+            p.set(col, 3, 100);
+        }
+        for row in 0..16 {
+            p.set(3, row, 50);
+        }
+        p
+    }
+
+    #[test]
+    fn gather_respects_tile_border() {
+        let recon = recon_with_borders();
+        let tile = Rect::new(4, 4, 12, 12);
+        let block = Rect::new(4, 4, 4, 4);
+        let refs = IntraRefs::gather(&recon, &block, &tile);
+        // Block sits at the tile corner: nothing available.
+        assert!(refs.is_empty());
+        // Same block inside a frame-wide tile: both edges available.
+        let refs = IntraRefs::gather(&recon, &block, &Rect::frame(16, 16));
+        assert!(!refs.is_empty());
+    }
+
+    #[test]
+    fn dc_without_refs_is_128() {
+        let recon = Plane::new(8, 8);
+        let tile = Rect::frame(8, 8);
+        let refs = IntraRefs::gather(&recon, &Rect::new(0, 0, 4, 4), &tile);
+        let pred = refs.predict(IntraMode::Dc, 4, 4);
+        assert!(pred.iter().all(|&s| s == 128));
+    }
+
+    #[test]
+    fn dc_averages_references() {
+        let recon = recon_with_borders();
+        let refs = IntraRefs::gather(&recon, &Rect::new(4, 4, 4, 4), &Rect::frame(16, 16));
+        let pred = refs.predict(IntraMode::Dc, 4, 4);
+        // top 4x100 + left 4x50 → mean 75.
+        assert!(pred.iter().all(|&s| s == 75), "pred={pred:?}");
+    }
+
+    #[test]
+    fn horizontal_copies_left_column() {
+        let recon = recon_with_borders();
+        let refs = IntraRefs::gather(&recon, &Rect::new(4, 4, 4, 2), &Rect::frame(16, 16));
+        let pred = refs.predict(IntraMode::Horizontal, 4, 2);
+        assert!(pred.iter().all(|&s| s == 50));
+    }
+
+    #[test]
+    fn vertical_copies_top_row() {
+        let recon = recon_with_borders();
+        let refs = IntraRefs::gather(&recon, &Rect::new(4, 4, 2, 4), &Rect::frame(16, 16));
+        let pred = refs.predict(IntraMode::Vertical, 2, 4);
+        assert!(pred.iter().all(|&s| s == 100));
+    }
+
+    #[test]
+    fn planar_blends_smoothly() {
+        let recon = recon_with_borders();
+        let refs = IntraRefs::gather(&recon, &Rect::new(4, 4, 4, 4), &Rect::frame(16, 16));
+        let pred = refs.predict(IntraMode::Planar, 4, 4);
+        // Values between left (50) and top (100) levels.
+        assert!(pred.iter().all(|&s| (50..=100).contains(&s)), "{pred:?}");
+        // Not constant (it interpolates).
+        assert!(pred.iter().any(|&s| s != pred[0]));
+    }
+
+    #[test]
+    fn best_mode_picks_matching_direction() {
+        let recon = recon_with_borders();
+        let refs = IntraRefs::gather(&recon, &Rect::new(4, 4, 4, 4), &Rect::frame(16, 16));
+        // Original block = rows of 100 (matches vertical from top=100).
+        let original = vec![100u8; 16];
+        let (mode, pred, sad) = refs.best_mode(&original, 4, 4);
+        assert_eq!(mode, IntraMode::Vertical);
+        assert_eq!(sad, 0);
+        assert_eq!(pred, original);
+        // Original block = rows of 50 (matches horizontal from left=50).
+        let original = vec![50u8; 16];
+        let (mode, _, sad) = refs.best_mode(&original, 4, 4);
+        assert_eq!(mode, IntraMode::Horizontal);
+        assert_eq!(sad, 0);
+    }
+
+    #[test]
+    fn mode_indices_are_unique() {
+        let mut seen: Vec<u32> = IntraMode::ALL.iter().map(|m| m.index()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 4);
+    }
+}

@@ -1,0 +1,117 @@
+//! Scalar quantization of transform coefficients.
+//!
+//! Uses the HEVC step-size law `Qstep = 2^((QP-4)/6)` with a dead-zone
+//! rounding offset (HEVC uses 1/3 for intra, 1/6 for inter; the
+//! difference is second-order for the experiments, so the intra offset
+//! is used throughout).
+
+use crate::config::Qp;
+
+/// Dead-zone rounding offset as a fraction of the step size.
+const DEAD_ZONE: f64 = 1.0 / 3.0;
+
+/// Quantizes coefficients to integer levels.
+pub fn quantize(coeffs: &[f64], qp: Qp) -> Vec<i32> {
+    let step = qp.step_size();
+    coeffs
+        .iter()
+        .map(|&c| {
+            let sign = if c < 0.0 { -1.0 } else { 1.0 };
+            (sign * (c.abs() / step + DEAD_ZONE).floor()) as i32
+        })
+        .collect()
+}
+
+/// Reconstructs coefficients from levels.
+pub fn dequantize(levels: &[i32], qp: Qp) -> Vec<f64> {
+    let step = qp.step_size();
+    levels.iter().map(|&l| l as f64 * step).collect()
+}
+
+/// Counts the non-zero levels (the "significance" driver of entropy
+/// cost).
+pub fn nonzero_count(levels: &[i32]) -> usize {
+    levels.iter().filter(|&&l| l != 0).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn qp(v: u8) -> Qp {
+        Qp::new(v).expect("valid QP")
+    }
+
+    #[test]
+    fn zero_coeffs_quantize_to_zero() {
+        let levels = quantize(&[0.0; 16], qp(32));
+        assert!(levels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn higher_qp_zeroes_more_coefficients() {
+        let coeffs: Vec<f64> = (0..64).map(|i| (i as f64) * 1.5 - 40.0).collect();
+        let fine = quantize(&coeffs, qp(22));
+        let coarse = quantize(&coeffs, qp(42));
+        assert!(nonzero_count(&coarse) <= nonzero_count(&fine));
+        assert!(nonzero_count(&coarse) < coeffs.len());
+    }
+
+    #[test]
+    fn reconstruction_error_bounded_by_step() {
+        let coeffs: Vec<f64> = (0..32).map(|i| (i as f64) * 7.3 - 100.0).collect();
+        let q = qp(27);
+        let rec = dequantize(&quantize(&coeffs, q), q);
+        for (c, r) in coeffs.iter().zip(&rec) {
+            assert!(
+                (c - r).abs() <= q.step_size(),
+                "error {} exceeds step {}",
+                (c - r).abs(),
+                q.step_size()
+            );
+        }
+    }
+
+    #[test]
+    fn dead_zone_rounds_small_values_to_zero() {
+        let q = qp(32); // step ≈ 25.4
+        let step = q.step_size();
+        // |c| < (1 - 1/3) * step quantizes to zero.
+        let levels = quantize(&[step * 0.5, -step * 0.5], q);
+        assert_eq!(levels, vec![0, 0]);
+        let levels = quantize(&[step * 0.9, -step * 0.9], q);
+        assert_eq!(levels, vec![1, -1]);
+    }
+
+    #[test]
+    fn quantization_is_odd_symmetric() {
+        let coeffs = [57.3, -57.3, 13.1, -13.1];
+        let levels = quantize(&coeffs, qp(30));
+        assert_eq!(levels[0], -levels[1]);
+        assert_eq!(levels[2], -levels[3]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_error_bounded(
+            coeffs in proptest::collection::vec(-1000.0f64..1000.0, 1..64),
+            qp_val in 0u8..=51,
+        ) {
+            let q = qp(qp_val);
+            let rec = dequantize(&quantize(&coeffs, q), q);
+            for (c, r) in coeffs.iter().zip(&rec) {
+                prop_assert!((c - r).abs() <= q.step_size() * (1.0 + 1e-12));
+            }
+        }
+
+        #[test]
+        fn prop_monotone_levels(c in 0.0f64..1000.0, qp_val in 0u8..=51) {
+            // Larger coefficients never get smaller levels.
+            let q = qp(qp_val);
+            let l1 = quantize(&[c], q)[0];
+            let l2 = quantize(&[c * 2.0], q)[0];
+            prop_assert!(l2 >= l1);
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! Independent tile encoding: mode decision, motion estimation,
+//! residual coding and local reconstruction for one tile of one frame.
+//!
+//! Tiles are the unit of parallelism (paper §II-C): no prediction state
+//! crosses tile boundaries within a picture, so every tile of a frame
+//! can be encoded on a different core. Motion compensation may read
+//! anywhere in the *reference* pictures, as in HEVC.
+
+use crate::bits::{se_len, BitWriter};
+use crate::block::code_residual;
+use crate::config::{EncoderConfig, TileConfig};
+use crate::intra::IntraRefs;
+use crate::stats::TileStats;
+use medvt_frame::{Frame, FrameKind, Plane, Rect};
+use medvt_motion::{CostMetric, MotionVector, SearchContext};
+
+/// Everything produced by encoding one tile.
+#[derive(Debug, Clone)]
+pub struct TileOutcome {
+    /// Operation counts, bits and distortion.
+    pub stats: TileStats,
+    /// The tile's slice of the bitstream (byte-aligned).
+    pub bytes: Vec<u8>,
+    /// Reconstructed luma, tile-local coordinates.
+    pub recon_y: Plane,
+    /// Reconstructed Cb, tile-local.
+    pub recon_u: Plane,
+    /// Reconstructed Cr, tile-local.
+    pub recon_v: Plane,
+    /// Median motion vector of the tile's inter blocks — inherited by
+    /// later GOP frames (paper §III-C2).
+    pub dominant_mv: MotionVector,
+}
+
+/// Encodes one tile.
+///
+/// `refs` holds the reconstructed reference frames (empty for intra
+/// frames; one for P, two for B). The tile rectangle must be aligned to
+/// an 8-sample grid so luma 8x8 and chroma 4x4 transforms always fit.
+///
+/// # Panics
+///
+/// Panics when the tile is unaligned, outside the frame, or `refs` is
+/// empty for an inter frame kind.
+pub fn encode_tile(
+    original: &Frame,
+    refs: &[&Frame],
+    kind: FrameKind,
+    tile: Rect,
+    tcfg: &TileConfig,
+    ecfg: &EncoderConfig,
+) -> TileOutcome {
+    assert!(
+        tile.x % 8 == 0 && tile.y % 8 == 0 && tile.w % 8 == 0 && tile.h % 8 == 0,
+        "tile {tile} must align to the 8-sample grid"
+    );
+    assert!(
+        original.y().bounds().contains_rect(&tile),
+        "tile {tile} outside frame"
+    );
+    assert!(!tile.is_empty(), "tile must be non-empty");
+    let inter = kind.is_inter() && !refs.is_empty();
+    if kind.is_inter() {
+        assert!(!refs.is_empty(), "inter frame requires reference frames");
+    }
+
+    let mut stats = TileStats::new(tile);
+    let mut writer = BitWriter::new();
+    let mut recon_y = Plane::new(tile.w, tile.h);
+    let mut recon_u = Plane::new(tile.w / 2, tile.h / 2);
+    let mut recon_v = Plane::new(tile.w / 2, tile.h / 2);
+    let algo = tcfg.search.instantiate();
+    let lambda = tcfg.qp.lambda();
+    let chroma_qp = tcfg.qp.offset(ecfg.chroma_qp_offset);
+    let mut inter_mvs: Vec<MotionVector> = Vec::new();
+    let mut prev_mv = MotionVector::ZERO;
+
+    let bs = ecfg.block_size;
+    let tile_local = Rect::frame(tile.w, tile.h);
+    let mut by = 0;
+    while by < tile.h {
+        let bh = bs.min(tile.h - by);
+        let mut bx = 0;
+        while bx < tile.w {
+            let bw = bs.min(tile.w - bx);
+            let abs_block = Rect::new(tile.x + bx, tile.y + by, bw, bh);
+            let rel_block = Rect::new(bx, by, bw, bh);
+            let orig_block = original.y().copy_rect(&abs_block);
+
+            // Intra candidate (always available).
+            let intra_refs = IntraRefs::gather(&recon_y, &rel_block, &tile_local);
+            let (intra_mode, intra_pred, intra_sad) =
+                intra_refs.best_mode(&orig_block, bw, bh);
+            let intra_header_bits = 1 + 2; // mode flag + intra mode index
+            let intra_cost = intra_sad as f64 + lambda * intra_header_bits as f64;
+
+            // Inter candidate.
+            let mut inter_choice: Option<(usize, MotionVector, u64, u64)> = None;
+            if inter {
+                for (ref_idx, reference) in refs.iter().enumerate() {
+                    let ctx = SearchContext::new(
+                        original.y(),
+                        reference.y(),
+                        abs_block,
+                        tcfg.window,
+                        CostMetric::Sad,
+                        prev_mv,
+                    );
+                    let r = algo.search(&ctx);
+                    stats.sad_samples += r.evaluations * abs_block.area() as u64;
+                    let better = inter_choice
+                        .as_ref()
+                        .map_or(true, |&(_, _, cost, _)| r.cost < cost);
+                    if better {
+                        inter_choice = Some((ref_idx, r.mv, r.cost, r.evaluations));
+                    }
+                }
+            }
+
+            let use_inter = match inter_choice {
+                None => false,
+                Some((_, mv, sad, _)) => {
+                    let mvd = mv - prev_mv;
+                    let header = 1
+                        + u64::from(refs.len() > 1)
+                        + se_len(mvd.x as i32)
+                        + se_len(mvd.y as i32);
+                    let inter_cost = sad as f64 + lambda * header as f64;
+                    inter_cost <= intra_cost
+                }
+            };
+
+            let prediction: Vec<u8>;
+            if use_inter {
+                let (ref_idx, mv, _, _) = inter_choice.expect("inter chosen");
+                let reference = refs[ref_idx];
+                prediction = reference.y().copy_block_clamped(
+                    abs_block.x as isize + mv.x as isize,
+                    abs_block.y as isize + mv.y as isize,
+                    bw,
+                    bh,
+                );
+                // Header: inter flag, ref index, MV difference.
+                writer.write_bit(true);
+                if refs.len() > 1 {
+                    writer.write_bit(ref_idx == 1);
+                }
+                let mvd = mv - prev_mv;
+                writer.write_se(mvd.x as i32);
+                writer.write_se(mvd.y as i32);
+                prev_mv = mv;
+                inter_mvs.push(mv);
+                stats.inter_blocks += 1;
+            } else {
+                prediction = intra_pred;
+                writer.write_bit(false);
+                writer.write_bits(intra_mode.index(), 2);
+                stats.intra_blocks += 1;
+            }
+
+            // Luma residual (8x8 transforms always fit: bw/bh are
+            // multiples of 8 given grid alignment).
+            let coded = code_residual(&orig_block, &prediction, bw, bh, 8, tcfg.qp, &mut writer);
+            stats.luma_ssd += coded.ssd;
+            stats.transform_samples += coded.transform_samples;
+            recon_y.write_rect(&rel_block, &coded.recon);
+
+            // Chroma (4:2:0): collocated block at half geometry.
+            if ecfg.chroma {
+                let cw = bw / 2;
+                let ch = bh / 2;
+                let c_abs = Rect::new(abs_block.x / 2, abs_block.y / 2, cw, ch);
+                let c_rel = Rect::new(rel_block.x / 2, rel_block.y / 2, cw, ch);
+                for (plane_idx, (orig_c, recon_c)) in [
+                    (original.u(), &mut recon_u),
+                    (original.v(), &mut recon_v),
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    let orig_cb = orig_c.copy_rect(&c_abs);
+                    let pred_cb: Vec<u8> = if use_inter {
+                        let (ref_idx, mv, _, _) = inter_choice.expect("inter chosen");
+                        let rf = refs[ref_idx];
+                        let plane = if plane_idx == 0 { rf.u() } else { rf.v() };
+                        plane.copy_block_clamped(
+                            c_abs.x as isize + (mv.x / 2) as isize,
+                            c_abs.y as isize + (mv.y / 2) as isize,
+                            cw,
+                            ch,
+                        )
+                    } else {
+                        // Chroma intra: DC from local chroma recon refs.
+                        let c_tile = Rect::frame(tile.w / 2, tile.h / 2);
+                        let crefs = IntraRefs::gather(recon_c, &c_rel, &c_tile);
+                        crefs.predict(crate::intra::IntraMode::Dc, cw, ch)
+                    };
+                    let coded_c =
+                        code_residual(&orig_cb, &pred_cb, cw, ch, 4, chroma_qp, &mut writer);
+                    stats.transform_samples += coded_c.transform_samples;
+                    recon_c.write_rect(&c_rel, &coded_c.recon);
+                }
+            }
+            bx += bw;
+        }
+        by += bh;
+    }
+
+    stats.bits = writer.bits_written();
+    let dominant_mv = median_mv(&inter_mvs);
+    TileOutcome {
+        stats,
+        bytes: writer.into_bytes(),
+        recon_y,
+        recon_u,
+        recon_v,
+        dominant_mv,
+    }
+}
+
+/// Component-wise median of the block motion vectors.
+fn median_mv(mvs: &[MotionVector]) -> MotionVector {
+    if mvs.is_empty() {
+        return MotionVector::ZERO;
+    }
+    let mut xs: Vec<i16> = mvs.iter().map(|m| m.x).collect();
+    let mut ys: Vec<i16> = mvs.iter().map(|m| m.y).collect();
+    xs.sort_unstable();
+    ys.sort_unstable();
+    MotionVector::new(xs[xs.len() / 2], ys[ys.len() / 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Qp, SearchSpec};
+    use medvt_frame::synth::{BodyPart, MotionPattern, PhantomVideo};
+    use medvt_frame::Resolution;
+
+    fn video() -> PhantomVideo {
+        PhantomVideo::builder(BodyPart::Brain)
+            .resolution(Resolution::new(96, 64))
+            .motion(MotionPattern::Pan { dx: 1.0, dy: 0.0 })
+            .noise_amplitude(0.0)
+            .seed(3)
+            .build()
+    }
+
+    fn default_cfgs(qp: u8) -> (TileConfig, EncoderConfig) {
+        (
+            TileConfig {
+                qp: Qp::new(qp).unwrap(),
+                search: SearchSpec::Diamond,
+                window: medvt_motion::SearchWindow::W16,
+            },
+            EncoderConfig::default(),
+        )
+    }
+
+    #[test]
+    fn intra_tile_reconstructs_content() {
+        let v = video();
+        let f0 = v.render(0);
+        let (tcfg, ecfg) = default_cfgs(22);
+        let tile = Rect::new(0, 0, 96, 64);
+        let out = encode_tile(&f0, &[], FrameKind::Intra, tile, &tcfg, &ecfg);
+        assert_eq!(out.stats.intra_blocks, 4 * 6);
+        assert_eq!(out.stats.inter_blocks, 0);
+        assert!(out.stats.psnr() > 32.0, "psnr={}", out.stats.psnr());
+        assert!(out.stats.bits > 0);
+        assert_eq!(out.dominant_mv, MotionVector::ZERO);
+        assert_eq!(out.bytes.len() as u64 * 8 % 8, 0);
+    }
+
+    #[test]
+    fn inter_tile_tracks_pan_motion() {
+        let v = video();
+        let f0 = v.render(0);
+        let f1 = v.render(2);
+        let (tcfg, ecfg) = default_cfgs(27);
+        let tile = Rect::new(16, 16, 64, 32); // center region, real motion
+        let out = encode_tile(&f1, &[&f0], FrameKind::Predicted, tile, &tcfg, &ecfg);
+        assert!(out.stats.inter_blocks > 0, "pan content should code inter");
+        // Content moved right 2 px over two frames.
+        assert_eq!(out.dominant_mv, MotionVector::new(-2, 0));
+        assert!(out.stats.sad_samples > 0);
+    }
+
+    #[test]
+    fn inter_beats_intra_on_moving_content() {
+        let v = video();
+        let f0 = v.render(0);
+        let f1 = v.render(1);
+        let (tcfg, ecfg) = default_cfgs(32);
+        let tile = Rect::new(16, 16, 64, 32);
+        let inter = encode_tile(&f1, &[&f0], FrameKind::Predicted, tile, &tcfg, &ecfg);
+        let intra = encode_tile(&f1, &[], FrameKind::Intra, tile, &tcfg, &ecfg);
+        assert!(
+            inter.stats.bits < intra.stats.bits,
+            "inter {} vs intra {} bits",
+            inter.stats.bits,
+            intra.stats.bits
+        );
+    }
+
+    #[test]
+    fn higher_qp_lowers_bits_and_psnr() {
+        let v = video();
+        let f0 = v.render(0);
+        let tile = Rect::new(0, 0, 96, 64);
+        let ecfg = EncoderConfig::default();
+        let fine = encode_tile(
+            &f0,
+            &[],
+            FrameKind::Intra,
+            tile,
+            &TileConfig::with_qp(Qp::new(22).unwrap()),
+            &ecfg,
+        );
+        let coarse = encode_tile(
+            &f0,
+            &[],
+            FrameKind::Intra,
+            tile,
+            &TileConfig::with_qp(Qp::new(42).unwrap()),
+            &ecfg,
+        );
+        assert!(coarse.stats.bits < fine.stats.bits);
+        assert!(coarse.stats.psnr() < fine.stats.psnr());
+    }
+
+    #[test]
+    fn two_reference_frames_double_search_effort() {
+        let v = video();
+        let f0 = v.render(0);
+        let f2 = v.render(2);
+        let f1 = v.render(1);
+        let (tcfg, ecfg) = default_cfgs(32);
+        let tile = Rect::new(16, 16, 64, 32);
+        let one_ref = encode_tile(&f1, &[&f0], FrameKind::Predicted, tile, &tcfg, &ecfg);
+        let two_ref =
+            encode_tile(&f1, &[&f0, &f2], FrameKind::BiPredicted, tile, &tcfg, &ecfg);
+        assert!(two_ref.stats.sad_samples > one_ref.stats.sad_samples);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn unaligned_tile_rejected() {
+        let v = video();
+        let f0 = v.render(0);
+        let (tcfg, ecfg) = default_cfgs(32);
+        encode_tile(
+            &f0,
+            &[],
+            FrameKind::Intra,
+            Rect::new(4, 0, 20, 16),
+            &tcfg,
+            &ecfg,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "reference")]
+    fn inter_without_refs_rejected() {
+        let v = video();
+        let f0 = v.render(0);
+        let (tcfg, ecfg) = default_cfgs(32);
+        encode_tile(
+            &f0,
+            &[],
+            FrameKind::Predicted,
+            Rect::new(0, 0, 32, 32),
+            &tcfg,
+            &ecfg,
+        );
+    }
+
+    #[test]
+    fn luma_only_mode_skips_chroma() {
+        let v = video();
+        let f0 = v.render(0);
+        let tile = Rect::new(0, 0, 32, 32);
+        let tcfg = TileConfig::with_qp(Qp::new(27).unwrap());
+        let with_chroma = encode_tile(
+            &f0,
+            &[],
+            FrameKind::Intra,
+            tile,
+            &tcfg,
+            &EncoderConfig::default(),
+        );
+        let luma_only = encode_tile(
+            &f0,
+            &[],
+            FrameKind::Intra,
+            tile,
+            &tcfg,
+            &EncoderConfig {
+                chroma: false,
+                ..Default::default()
+            },
+        );
+        assert!(luma_only.stats.bits < with_chroma.stats.bits);
+        assert!(luma_only.stats.transform_samples < with_chroma.stats.transform_samples);
+    }
+
+    #[test]
+    fn median_mv_is_robust() {
+        let mvs = vec![
+            MotionVector::new(2, 0),
+            MotionVector::new(2, 0),
+            MotionVector::new(2, 1),
+            MotionVector::new(-9, 7), // outlier
+            MotionVector::new(2, 0),
+        ];
+        assert_eq!(median_mv(&mvs), MotionVector::new(2, 0));
+        assert_eq!(median_mv(&[]), MotionVector::ZERO);
+    }
+}

@@ -1,0 +1,201 @@
+//! Separable 2-D DCT-II used as the coding transform.
+//!
+//! HEVC's core transform is an integer approximation of the DCT-II at
+//! sizes 4–32. This substrate uses the exact orthonormal DCT-II in
+//! `f64` (bit-deterministic under IEEE-754), which keeps the forward /
+//! inverse pair perfectly invertible so the only reconstruction error
+//! is quantization — exactly the property the rate/distortion
+//! behaviour of the experiments depends on.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Supported transform sizes (HEVC core transform sizes).
+pub const TRANSFORM_SIZES: [usize; 4] = [4, 8, 16, 32];
+
+/// Orthonormal DCT-II basis matrix of size `n x n`, row-major, cached.
+fn basis(n: usize) -> &'static [f64] {
+    static CACHE: OnceLock<Mutex<HashMap<usize, &'static [f64]>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = cache.lock().expect("basis cache poisoned");
+    if let Some(&m) = guard.get(&n) {
+        return m;
+    }
+    let mut m = vec![0.0f64; n * n];
+    let scale0 = (1.0 / n as f64).sqrt();
+    let scale = (2.0 / n as f64).sqrt();
+    for k in 0..n {
+        for i in 0..n {
+            let s = if k == 0 { scale0 } else { scale };
+            m[k * n + i] =
+                s * ((std::f64::consts::PI / n as f64) * (i as f64 + 0.5) * k as f64).cos();
+        }
+    }
+    let leaked: &'static [f64] = Box::leak(m.into_boxed_slice());
+    guard.insert(n, leaked);
+    leaked
+}
+
+/// Validates a transform size.
+///
+/// # Panics
+///
+/// Panics when `n` is not one of [`TRANSFORM_SIZES`].
+fn check_size(n: usize) {
+    assert!(
+        TRANSFORM_SIZES.contains(&n),
+        "unsupported transform size {n}; HEVC sizes are 4/8/16/32"
+    );
+}
+
+/// Forward 2-D DCT-II of an `n x n` residual block (row-major `i32`
+/// samples), producing `f64` coefficients.
+///
+/// # Panics
+///
+/// Panics when `n` is unsupported or `input.len() != n * n`.
+pub fn forward(n: usize, input: &[i32]) -> Vec<f64> {
+    check_size(n);
+    assert_eq!(input.len(), n * n, "input must be {n}x{n}");
+    let c = basis(n);
+    // tmp = C * X
+    let mut tmp = vec![0.0f64; n * n];
+    for k in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += c[k * n + i] * input[i * n + j] as f64;
+            }
+            tmp[k * n + j] = acc;
+        }
+    }
+    // out = tmp * C^T
+    let mut out = vec![0.0f64; n * n];
+    for k in 0..n {
+        for l in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += tmp[k * n + j] * c[l * n + j];
+            }
+            out[k * n + l] = acc;
+        }
+    }
+    out
+}
+
+/// Inverse 2-D DCT-II, mapping coefficients back to residual samples
+/// (`f64`, caller rounds).
+///
+/// # Panics
+///
+/// Panics when `n` is unsupported or `coeffs.len() != n * n`.
+pub fn inverse(n: usize, coeffs: &[f64]) -> Vec<f64> {
+    check_size(n);
+    assert_eq!(coeffs.len(), n * n, "coeffs must be {n}x{n}");
+    let c = basis(n);
+    // tmp = C^T * Y
+    let mut tmp = vec![0.0f64; n * n];
+    for i in 0..n {
+        for l in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += c[k * n + i] * coeffs[k * n + l];
+            }
+            tmp[i * n + l] = acc;
+        }
+    }
+    // out = tmp * C
+    let mut out = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for l in 0..n {
+                acc += tmp[i * n + l] * c[l * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dc_block_concentrates_energy() {
+        let input = vec![10i32; 64];
+        let coeffs = forward(8, &input);
+        // DC coefficient = 10 * 8 (orthonormal scaling: sum/n * n = 80).
+        assert!((coeffs[0] - 80.0).abs() < 1e-9, "dc={}", coeffs[0]);
+        for (i, &c) in coeffs.iter().enumerate().skip(1) {
+            assert!(c.abs() < 1e-9, "ac[{i}]={c}");
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact_to_rounding() {
+        for n in TRANSFORM_SIZES {
+            let input: Vec<i32> = (0..n * n).map(|i| ((i * 37) % 511) as i32 - 255).collect();
+            let rec = inverse(n, &forward(n, &input));
+            for (a, b) in input.iter().zip(&rec) {
+                assert!((*a as f64 - b).abs() < 1e-6, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let input: Vec<i32> = (0..64).map(|i| (i * i % 97) as i32 - 48).collect();
+        let coeffs = forward(8, &input);
+        let e_spatial: f64 = input.iter().map(|&x| (x as f64) * (x as f64)).sum();
+        let e_freq: f64 = coeffs.iter().map(|c| c * c).sum();
+        assert!((e_spatial - e_freq).abs() / e_spatial < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported transform size")]
+    fn rejects_odd_sizes() {
+        forward(6, &[0; 36]);
+    }
+
+    #[test]
+    fn smooth_content_compacts_into_low_frequencies() {
+        // A horizontal ramp: all energy in the first row of coefficients.
+        let mut input = vec![0i32; 64];
+        for r in 0..8 {
+            for c in 0..8 {
+                input[r * 8 + c] = c as i32 * 10;
+            }
+        }
+        let coeffs = forward(8, &input);
+        let low: f64 = coeffs[..8].iter().map(|c| c.abs()).sum();
+        let high: f64 = coeffs[8..].iter().map(|c| c.abs()).sum();
+        assert!(low > 10.0 * high, "low={low} high={high}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_8(input in proptest::collection::vec(-255i32..=255, 64)) {
+            let rec = inverse(8, &forward(8, &input));
+            for (a, b) in input.iter().zip(&rec) {
+                prop_assert!((*a as f64 - b).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_linearity(
+            a in proptest::collection::vec(-128i32..=127, 16),
+            b in proptest::collection::vec(-128i32..=127, 16),
+        ) {
+            let sum: Vec<i32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+            let fa = forward(4, &a);
+            let fb = forward(4, &b);
+            let fsum = forward(4, &sum);
+            for i in 0..16 {
+                prop_assert!((fa[i] + fb[i] - fsum[i]).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types for frame construction and I/O.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced by the `medvt-frame` crate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// A sample buffer did not match the requested plane geometry.
+    BufferSize {
+        /// Required number of samples.
+        expected: usize,
+        /// Provided number of samples.
+        actual: usize,
+    },
+    /// Frame dimensions are unusable (zero or not chroma-subsampling
+    /// compatible).
+    Dimensions {
+        /// Offending width.
+        width: usize,
+        /// Offending height.
+        height: usize,
+        /// Why the dimensions are rejected.
+        reason: &'static str,
+    },
+    /// A bitstream or container header could not be parsed.
+    Parse(String),
+    /// An underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BufferSize { expected, actual } => {
+                write!(f, "buffer holds {actual} samples, plane needs {expected}")
+            }
+            FrameError::Dimensions {
+                width,
+                height,
+                reason,
+            } => write!(f, "invalid dimensions {width}x{height}: {reason}"),
+            FrameError::Parse(msg) => write!(f, "parse error: {msg}"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for FrameError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FrameError::BufferSize {
+            expected: 4,
+            actual: 5,
+        };
+        assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains('5'));
+        let e = FrameError::Dimensions {
+            width: 0,
+            height: 2,
+            reason: "zero width",
+        };
+        assert!(e.to_string().contains("0x2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrameError>();
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        let inner = io::Error::new(io::ErrorKind::Other, "boom");
+        let e = FrameError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

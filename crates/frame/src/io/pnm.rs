@@ -1,0 +1,161 @@
+//! PGM/PPM image output for visual inspection of frames and tilings.
+//!
+//! The experiment harness uses these to regenerate Fig. 1-style images
+//! (frame content, tiling overlays, texture/motion maps).
+
+use crate::{Frame, FrameError, Plane, Rect};
+use std::io::Write;
+use std::path::Path;
+
+/// Writes a luma plane as a binary PGM (P5) image.
+///
+/// # Errors
+///
+/// Returns [`FrameError::Io`] on write failure.
+pub fn write_pgm<W: Write>(mut w: W, plane: &Plane) -> Result<(), FrameError> {
+    write!(w, "P5\n{} {}\n255\n", plane.width(), plane.height())?;
+    w.write_all(plane.samples())?;
+    Ok(())
+}
+
+/// Writes a luma plane as a PGM file at `path`.
+///
+/// # Errors
+///
+/// Returns [`FrameError::Io`] on file-system failure.
+pub fn save_pgm<P: AsRef<Path>>(path: P, plane: &Plane) -> Result<(), FrameError> {
+    let f = std::fs::File::create(path)?;
+    write_pgm(std::io::BufWriter::new(f), plane)
+}
+
+/// Converts a 4:2:0 frame to interleaved RGB24 using BT.601.
+fn frame_to_rgb(frame: &Frame) -> Vec<u8> {
+    let w = frame.y().width();
+    let h = frame.y().height();
+    let mut rgb = Vec::with_capacity(w * h * 3);
+    for row in 0..h {
+        for col in 0..w {
+            let y = frame.y().get(col, row) as f64;
+            let u = frame.u().get_clamped(col as isize / 2, row as isize / 2) as f64 - 128.0;
+            let v = frame.v().get_clamped(col as isize / 2, row as isize / 2) as f64 - 128.0;
+            let r = y + 1.402 * v;
+            let g = y - 0.344_136 * u - 0.714_136 * v;
+            let b = y + 1.772 * u;
+            rgb.push(r.clamp(0.0, 255.0) as u8);
+            rgb.push(g.clamp(0.0, 255.0) as u8);
+            rgb.push(b.clamp(0.0, 255.0) as u8);
+        }
+    }
+    rgb
+}
+
+/// Writes a frame as a binary PPM (P6) image.
+///
+/// # Errors
+///
+/// Returns [`FrameError::Io`] on write failure.
+pub fn write_ppm<W: Write>(mut w: W, frame: &Frame) -> Result<(), FrameError> {
+    let wpx = frame.y().width();
+    let hpx = frame.y().height();
+    write!(w, "P6\n{wpx} {hpx}\n255\n")?;
+    w.write_all(&frame_to_rgb(frame))?;
+    Ok(())
+}
+
+/// Writes a frame as a PPM file at `path`.
+///
+/// # Errors
+///
+/// Returns [`FrameError::Io`] on file-system failure.
+pub fn save_ppm<P: AsRef<Path>>(path: P, frame: &Frame) -> Result<(), FrameError> {
+    let f = std::fs::File::create(path)?;
+    write_ppm(std::io::BufWriter::new(f), frame)
+}
+
+/// Draws 1-sample-wide rectangle outlines into a copy of `plane`, used
+/// to visualize tile structures (Fig. 1 / Fig. 3 style).
+pub fn overlay_rects(plane: &Plane, rects: &[Rect], value: u8) -> Plane {
+    let mut out = plane.clone();
+    let bounds = out.bounds();
+    for r in rects {
+        let r = r.clamped_to(&bounds);
+        if r.is_empty() {
+            continue;
+        }
+        for col in r.x..r.right() {
+            out.set(col, r.y, value);
+            out.set(col, r.bottom() - 1, value);
+        }
+        for row in r.y..r.bottom() {
+            out.set(r.x, row, value);
+            out.set(r.right() - 1, row, value);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Resolution;
+
+    #[test]
+    fn pgm_header_and_payload() {
+        let p = Plane::filled(4, 2, 9);
+        let mut buf = Vec::new();
+        write_pgm(&mut buf, &p).unwrap();
+        let header = b"P5\n4 2\n255\n";
+        assert_eq!(&buf[..header.len()], header);
+        assert_eq!(buf.len(), header.len() + 8);
+        assert!(buf[header.len()..].iter().all(|&b| b == 9));
+    }
+
+    #[test]
+    fn ppm_has_rgb_payload() {
+        let f = Frame::flat(Resolution::new(4, 2), 128);
+        let mut buf = Vec::new();
+        write_ppm(&mut buf, &f).unwrap();
+        let header = b"P6\n4 2\n255\n";
+        assert_eq!(&buf[..header.len()], header);
+        assert_eq!(buf.len(), header.len() + 4 * 2 * 3);
+    }
+
+    #[test]
+    fn neutral_chroma_yields_gray() {
+        let f = Frame::flat(Resolution::new(2, 2), 100);
+        let rgb = frame_to_rgb(&f);
+        // With u=v=128 the RGB triplet equals the luma.
+        assert_eq!(&rgb[0..3], &[100, 100, 100]);
+    }
+
+    #[test]
+    fn overlay_draws_borders_only() {
+        let p = Plane::new(8, 8);
+        let out = overlay_rects(&p, &[Rect::new(2, 2, 4, 4)], 255);
+        assert_eq!(out.get(2, 2), 255);
+        assert_eq!(out.get(5, 2), 255);
+        assert_eq!(out.get(2, 5), 255);
+        // Interior untouched.
+        assert_eq!(out.get(3, 3), 0);
+        // Original not mutated.
+        assert_eq!(p.get(2, 2), 0);
+    }
+
+    #[test]
+    fn overlay_clamps_out_of_bounds_rects() {
+        let p = Plane::new(4, 4);
+        let out = overlay_rects(&p, &[Rect::new(2, 2, 10, 10)], 200);
+        assert_eq!(out.get(3, 3), 200);
+    }
+
+    #[test]
+    fn save_round_trip_via_tempfile() {
+        let dir = std::env::temp_dir().join("medvt_pnm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pgm");
+        save_pgm(&path, &Plane::filled(3, 3, 7)).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P5"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,341 @@
+//! A single 8-bit sample plane (luma or chroma).
+
+use crate::{FrameError, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A rectangular plane of 8-bit samples stored row-major.
+///
+/// Planes are the unit every other crate operates on: the encoder reads
+/// and reconstructs planes, motion search matches blocks between planes,
+/// and the content analyzer computes statistics over plane regions.
+///
+/// # Examples
+///
+/// ```
+/// use medvt_frame::Plane;
+///
+/// let mut p = Plane::filled(16, 16, 128);
+/// p.set(3, 4, 200);
+/// assert_eq!(p.get(3, 4), 200);
+/// assert_eq!(p.get(0, 0), 128);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Plane {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl Plane {
+    /// Creates a zero-filled plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self::filled(width, height, 0)
+    }
+
+    /// Creates a plane filled with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn filled(width: usize, height: usize, value: u8) -> Self {
+        assert!(width > 0 && height > 0, "plane dimensions must be non-zero");
+        Self {
+            width,
+            height,
+            data: vec![value; width * height],
+        }
+    }
+
+    /// Wraps an existing sample buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::BufferSize`] when `data.len() != width * height`.
+    pub fn from_vec(width: usize, height: usize, data: Vec<u8>) -> Result<Self, FrameError> {
+        if data.len() != width * height {
+            return Err(FrameError::BufferSize {
+                expected: width * height,
+                actual: data.len(),
+            });
+        }
+        Ok(Self {
+            width,
+            height,
+            data,
+        })
+    }
+
+    /// Plane width in samples.
+    pub const fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Plane height in samples.
+    pub const fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The rectangle covering the whole plane.
+    pub const fn bounds(&self) -> Rect {
+        Rect::frame(self.width, self.height)
+    }
+
+    /// Borrows the raw sample buffer.
+    pub fn samples(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutably borrows the raw sample buffer.
+    pub fn samples_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Consumes the plane and returns its sample buffer.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Sample at `(col, row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinate is out of bounds.
+    #[inline]
+    pub fn get(&self, col: usize, row: usize) -> u8 {
+        debug_assert!(col < self.width && row < self.height);
+        self.data[row * self.width + col]
+    }
+
+    /// Sample at `(col, row)` with the coordinate clamped to the plane,
+    /// replicating edge samples like HEVC reference-picture padding.
+    #[inline]
+    pub fn get_clamped(&self, col: isize, row: isize) -> u8 {
+        let c = col.clamp(0, self.width as isize - 1) as usize;
+        let r = row.clamp(0, self.height as isize - 1) as usize;
+        self.data[r * self.width + c]
+    }
+
+    /// Writes `value` at `(col, row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinate is out of bounds.
+    #[inline]
+    pub fn set(&mut self, col: usize, row: usize, value: u8) {
+        debug_assert!(col < self.width && row < self.height);
+        self.data[row * self.width + col] = value;
+    }
+
+    /// Borrows one full row of samples.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[u8] {
+        let start = row * self.width;
+        &self.data[start..start + self.width]
+    }
+
+    /// Mutably borrows one full row of samples.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [u8] {
+        let start = row * self.width;
+        &mut self.data[start..start + self.width]
+    }
+
+    /// Fills `rect` (clamped to the plane) with `value`.
+    pub fn fill_rect(&mut self, rect: &Rect, value: u8) {
+        let r = rect.clamped_to(&self.bounds());
+        for row in r.y..r.bottom() {
+            self.row_mut(row)[r.x..r.right()].fill(value);
+        }
+    }
+
+    /// Copies the samples of `rect` into a fresh row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rect` is not fully inside the plane.
+    pub fn copy_rect(&self, rect: &Rect) -> Vec<u8> {
+        assert!(
+            self.bounds().contains_rect(rect),
+            "rect {rect} outside plane {}x{}",
+            self.width,
+            self.height
+        );
+        let mut out = Vec::with_capacity(rect.area());
+        for row in rect.y..rect.bottom() {
+            out.extend_from_slice(&self.row(row)[rect.x..rect.right()]);
+        }
+        out
+    }
+
+    /// Copies a `w x h` block whose top-left corner may lie outside the
+    /// plane; out-of-bounds samples replicate the nearest edge sample.
+    ///
+    /// This is the access pattern of motion compensation with unrestricted
+    /// motion vectors.
+    pub fn copy_block_clamped(&self, x: isize, y: isize, w: usize, h: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(w * h);
+        for row in 0..h as isize {
+            for col in 0..w as isize {
+                out.push(self.get_clamped(x + col, y + row));
+            }
+        }
+        out
+    }
+
+    /// Writes a row-major `rect`-sized buffer into the plane at `rect`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rect` is not fully inside the plane or the buffer size
+    /// does not match `rect.area()`.
+    pub fn write_rect(&mut self, rect: &Rect, samples: &[u8]) {
+        assert!(
+            self.bounds().contains_rect(rect),
+            "rect {rect} outside plane"
+        );
+        assert_eq!(samples.len(), rect.area(), "buffer size mismatch");
+        for (i, row) in (rect.y..rect.bottom()).enumerate() {
+            let src = &samples[i * rect.w..(i + 1) * rect.w];
+            self.row_mut(row)[rect.x..rect.right()].copy_from_slice(src);
+        }
+    }
+
+    /// Iterates over the samples of `rect` in raster order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rect` is not fully inside the plane.
+    pub fn rect_samples<'a>(&'a self, rect: &Rect) -> impl Iterator<Item = u8> + 'a {
+        assert!(
+            self.bounds().contains_rect(rect),
+            "rect {rect} outside plane"
+        );
+        let rect = *rect;
+        (rect.y..rect.bottom()).flat_map(move |row| {
+            self.row(row)[rect.x..rect.right()].iter().copied()
+        })
+    }
+
+    /// Downsamples by 2x in both dimensions via 2x2 box averaging, used to
+    /// derive chroma planes and coarse analysis pyramids.
+    pub fn halved(&self) -> Plane {
+        let w = (self.width / 2).max(1);
+        let h = (self.height / 2).max(1);
+        let mut out = Plane::new(w, h);
+        for row in 0..h {
+            for col in 0..w {
+                let x = col * 2;
+                let y = row * 2;
+                let a = self.get(x, y) as u16;
+                let b = self.get_clamped(x as isize + 1, y as isize) as u16;
+                let c = self.get_clamped(x as isize, y as isize + 1) as u16;
+                let d = self.get_clamped(x as isize + 1, y as isize + 1) as u16;
+                out.set(col, row, ((a + b + c + d + 2) / 4) as u8);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_and_get_set() {
+        let mut p = Plane::filled(4, 3, 7);
+        assert_eq!(p.width(), 4);
+        assert_eq!(p.height(), 3);
+        assert!(p.samples().iter().all(|&s| s == 7));
+        p.set(3, 2, 99);
+        assert_eq!(p.get(3, 2), 99);
+    }
+
+    #[test]
+    fn from_vec_validates_len() {
+        assert!(Plane::from_vec(2, 2, vec![0; 4]).is_ok());
+        let err = Plane::from_vec(2, 2, vec![0; 5]).unwrap_err();
+        assert!(matches!(err, FrameError::BufferSize { expected: 4, actual: 5 }));
+    }
+
+    #[test]
+    fn get_clamped_replicates_edges() {
+        let mut p = Plane::new(2, 2);
+        p.set(0, 0, 10);
+        p.set(1, 0, 20);
+        p.set(0, 1, 30);
+        p.set(1, 1, 40);
+        assert_eq!(p.get_clamped(-5, -5), 10);
+        assert_eq!(p.get_clamped(9, -1), 20);
+        assert_eq!(p.get_clamped(-1, 9), 30);
+        assert_eq!(p.get_clamped(9, 9), 40);
+    }
+
+    #[test]
+    fn fill_and_copy_rect_round_trip() {
+        let mut p = Plane::new(8, 8);
+        let r = Rect::new(2, 3, 4, 2);
+        p.fill_rect(&r, 55);
+        let buf = p.copy_rect(&r);
+        assert_eq!(buf, vec![55; 8]);
+        // Outside the rect untouched.
+        assert_eq!(p.get(1, 3), 0);
+        assert_eq!(p.get(6, 3), 0);
+    }
+
+    #[test]
+    fn write_rect_round_trip() {
+        let mut p = Plane::new(6, 6);
+        let r = Rect::new(1, 1, 3, 2);
+        let buf: Vec<u8> = (0..6).collect();
+        p.write_rect(&r, &buf);
+        assert_eq!(p.copy_rect(&r), buf);
+        assert_eq!(p.get(0, 0), 0);
+    }
+
+    #[test]
+    fn copy_block_clamped_handles_negative_origin() {
+        let mut p = Plane::new(3, 3);
+        p.set(0, 0, 42);
+        let block = p.copy_block_clamped(-2, -2, 2, 2);
+        assert_eq!(block, vec![42; 4]);
+    }
+
+    #[test]
+    fn rect_samples_matches_copy_rect() {
+        let mut p = Plane::new(5, 5);
+        for (i, s) in p.samples_mut().iter_mut().enumerate() {
+            *s = i as u8;
+        }
+        let r = Rect::new(1, 2, 3, 2);
+        let collected: Vec<u8> = p.rect_samples(&r).collect();
+        assert_eq!(collected, p.copy_rect(&r));
+    }
+
+    #[test]
+    fn halved_averages_quads() {
+        let p = Plane::from_vec(2, 2, vec![10, 20, 30, 40]).unwrap();
+        let h = p.halved();
+        assert_eq!(h.width(), 1);
+        assert_eq!(h.height(), 1);
+        assert_eq!(h.get(0, 0), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        Plane::new(0, 4);
+    }
+
+    #[test]
+    fn fill_rect_clamps_to_plane() {
+        let mut p = Plane::new(4, 4);
+        p.fill_rect(&Rect::new(2, 2, 10, 10), 9);
+        assert_eq!(p.get(3, 3), 9);
+        assert_eq!(p.get(1, 1), 0);
+    }
+}

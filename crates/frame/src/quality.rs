@@ -1,0 +1,241 @@
+//! Objective quality metrics: MSE, PSNR and SSIM.
+//!
+//! The paper's quality constraint loop (Algorithm 1) and all of Table I /
+//! Table II report PSNR, so these functions are on the hot path of both
+//! the QP controller and the experiment harness.
+
+use crate::{Frame, Plane, Rect};
+
+/// Mean squared error between the same region of two planes.
+///
+/// # Panics
+///
+/// Panics when the planes have different dimensions or `rect` does not
+/// fit inside them, or when `rect` is empty.
+pub fn region_mse(a: &Plane, b: &Plane, rect: &Rect) -> f64 {
+    assert_eq!(a.width(), b.width(), "plane widths differ");
+    assert_eq!(a.height(), b.height(), "plane heights differ");
+    assert!(!rect.is_empty(), "mse over empty rect");
+    assert!(a.bounds().contains_rect(rect), "rect {rect} outside plane");
+    let mut acc = 0u64;
+    for row in rect.y..rect.bottom() {
+        let ra = &a.row(row)[rect.x..rect.right()];
+        let rb = &b.row(row)[rect.x..rect.right()];
+        for (&sa, &sb) in ra.iter().zip(rb) {
+            let d = sa as i64 - sb as i64;
+            acc += (d * d) as u64;
+        }
+    }
+    acc as f64 / rect.area() as f64
+}
+
+/// Mean squared error over two full planes.
+///
+/// # Panics
+///
+/// Panics when the planes have different dimensions.
+pub fn plane_mse(a: &Plane, b: &Plane) -> f64 {
+    region_mse(a, b, &a.bounds())
+}
+
+/// Converts an MSE to 8-bit PSNR in dB.
+///
+/// Identical inputs (MSE = 0) return [`f64::INFINITY`].
+pub fn mse_to_psnr(mse: f64) -> f64 {
+    if mse <= 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+/// PSNR between the same region of two planes, in dB.
+///
+/// # Panics
+///
+/// See [`region_mse`].
+pub fn region_psnr(a: &Plane, b: &Plane, rect: &Rect) -> f64 {
+    mse_to_psnr(region_mse(a, b, rect))
+}
+
+/// Luma PSNR between two full planes, in dB.
+///
+/// # Panics
+///
+/// Panics when the planes have different dimensions.
+pub fn plane_psnr(a: &Plane, b: &Plane) -> f64 {
+    mse_to_psnr(plane_mse(a, b))
+}
+
+/// Combined YUV PSNR with the conventional 6:1:1 plane weighting.
+///
+/// # Panics
+///
+/// Panics when the frames have different resolutions.
+pub fn frame_psnr_weighted(a: &Frame, b: &Frame) -> f64 {
+    let y = plane_mse(a.y(), b.y());
+    let u = plane_mse(a.u(), b.u());
+    let v = plane_mse(a.v(), b.v());
+    mse_to_psnr((6.0 * y + u + v) / 8.0)
+}
+
+/// Luma-only frame PSNR — what the paper's tables report.
+///
+/// # Panics
+///
+/// Panics when the frames have different resolutions.
+pub fn frame_psnr(a: &Frame, b: &Frame) -> f64 {
+    plane_psnr(a.y(), b.y())
+}
+
+/// Structural similarity (SSIM) over a plane region using the standard
+/// constants and a per-region (not sliding-window) formulation.
+///
+/// This is an extension beyond the paper (which reports PSNR only) used
+/// by the extended quality benches.
+///
+/// # Panics
+///
+/// See [`region_mse`].
+pub fn region_ssim(a: &Plane, b: &Plane, rect: &Rect) -> f64 {
+    assert!(!rect.is_empty(), "ssim over empty rect");
+    assert!(a.bounds().contains_rect(rect), "rect {rect} outside plane");
+    let n = rect.area() as f64;
+    let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0f64, 0f64, 0f64, 0f64, 0f64);
+    for row in rect.y..rect.bottom() {
+        let ra = &a.row(row)[rect.x..rect.right()];
+        let rb = &b.row(row)[rect.x..rect.right()];
+        for (&xa, &xb) in ra.iter().zip(rb) {
+            let xa = xa as f64;
+            let xb = xb as f64;
+            sa += xa;
+            sb += xb;
+            saa += xa * xa;
+            sbb += xb * xb;
+            sab += xa * xb;
+        }
+    }
+    let mu_a = sa / n;
+    let mu_b = sb / n;
+    let var_a = (saa / n - mu_a * mu_a).max(0.0);
+    let var_b = (sbb / n - mu_b * mu_b).max(0.0);
+    let cov = sab / n - mu_a * mu_b;
+    const C1: f64 = (0.01 * 255.0) * (0.01 * 255.0);
+    const C2: f64 = (0.03 * 255.0) * (0.03 * 255.0);
+    ((2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2))
+        / ((mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2))
+}
+
+/// Mean SSIM over 8x8 windows of the whole luma plane.
+///
+/// # Panics
+///
+/// Panics when the planes have different dimensions.
+pub fn plane_ssim(a: &Plane, b: &Plane) -> f64 {
+    assert_eq!(a.width(), b.width());
+    assert_eq!(a.height(), b.height());
+    let mut total = 0.0;
+    let mut count = 0usize;
+    let step = 8;
+    let mut y = 0;
+    while y < a.height() {
+        let h = step.min(a.height() - y);
+        let mut x = 0;
+        while x < a.width() {
+            let w = step.min(a.width() - x);
+            total += region_ssim(a, b, &Rect::new(x, y, w, h));
+            count += 1;
+            x += step;
+        }
+        y += step;
+    }
+    total / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Resolution;
+
+    #[test]
+    fn identical_planes_have_infinite_psnr() {
+        let p = Plane::filled(16, 16, 80);
+        assert_eq!(plane_mse(&p, &p), 0.0);
+        assert!(plane_psnr(&p, &p).is_infinite());
+    }
+
+    #[test]
+    fn known_mse_value() {
+        let a = Plane::filled(4, 4, 100);
+        let b = Plane::filled(4, 4, 110);
+        assert_eq!(plane_mse(&a, &b), 100.0);
+        let psnr = plane_psnr(&a, &b);
+        // 10*log10(65025/100) = 28.13 dB.
+        assert!((psnr - 28.131).abs() < 0.01, "psnr={psnr}");
+    }
+
+    #[test]
+    fn psnr_decreases_with_distortion() {
+        let a = Plane::filled(8, 8, 100);
+        let b = Plane::filled(8, 8, 105);
+        let c = Plane::filled(8, 8, 120);
+        assert!(plane_psnr(&a, &b) > plane_psnr(&a, &c));
+    }
+
+    #[test]
+    fn region_mse_only_counts_region() {
+        let a = Plane::filled(8, 8, 0);
+        let mut b = Plane::filled(8, 8, 0);
+        b.fill_rect(&Rect::new(0, 0, 4, 8), 10);
+        // Left half differs by 10, right half identical.
+        assert_eq!(region_mse(&a, &b, &Rect::new(4, 0, 4, 8)), 0.0);
+        assert_eq!(region_mse(&a, &b, &Rect::new(0, 0, 4, 8)), 100.0);
+        assert_eq!(plane_mse(&a, &b), 50.0);
+    }
+
+    #[test]
+    fn frame_psnr_uses_luma() {
+        let res = Resolution::new(16, 16);
+        let a = Frame::flat(res, 100);
+        let mut b = Frame::flat(res, 100);
+        // Chroma-only distortion leaves luma PSNR infinite.
+        b.u_mut().fill_rect(&Rect::frame(8, 8), 10);
+        assert!(frame_psnr(&a, &b).is_infinite());
+        assert!(frame_psnr_weighted(&a, &b).is_finite());
+    }
+
+    #[test]
+    fn ssim_is_one_for_identical_textured_content() {
+        let mut p = Plane::new(16, 16);
+        for (i, s) in p.samples_mut().iter_mut().enumerate() {
+            *s = (i * 7 % 251) as u8;
+        }
+        let s = plane_ssim(&p, &p);
+        assert!((s - 1.0).abs() < 1e-9, "ssim={s}");
+    }
+
+    #[test]
+    fn ssim_penalizes_structure_loss() {
+        let mut textured = Plane::new(16, 16);
+        for (i, s) in textured.samples_mut().iter_mut().enumerate() {
+            *s = if i % 2 == 0 { 60 } else { 190 };
+        }
+        let flat = Plane::filled(16, 16, 125);
+        let s = plane_ssim(&textured, &flat);
+        assert!(s < 0.5, "flattening texture should tank ssim, got {s}");
+    }
+
+    #[test]
+    fn mse_to_psnr_monotone() {
+        assert!(mse_to_psnr(1.0) > mse_to_psnr(2.0));
+        assert!(mse_to_psnr(0.0).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn mismatched_planes_panic() {
+        let a = Plane::new(4, 4);
+        let b = Plane::new(8, 4);
+        plane_mse(&a, &b);
+    }
+}

@@ -1,0 +1,302 @@
+//! Axis-aligned integer rectangles used for tiles, blocks and search areas.
+//!
+//! All coordinates are in luma samples with the origin at the top-left
+//! corner of the frame. A [`Rect`] is half-open: it covers columns
+//! `x..x + w` and rows `y..y + h`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned rectangle in frame coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use medvt_frame::Rect;
+///
+/// let tile = Rect::new(64, 0, 128, 96);
+/// assert_eq!(tile.area(), 128 * 96);
+/// assert!(tile.contains(64, 95));
+/// assert!(!tile.contains(192, 0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// Column of the left edge.
+    pub x: usize,
+    /// Row of the top edge.
+    pub y: usize,
+    /// Width in samples.
+    pub w: usize,
+    /// Height in samples.
+    pub h: usize,
+}
+
+impl Rect {
+    /// Creates a rectangle from its top-left corner and size.
+    pub const fn new(x: usize, y: usize, w: usize, h: usize) -> Self {
+        Self { x, y, w, h }
+    }
+
+    /// A rectangle covering a full `width x height` frame.
+    pub const fn frame(width: usize, height: usize) -> Self {
+        Self::new(0, 0, width, height)
+    }
+
+    /// Number of samples covered.
+    pub const fn area(&self) -> usize {
+        self.w * self.h
+    }
+
+    /// `true` when the rectangle covers no samples.
+    pub const fn is_empty(&self) -> bool {
+        self.w == 0 || self.h == 0
+    }
+
+    /// Column one past the right edge.
+    pub const fn right(&self) -> usize {
+        self.x + self.w
+    }
+
+    /// Row one past the bottom edge.
+    pub const fn bottom(&self) -> usize {
+        self.y + self.h
+    }
+
+    /// Sample coordinates of the center (rounded down).
+    pub const fn center(&self) -> (usize, usize) {
+        (self.x + self.w / 2, self.y + self.h / 2)
+    }
+
+    /// `true` when `(col, row)` lies inside the rectangle.
+    pub const fn contains(&self, col: usize, row: usize) -> bool {
+        col >= self.x && col < self.x + self.w && row >= self.y && row < self.y + self.h
+    }
+
+    /// `true` when `other` lies fully inside `self`.
+    pub const fn contains_rect(&self, other: &Rect) -> bool {
+        other.x >= self.x
+            && other.y >= self.y
+            && other.x + other.w <= self.x + self.w
+            && other.y + other.h <= self.y + self.h
+    }
+
+    /// `true` when the two rectangles share at least one sample.
+    pub const fn intersects(&self, other: &Rect) -> bool {
+        self.x < other.x + other.w
+            && other.x < self.x + self.w
+            && self.y < other.y + other.h
+            && other.y < self.y + self.h
+    }
+
+    /// The overlapping region of two rectangles, if any.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use medvt_frame::Rect;
+    ///
+    /// let a = Rect::new(0, 0, 10, 10);
+    /// let b = Rect::new(5, 5, 10, 10);
+    /// assert_eq!(a.intersection(&b), Some(Rect::new(5, 5, 5, 5)));
+    /// ```
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        let x = self.x.max(other.x);
+        let y = self.y.max(other.y);
+        let right = self.right().min(other.right());
+        let bottom = self.bottom().min(other.bottom());
+        Some(Rect::new(x, y, right - x, bottom - y))
+    }
+
+    /// Clamps the rectangle so it fits inside `bounds`.
+    ///
+    /// Returns an empty rectangle at the clamped origin when there is no
+    /// overlap at all.
+    pub fn clamped_to(&self, bounds: &Rect) -> Rect {
+        self.intersection(bounds).unwrap_or(Rect::new(
+            self.x.min(bounds.right()),
+            self.y.min(bounds.bottom()),
+            0,
+            0,
+        ))
+    }
+
+    /// Splits the rectangle into `cols x rows` uniform cells.
+    ///
+    /// Remainder samples are distributed one-per-cell from the first
+    /// column/row, so cell sizes differ by at most one sample, mirroring
+    /// HEVC uniform tile spacing.
+    ///
+    /// Cells are returned in raster order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` or `rows` is zero, or exceeds the rectangle size.
+    pub fn split_uniform(&self, cols: usize, rows: usize) -> Vec<Rect> {
+        assert!(cols > 0 && rows > 0, "tile grid must be non-empty");
+        assert!(
+            cols <= self.w && rows <= self.h,
+            "tile grid {}x{} exceeds rect {}x{}",
+            cols,
+            rows,
+            self.w,
+            self.h
+        );
+        let xs = split_axis(self.x, self.w, cols);
+        let ys = split_axis(self.y, self.h, rows);
+        let mut cells = Vec::with_capacity(cols * rows);
+        for (y0, hh) in &ys {
+            for (x0, ww) in &xs {
+                cells.push(Rect::new(*x0, *y0, *ww, *hh));
+            }
+        }
+        cells
+    }
+
+    /// Grows the rectangle by `dw` columns to the right and `dh` rows
+    /// down, clamped so the result stays inside `bounds`.
+    pub fn grown(&self, dw: usize, dh: usize, bounds: &Rect) -> Rect {
+        let w = (self.w + dw).min(bounds.right().saturating_sub(self.x));
+        let h = (self.h + dh).min(bounds.bottom().saturating_sub(self.y));
+        Rect::new(self.x, self.y, w, h)
+    }
+
+    /// Iterates over all `(col, row)` sample coordinates in raster order.
+    pub fn samples(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let this = *self;
+        (this.y..this.bottom()).flat_map(move |row| (this.x..this.right()).map(move |col| (col, row)))
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}@({},{})", self.w, self.h, self.x, self.y)
+    }
+}
+
+/// Splits an axis of length `len` starting at `origin` into `n` spans whose
+/// lengths differ by at most one. Earlier spans take the remainder, like
+/// HEVC `uniform_spacing_flag` tiles.
+fn split_axis(origin: usize, len: usize, n: usize) -> Vec<(usize, usize)> {
+    let base = len / n;
+    let extra = len % n;
+    let mut spans = Vec::with_capacity(n);
+    let mut pos = origin;
+    for i in 0..n {
+        let span = base + usize::from(i < extra);
+        spans.push((pos, span));
+        pos += span;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_edges() {
+        let r = Rect::new(2, 3, 4, 5);
+        assert_eq!(r.area(), 20);
+        assert_eq!(r.right(), 6);
+        assert_eq!(r.bottom(), 8);
+        assert_eq!(r.center(), (4, 5));
+        assert!(!r.is_empty());
+        assert!(Rect::new(0, 0, 0, 7).is_empty());
+    }
+
+    #[test]
+    fn containment() {
+        let r = Rect::new(10, 10, 10, 10);
+        assert!(r.contains(10, 10));
+        assert!(r.contains(19, 19));
+        assert!(!r.contains(20, 10));
+        assert!(!r.contains(10, 20));
+        assert!(r.contains_rect(&Rect::new(12, 12, 8, 8)));
+        assert!(!r.contains_rect(&Rect::new(12, 12, 9, 8)));
+    }
+
+    #[test]
+    fn intersection_basic() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 10, 10);
+        assert_eq!(a.intersection(&b), Some(Rect::new(5, 5, 5, 5)));
+        let c = Rect::new(10, 0, 5, 5);
+        assert_eq!(a.intersection(&c), None);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn intersection_is_commutative() {
+        let a = Rect::new(3, 1, 17, 9);
+        let b = Rect::new(7, 4, 30, 3);
+        assert_eq!(a.intersection(&b), b.intersection(&a));
+    }
+
+    #[test]
+    fn split_uniform_covers_exactly() {
+        let r = Rect::frame(640, 480);
+        for (cols, rows) in [(1, 1), (2, 2), (5, 3), (7, 4), (11, 5)] {
+            let cells = r.split_uniform(cols, rows);
+            assert_eq!(cells.len(), cols * rows);
+            let total: usize = cells.iter().map(Rect::area).sum();
+            assert_eq!(total, r.area(), "{}x{} split loses samples", cols, rows);
+            // Non-overlap: pairwise disjoint.
+            for (i, a) in cells.iter().enumerate() {
+                for b in cells.iter().skip(i + 1) {
+                    assert!(!a.intersects(b), "{a} overlaps {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_uniform_distributes_remainder() {
+        // 10 wide into 3 cols: widths 4,3,3.
+        let r = Rect::frame(10, 6);
+        let cells = r.split_uniform(3, 1);
+        assert_eq!(cells[0].w, 4);
+        assert_eq!(cells[1].w, 3);
+        assert_eq!(cells[2].w, 3);
+        assert_eq!(cells[0].x, 0);
+        assert_eq!(cells[1].x, 4);
+        assert_eq!(cells[2].x, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn split_uniform_rejects_zero() {
+        Rect::frame(8, 8).split_uniform(0, 1);
+    }
+
+    #[test]
+    fn grown_respects_bounds() {
+        let bounds = Rect::frame(100, 100);
+        let r = Rect::new(80, 90, 10, 5);
+        let g = r.grown(50, 50, &bounds);
+        assert_eq!(g, Rect::new(80, 90, 20, 10));
+    }
+
+    #[test]
+    fn clamped_to_bounds() {
+        let bounds = Rect::frame(100, 100);
+        let r = Rect::new(90, 90, 20, 20);
+        assert_eq!(r.clamped_to(&bounds), Rect::new(90, 90, 10, 10));
+        let outside = Rect::new(200, 200, 5, 5);
+        assert!(outside.clamped_to(&bounds).is_empty());
+    }
+
+    #[test]
+    fn samples_iterates_raster_order() {
+        let r = Rect::new(1, 1, 2, 2);
+        let pts: Vec<_> = r.samples().collect();
+        assert_eq!(pts, vec![(1, 1), (2, 1), (1, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Rect::new(1, 2, 3, 4).to_string(), "3x4@(1,2)");
+    }
+}

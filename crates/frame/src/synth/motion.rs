@@ -1,0 +1,281 @@
+//! Time-varying view transforms modelling how specialists move
+//! bio-medical video during diagnosis.
+//!
+//! Paper §I observes that clinicians rotate/pan a study around an area
+//! of interest, so *whole-frame* coherent motion dominates: every tile
+//! moves in the same direction. [`MotionPattern`] reproduces those
+//! trajectories; [`ViewTransform`] is the sampled affine view at one
+//! frame instant.
+
+use serde::{Deserialize, Serialize};
+
+/// The camera/view trajectory of a phantom video.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum MotionPattern {
+    /// No motion at all (still study).
+    Still,
+    /// Constant-velocity pan in samples per frame. The paper's Fig. 1
+    /// upper pair pans right; the lower pair pans down.
+    Pan {
+        /// Horizontal velocity in samples/frame (positive = content
+        /// moves right).
+        dx: f64,
+        /// Vertical velocity in samples/frame (positive = down).
+        dy: f64,
+    },
+    /// Rotation about the frame center at a constant angular rate,
+    /// as when rotating a volume around an axis of interest.
+    Rotate {
+        /// Angular velocity in degrees per frame.
+        deg_per_frame: f64,
+    },
+    /// Periodic breathing/pulsation: isotropic scale oscillation.
+    Breathe {
+        /// Peak scale deviation (e.g. `0.03` = ±3%).
+        amplitude: f64,
+        /// Period in frames (e.g. 96 = 4 s at 24 fps).
+        period: f64,
+    },
+    /// Pan for `move_frames`, then hold still, then pan again —
+    /// the inspect-then-move rhythm of a diagnostic session.
+    PanPause {
+        /// Horizontal velocity while moving.
+        dx: f64,
+        /// Vertical velocity while moving.
+        dy: f64,
+        /// Frames of motion per cycle.
+        move_frames: u32,
+        /// Frames of stillness per cycle.
+        pause_frames: u32,
+    },
+}
+
+impl MotionPattern {
+    /// Samples the view transform at frame `t`.
+    pub fn at(&self, t: usize) -> ViewTransform {
+        let t = t as f64;
+        match *self {
+            MotionPattern::Still => ViewTransform::IDENTITY,
+            MotionPattern::Pan { dx, dy } => ViewTransform {
+                tx: dx * t,
+                ty: dy * t,
+                ..ViewTransform::IDENTITY
+            },
+            MotionPattern::Rotate { deg_per_frame } => ViewTransform {
+                angle_rad: deg_per_frame.to_radians() * t,
+                ..ViewTransform::IDENTITY
+            },
+            MotionPattern::Breathe { amplitude, period } => ViewTransform {
+                scale: 1.0 + amplitude * (t * std::f64::consts::TAU / period).sin(),
+                ..ViewTransform::IDENTITY
+            },
+            MotionPattern::PanPause {
+                dx,
+                dy,
+                move_frames,
+                pause_frames,
+            } => {
+                let cycle = (move_frames + pause_frames) as f64;
+                let full_cycles = (t / cycle).floor();
+                let phase = t - full_cycles * cycle;
+                let moved = full_cycles * move_frames as f64 + phase.min(move_frames as f64);
+                ViewTransform {
+                    tx: dx * moved,
+                    ty: dy * moved,
+                    ..ViewTransform::IDENTITY
+                }
+            }
+        }
+    }
+
+    /// `true` when the pattern is actually moving at frame `t`
+    /// (i.e. the transform differs from the one at `t + 1`).
+    pub fn is_moving_at(&self, t: usize) -> bool {
+        self.at(t) != self.at(t + 1)
+    }
+
+    /// The dominant translation direction over the first GOP, as a
+    /// coarse `(sign_x, sign_y)` pair. Used by tests to check the
+    /// "whole frame moves the same way" premise.
+    pub fn dominant_direction(&self, gop_len: usize) -> (i8, i8) {
+        let a = self.at(0);
+        let b = self.at(gop_len.max(1));
+        let sx = (b.tx - a.tx).partial_cmp(&0.0).map_or(0, |o| match o {
+            std::cmp::Ordering::Greater => 1,
+            std::cmp::Ordering::Less => -1,
+            std::cmp::Ordering::Equal => 0,
+        });
+        let sy = (b.ty - a.ty).partial_cmp(&0.0).map_or(0, |o| match o {
+            std::cmp::Ordering::Greater => 1,
+            std::cmp::Ordering::Less => -1,
+            std::cmp::Ordering::Equal => 0,
+        });
+        (sx, sy)
+    }
+}
+
+impl Default for MotionPattern {
+    fn default() -> Self {
+        MotionPattern::Still
+    }
+}
+
+/// Affine view parameters at one frame instant: rotation about the frame
+/// center, isotropic scale, then translation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ViewTransform {
+    /// Rotation angle in radians (counter-clockwise).
+    pub angle_rad: f64,
+    /// Isotropic scale factor.
+    pub scale: f64,
+    /// Horizontal translation of the *content* in samples.
+    pub tx: f64,
+    /// Vertical translation of the *content* in samples.
+    pub ty: f64,
+}
+
+impl ViewTransform {
+    /// The identity view.
+    pub const IDENTITY: ViewTransform = ViewTransform {
+        angle_rad: 0.0,
+        scale: 1.0,
+        tx: 0.0,
+        ty: 0.0,
+    };
+
+    /// Maps an *output* pixel back to *canvas* coordinates.
+    ///
+    /// `(x, y)` is the output sample, `(cx, cy)` the frame center. The
+    /// content is rotated/scaled about the center and shifted by
+    /// `(tx, ty)`, so the source position applies the inverse.
+    #[inline]
+    pub fn source_of(&self, x: f64, y: f64, cx: f64, cy: f64) -> (f64, f64) {
+        // Undo translation first, then rotate/scale back about center.
+        let px = x - self.tx - cx;
+        let py = y - self.ty - cy;
+        let (sin, cos) = (-self.angle_rad).sin_cos();
+        let inv_s = 1.0 / self.scale;
+        let sx = (px * cos - py * sin) * inv_s + cx;
+        let sy = (px * sin + py * cos) * inv_s + cy;
+        (sx, sy)
+    }
+}
+
+impl Default for ViewTransform {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn still_is_identity_forever() {
+        let p = MotionPattern::Still;
+        assert_eq!(p.at(0), ViewTransform::IDENTITY);
+        assert_eq!(p.at(1000), ViewTransform::IDENTITY);
+        assert!(!p.is_moving_at(5));
+    }
+
+    #[test]
+    fn pan_accumulates_linearly() {
+        let p = MotionPattern::Pan { dx: 1.5, dy: -0.5 };
+        let t10 = p.at(10);
+        assert!((t10.tx - 15.0).abs() < 1e-12);
+        assert!((t10.ty + 5.0).abs() < 1e-12);
+        assert!(p.is_moving_at(0));
+        assert_eq!(p.dominant_direction(8), (1, -1));
+    }
+
+    #[test]
+    fn rotate_accumulates_angle() {
+        let p = MotionPattern::Rotate { deg_per_frame: 0.5 };
+        let t = p.at(24);
+        assert!((t.angle_rad - 12f64.to_radians()).abs() < 1e-12);
+        assert!(p.is_moving_at(3));
+    }
+
+    #[test]
+    fn breathe_is_periodic() {
+        let p = MotionPattern::Breathe {
+            amplitude: 0.05,
+            period: 48.0,
+        };
+        let a = p.at(0);
+        let b = p.at(48);
+        assert!((a.scale - b.scale).abs() < 1e-9);
+        let quarter = p.at(12);
+        assert!((quarter.scale - 1.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pan_pause_holds_during_pause() {
+        let p = MotionPattern::PanPause {
+            dx: 2.0,
+            dy: 0.0,
+            move_frames: 10,
+            pause_frames: 5,
+        };
+        // Frames 10..15 are paused at tx = 20.
+        assert!((p.at(10).tx - 20.0).abs() < 1e-12);
+        assert!((p.at(14).tx - 20.0).abs() < 1e-12);
+        assert!(!p.is_moving_at(12));
+        // Motion resumes at 15.
+        assert!((p.at(16).tx - 22.0).abs() < 1e-12);
+        assert!(p.is_moving_at(15));
+        // Second cycle accumulates on top of the first.
+        assert!((p.at(25).tx - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn source_of_inverts_pure_translation() {
+        let t = ViewTransform {
+            tx: 3.0,
+            ty: -2.0,
+            ..ViewTransform::IDENTITY
+        };
+        let (sx, sy) = t.source_of(10.0, 10.0, 50.0, 50.0);
+        assert!((sx - 7.0).abs() < 1e-12);
+        assert!((sy - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn source_of_keeps_center_fixed_under_rotation() {
+        let t = ViewTransform {
+            angle_rad: 0.7,
+            ..ViewTransform::IDENTITY
+        };
+        let (sx, sy) = t.source_of(50.0, 50.0, 50.0, 50.0);
+        assert!((sx - 50.0).abs() < 1e-9);
+        assert!((sy - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn source_of_rotation_round_trip() {
+        // Rotating forward then sampling backward recovers the point.
+        let fwd = ViewTransform {
+            angle_rad: 0.3,
+            scale: 1.1,
+            tx: 2.0,
+            ty: 1.0,
+        };
+        let (cx, cy) = (64.0, 48.0);
+        // Forward-map a canvas point p to output q manually…
+        let (px, py) = (70.0, 40.0);
+        let (sin, cos) = fwd.angle_rad.sin_cos();
+        let qx = ((px - cx) * cos - (py - cy) * sin) * fwd.scale + cx + fwd.tx;
+        let qy = ((px - cx) * sin + (py - cy) * cos) * fwd.scale + cy + fwd.ty;
+        // …then source_of must map q back to p.
+        let (rx, ry) = fwd.source_of(qx, qy, cx, cy);
+        assert!((rx - px).abs() < 1e-9, "rx={rx}");
+        assert!((ry - py).abs() < 1e-9, "ry={ry}");
+    }
+
+    #[test]
+    fn default_pattern_is_still() {
+        assert_eq!(MotionPattern::default(), MotionPattern::Still);
+    }
+}

@@ -1,0 +1,167 @@
+//! Deterministic lattice value-noise used to texture phantom anatomy.
+//!
+//! The generator must be reproducible across platforms and cheap enough
+//! to texture a canvas once per video, so it uses an integer hash over
+//! lattice points with bilinear interpolation and octave stacking.
+
+/// Deterministic 2-D value noise field.
+///
+/// # Examples
+///
+/// ```
+/// use medvt_frame::synth::ValueNoise;
+///
+/// let n = ValueNoise::new(7);
+/// let a = n.sample(1.5, 2.25);
+/// let b = n.sample(1.5, 2.25);
+/// assert_eq!(a, b); // deterministic
+/// assert!((0.0..=1.0).contains(&a));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ValueNoise {
+    seed: u64,
+}
+
+impl ValueNoise {
+    /// Creates a noise field from a seed.
+    pub const fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Hash of one lattice point into `[0, 1)`.
+    fn lattice(&self, ix: i64, iy: i64) -> f64 {
+        // SplitMix64-style avalanche over the packed coordinates.
+        let mut z = self
+            .seed
+            .wrapping_add((ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((iy as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Smoothly interpolated noise at `(x, y)`, in `[0, 1]`.
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        let ix = x.floor() as i64;
+        let iy = y.floor() as i64;
+        let fx = x - ix as f64;
+        let fy = y - iy as f64;
+        // Smoothstep fade for C1 continuity at lattice lines.
+        let u = fx * fx * (3.0 - 2.0 * fx);
+        let v = fy * fy * (3.0 - 2.0 * fy);
+        let n00 = self.lattice(ix, iy);
+        let n10 = self.lattice(ix + 1, iy);
+        let n01 = self.lattice(ix, iy + 1);
+        let n11 = self.lattice(ix + 1, iy + 1);
+        let nx0 = n00 + (n10 - n00) * u;
+        let nx1 = n01 + (n11 - n01) * u;
+        nx0 + (nx1 - nx0) * v
+    }
+
+    /// Fractal (octave-stacked) noise in `[0, 1]`.
+    ///
+    /// `base_freq` is the lattice frequency of the first octave in
+    /// cycles per sample; each octave doubles frequency and halves
+    /// amplitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `octaves` is zero.
+    pub fn fractal(&self, x: f64, y: f64, base_freq: f64, octaves: u32) -> f64 {
+        assert!(octaves > 0, "need at least one octave");
+        let mut total = 0.0;
+        let mut amp = 1.0;
+        let mut freq = base_freq;
+        let mut norm = 0.0;
+        for o in 0..octaves {
+            // Offset octaves so their lattices do not align.
+            let off = o as f64 * 101.7;
+            total += amp * self.sample(x * freq + off, y * freq + off);
+            norm += amp;
+            amp *= 0.5;
+            freq *= 2.0;
+        }
+        total / norm
+    }
+}
+
+/// Cheap deterministic per-sample hash in `[-1, 1]`, used for frame
+/// speckle noise: `speckle(seed, frame, x, y)`.
+pub fn speckle(seed: u64, frame: u64, x: u32, y: u32) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(frame.wrapping_mul(0xD1B5_4A32_D192_ED03))
+        .wrapping_add((x as u64) << 32 | y as u64);
+    z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    z ^= z >> 33;
+    ((z >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_in_unit_interval() {
+        let n = ValueNoise::new(42);
+        for i in 0..200 {
+            let v = n.sample(i as f64 * 0.37, i as f64 * 0.73);
+            assert!((0.0..=1.0).contains(&v), "out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = ValueNoise::new(5).sample(3.2, 4.8);
+        let b = ValueNoise::new(5).sample(3.2, 4.8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ValueNoise::new(1).sample(10.5, 20.5);
+        let b = ValueNoise::new(2).sample(10.5, 20.5);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn continuity_at_lattice_points() {
+        let n = ValueNoise::new(9);
+        let at = n.sample(5.0, 5.0);
+        let near = n.sample(5.0 + 1e-9, 5.0 + 1e-9);
+        assert!((at - near).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fractal_in_unit_interval_and_rougher() {
+        let n = ValueNoise::new(11);
+        let mut vals = Vec::new();
+        for i in 0..100 {
+            let v = n.fractal(i as f64, i as f64 * 0.5, 0.05, 4);
+            assert!((0.0..=1.0).contains(&v));
+            vals.push(v);
+        }
+        // Fractal field is non-constant.
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "octave")]
+    fn zero_octaves_panics() {
+        ValueNoise::new(1).fractal(0.0, 0.0, 0.1, 0);
+    }
+
+    #[test]
+    fn speckle_range_and_determinism() {
+        for i in 0..100u32 {
+            let v = speckle(3, 7, i, i * 2);
+            assert!((-1.0..=1.0).contains(&v));
+        }
+        assert_eq!(speckle(3, 7, 5, 6), speckle(3, 7, 5, 6));
+        assert_ne!(speckle(3, 7, 5, 6), speckle(3, 8, 5, 6));
+    }
+}

@@ -1,0 +1,249 @@
+//! Video sequences and frame sources.
+
+use crate::{Frame, Resolution};
+use serde::{Deserialize, Serialize};
+
+/// A source of video frames with fixed resolution and frame rate.
+///
+/// Both stored clips ([`VideoClip`]) and procedural generators
+/// (`medvt_frame::synth::PhantomVideo`) implement this, so the
+/// transcoding pipeline is agnostic to where pictures come from.
+pub trait FrameSource {
+    /// Resolution of every frame produced.
+    fn resolution(&self) -> Resolution;
+
+    /// Nominal frames per second.
+    fn fps(&self) -> f64;
+
+    /// Produces frame number `index` (display order), or `None` past the
+    /// end of finite sources.
+    fn frame(&mut self, index: usize) -> Option<Frame>;
+
+    /// Total number of frames for finite sources, `None` for unbounded
+    /// generators.
+    fn len_hint(&self) -> Option<usize>;
+}
+
+/// An in-memory video clip: decoded master material ready to transcode.
+///
+/// # Examples
+///
+/// ```
+/// use medvt_frame::{Frame, FrameSource, Resolution, VideoClip};
+///
+/// let res = Resolution::new(32, 32);
+/// let mut clip = VideoClip::new(res, 24.0);
+/// clip.push(Frame::black(res));
+/// clip.push(Frame::flat(res, 200));
+/// assert_eq!(clip.len(), 2);
+/// assert_eq!(clip.frame(1).unwrap().y().get(0, 0), 200);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VideoClip {
+    resolution: Resolution,
+    fps: f64,
+    frames: Vec<Frame>,
+}
+
+impl VideoClip {
+    /// Creates an empty clip.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fps` is not strictly positive and finite.
+    pub fn new(resolution: Resolution, fps: f64) -> Self {
+        assert!(fps.is_finite() && fps > 0.0, "fps must be positive");
+        Self {
+            resolution,
+            fps,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Creates a clip from pre-built frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fps` is invalid or any frame's resolution differs
+    /// from `resolution`.
+    pub fn from_frames(resolution: Resolution, fps: f64, frames: Vec<Frame>) -> Self {
+        let mut clip = Self::new(resolution, fps);
+        for f in frames {
+            clip.push(f);
+        }
+        clip
+    }
+
+    /// Appends a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the frame resolution does not match the clip.
+    pub fn push(&mut self, frame: Frame) {
+        assert_eq!(
+            frame.resolution(),
+            self.resolution,
+            "frame resolution mismatch"
+        );
+        self.frames.push(frame);
+    }
+
+    /// Clip resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Nominal frames per second.
+    pub fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    /// Number of frames stored.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` when the clip holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Clip duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.frames.len() as f64 / self.fps
+    }
+
+    /// Borrows frame `index` if present.
+    pub fn get(&self, index: usize) -> Option<&Frame> {
+        self.frames.get(index)
+    }
+
+    /// Borrows all frames.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Iterates over the frames.
+    pub fn iter(&self) -> std::slice::Iter<'_, Frame> {
+        self.frames.iter()
+    }
+
+    /// Collects the first `n` frames of any [`FrameSource`] into a clip.
+    ///
+    /// Useful for materializing a deterministic phantom video once and
+    /// feeding it to several encoders under comparison.
+    pub fn capture<S: FrameSource>(source: &mut S, n: usize) -> Self {
+        let mut clip = Self::new(source.resolution(), source.fps());
+        for i in 0..n {
+            match source.frame(i) {
+                Some(f) => clip.push(f),
+                None => break,
+            }
+        }
+        clip
+    }
+}
+
+impl FrameSource for VideoClip {
+    fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    fn frame(&mut self, index: usize) -> Option<Frame> {
+        self.frames.get(index).cloned()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.frames.len())
+    }
+}
+
+impl<'a> IntoIterator for &'a VideoClip {
+    type Item = &'a Frame;
+    type IntoIter = std::slice::Iter<'a, Frame>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.frames.iter()
+    }
+}
+
+impl Extend<Frame> for VideoClip {
+    fn extend<T: IntoIterator<Item = Frame>>(&mut self, iter: T) {
+        for f in iter {
+            self.push(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res() -> Resolution {
+        Resolution::new(16, 16)
+    }
+
+    #[test]
+    fn push_and_duration() {
+        let mut clip = VideoClip::new(res(), 24.0);
+        assert!(clip.is_empty());
+        for _ in 0..48 {
+            clip.push(Frame::black(res()));
+        }
+        assert_eq!(clip.len(), 48);
+        assert!((clip.duration_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution mismatch")]
+    fn push_rejects_wrong_resolution() {
+        let mut clip = VideoClip::new(res(), 24.0);
+        clip.push(Frame::black(Resolution::new(32, 32)));
+    }
+
+    #[test]
+    #[should_panic(expected = "fps")]
+    fn zero_fps_rejected() {
+        VideoClip::new(res(), 0.0);
+    }
+
+    #[test]
+    fn frame_source_impl() {
+        let mut clip = VideoClip::from_frames(
+            res(),
+            24.0,
+            vec![Frame::flat(res(), 1), Frame::flat(res(), 2)],
+        );
+        assert_eq!(clip.len_hint(), Some(2));
+        assert_eq!(clip.frame(0).unwrap().y().get(0, 0), 1);
+        assert_eq!(clip.frame(1).unwrap().y().get(0, 0), 2);
+        assert!(clip.frame(2).is_none());
+    }
+
+    #[test]
+    fn capture_copies_frames() {
+        let mut src = VideoClip::from_frames(
+            res(),
+            24.0,
+            vec![Frame::flat(res(), 5), Frame::flat(res(), 6), Frame::flat(res(), 7)],
+        );
+        let clip = VideoClip::capture(&mut src, 2);
+        assert_eq!(clip.len(), 2);
+        assert_eq!(clip.get(1).unwrap().y().get(0, 0), 6);
+        // Capturing more than available stops early.
+        let all = VideoClip::capture(&mut src, 10);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn extend_and_iter() {
+        let mut clip = VideoClip::new(res(), 24.0);
+        clip.extend(vec![Frame::black(res()); 3]);
+        assert_eq!(clip.iter().count(), 3);
+        assert_eq!((&clip).into_iter().count(), 3);
+    }
+}

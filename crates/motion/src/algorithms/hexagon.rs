@@ -1,0 +1,178 @@
+//! Hexagon-based search (Zhu, Lin & Chau, IEEE TCSVT 2002), with the
+//! horizontal, vertical and rotating variants the paper builds on.
+
+use crate::search::{Best, MotionSearch, SearchContext, SearchResult};
+use crate::MotionVector;
+use serde::{Deserialize, Serialize};
+
+/// Horizontally-elongated hexagon pattern.
+const HEX_H: [(i16, i16); 6] = [(-2, 0), (2, 0), (-1, -2), (1, -2), (-1, 2), (1, 2)];
+/// Vertically-elongated hexagon pattern.
+const HEX_V: [(i16, i16); 6] = [(0, -2), (0, 2), (-2, -1), (-2, 1), (2, -1), (2, 1)];
+/// Small '+' refinement pattern.
+const SHSP: [(i16, i16); 4] = [(0, -1), (1, 0), (0, 1), (-1, 0)];
+
+/// Orientation policy of the hexagon pattern.
+///
+/// Horizontal and vertical have identical complexity, but each tracks
+/// motion along its long axis better (paper §III-C2). `Rotating`
+/// alternates orientations and is used on the first frame of a GOP when
+/// the motion direction is still unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum HexOrientation {
+    /// Long axis horizontal.
+    #[default]
+    Horizontal,
+    /// Long axis vertical.
+    Vertical,
+    /// Alternate horizontal/vertical every iteration.
+    Rotating,
+}
+
+/// Hexagon-based search with a configurable orientation policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HexagonSearch {
+    /// Pattern orientation policy.
+    pub orientation: HexOrientation,
+}
+
+impl HexagonSearch {
+    /// Creates a search with the given orientation policy.
+    pub const fn new(orientation: HexOrientation) -> Self {
+        Self { orientation }
+    }
+
+    /// Pattern for iteration `iter` under this policy.
+    fn pattern(&self, iter: u32) -> &'static [(i16, i16); 6] {
+        match self.orientation {
+            HexOrientation::Horizontal => &HEX_H,
+            HexOrientation::Vertical => &HEX_V,
+            HexOrientation::Rotating => {
+                if iter % 2 == 0 {
+                    &HEX_H
+                } else {
+                    &HEX_V
+                }
+            }
+        }
+    }
+}
+
+impl MotionSearch for HexagonSearch {
+    fn name(&self) -> &'static str {
+        match self.orientation {
+            HexOrientation::Horizontal => "hexagon-h",
+            HexOrientation::Vertical => "hexagon-v",
+            HexOrientation::Rotating => "hexagon-rot",
+        }
+    }
+
+    fn search(&self, ctx: &SearchContext<'_>) -> SearchResult {
+        let mut best = Best::seeded(ctx, &[MotionVector::ZERO, ctx.predictor()]);
+        let mut iter = 0u32;
+        let guard = 4 * ctx.window().size() as u32 + 16;
+        loop {
+            let center = best.mv;
+            let mut moved = false;
+            for &(dx, dy) in self.pattern(iter) {
+                moved |= best.try_candidate(ctx, center + MotionVector::new(dx, dy));
+            }
+            iter += 1;
+            if !moved || iter >= guard {
+                break;
+            }
+        }
+        // Small-pattern refinement.
+        let center = best.mv;
+        for (dx, dy) in SHSP {
+            best.try_candidate(ctx, center + MotionVector::new(dx, dy));
+        }
+        ctx.result(best.mv, best.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostMetric;
+    use crate::SearchWindow;
+    use medvt_frame::{Plane, Rect};
+
+    fn shifted_planes(dx: isize, dy: isize) -> (Plane, Plane) {
+        crate::testutil::shifted_planes(96, 96, dx, dy)
+    }
+
+    fn ctx<'a>(cur: &'a Plane, reference: &'a Plane) -> SearchContext<'a> {
+        SearchContext::new(
+            cur,
+            reference,
+            Rect::new(40, 40, 16, 16),
+            SearchWindow::W32,
+            CostMetric::Sad,
+            MotionVector::ZERO,
+        )
+    }
+
+    #[test]
+    fn all_orientations_find_moderate_motion() {
+        let (cur, reference) = shifted_planes(5, -3);
+        for orientation in [
+            HexOrientation::Horizontal,
+            HexOrientation::Vertical,
+            HexOrientation::Rotating,
+        ] {
+            let c = ctx(&cur, &reference);
+            let r = HexagonSearch::new(orientation).search(&c);
+            assert_eq!(
+                r.mv,
+                MotionVector::new(-5, 3),
+                "{orientation:?} missed the motion"
+            );
+            assert_eq!(r.cost, 0);
+        }
+    }
+
+    #[test]
+    fn horizontal_orientation_tracks_horizontal_motion() {
+        // Paper §III-C2: both orientations have the same complexity, but
+        // each tracks motion along its long axis better.
+        let (cur, reference) = shifted_planes(10, 0);
+        let ch = ctx(&cur, &reference);
+        let h = HexagonSearch::new(HexOrientation::Horizontal).search(&ch);
+        let cv = ctx(&cur, &reference);
+        let v = HexagonSearch::new(HexOrientation::Vertical).search(&cv);
+        assert_eq!(h.mv, MotionVector::new(-10, 0));
+        assert!(h.cost <= v.cost, "h={} v={}", h.cost, v.cost);
+        // "Same complexity": evaluation counts within 2x of each other.
+        assert!(h.evaluations <= 2 * v.evaluations);
+        assert!(v.evaluations <= 2 * h.evaluations);
+    }
+
+    #[test]
+    fn vertical_orientation_tracks_vertical_motion() {
+        let (cur, reference) = shifted_planes(0, 10);
+        let ch = ctx(&cur, &reference);
+        let h = HexagonSearch::new(HexOrientation::Horizontal).search(&ch);
+        let cv = ctx(&cur, &reference);
+        let v = HexagonSearch::new(HexOrientation::Vertical).search(&cv);
+        assert_eq!(v.mv, MotionVector::new(0, -10));
+        assert!(v.cost <= h.cost, "v={} h={}", v.cost, h.cost);
+        assert!(h.evaluations <= 2 * v.evaluations);
+        assert!(v.evaluations <= 2 * h.evaluations);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        assert_eq!(HexagonSearch::new(HexOrientation::Horizontal).name(), "hexagon-h");
+        assert_eq!(HexagonSearch::new(HexOrientation::Vertical).name(), "hexagon-v");
+        assert_eq!(HexagonSearch::new(HexOrientation::Rotating).name(), "hexagon-rot");
+    }
+
+    #[test]
+    fn stays_in_window() {
+        let (cur, reference) = shifted_planes(60, 60);
+        let c = ctx(&cur, &reference);
+        let r = HexagonSearch::default().search(&c);
+        assert!(c.window().contains(r.mv));
+    }
+}

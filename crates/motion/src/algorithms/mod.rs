@@ -1,0 +1,18 @@
+//! The block-matching search algorithms surveyed in paper §II-B plus
+//! the references it compares against.
+
+pub(crate) mod cross;
+pub(crate) mod diamond;
+pub(crate) mod full;
+pub(crate) mod hexagon;
+pub(crate) mod ots;
+pub(crate) mod three_step;
+pub(crate) mod tz;
+
+pub use cross::CrossSearch;
+pub use diamond::DiamondSearch;
+pub use full::FullSearch;
+pub use hexagon::{HexOrientation, HexagonSearch};
+pub use ots::OneAtATimeSearch;
+pub use three_step::ThreeStepSearch;
+pub use tz::TzSearch;

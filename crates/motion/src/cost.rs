@@ -1,0 +1,270 @@
+//! Block-matching distortion metrics: SAD, SSD and SATD.
+//!
+//! All metrics compare a block of the *current* plane against a
+//! motion-shifted block of the *reference* plane. Reference access uses
+//! edge clamping, matching unrestricted motion vectors over padded
+//! reference pictures in HEVC.
+
+use crate::MotionVector;
+use medvt_frame::{Plane, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Distortion metric selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum CostMetric {
+    /// Sum of absolute differences — the classic ME metric.
+    #[default]
+    Sad,
+    /// Sum of squared differences.
+    Ssd,
+    /// Sum of absolute Hadamard-transformed differences (4x4 blocks),
+    /// a closer proxy for post-transform bit cost.
+    Satd,
+}
+
+/// Sum of absolute differences between `block` of `cur` and the block
+/// displaced by `mv` in `reference`.
+///
+/// # Panics
+///
+/// Panics when `block` is not fully inside `cur`.
+pub fn sad(cur: &Plane, reference: &Plane, block: &Rect, mv: MotionVector) -> u64 {
+    assert!(
+        cur.bounds().contains_rect(block),
+        "block {block} outside current plane"
+    );
+    let mut acc = 0u64;
+    for row in block.y..block.bottom() {
+        let cur_row = &cur.row(row)[block.x..block.right()];
+        let ref_y = row as isize + mv.y as isize;
+        for (i, &c) in cur_row.iter().enumerate() {
+            let ref_x = (block.x + i) as isize + mv.x as isize;
+            let r = reference.get_clamped(ref_x, ref_y);
+            acc += (c as i16 - r as i16).unsigned_abs() as u64;
+        }
+    }
+    acc
+}
+
+/// Sum of squared differences (same access pattern as [`sad`]).
+///
+/// # Panics
+///
+/// Panics when `block` is not fully inside `cur`.
+pub fn ssd(cur: &Plane, reference: &Plane, block: &Rect, mv: MotionVector) -> u64 {
+    assert!(
+        cur.bounds().contains_rect(block),
+        "block {block} outside current plane"
+    );
+    let mut acc = 0u64;
+    for row in block.y..block.bottom() {
+        let cur_row = &cur.row(row)[block.x..block.right()];
+        let ref_y = row as isize + mv.y as isize;
+        for (i, &c) in cur_row.iter().enumerate() {
+            let ref_x = (block.x + i) as isize + mv.x as isize;
+            let r = reference.get_clamped(ref_x, ref_y);
+            let d = (c as i64) - (r as i64);
+            acc += (d * d) as u64;
+        }
+    }
+    acc
+}
+
+/// 4x4 Hadamard transform of a residual block, returning Σ|coeff|.
+fn hadamard4_cost(res: &[i32; 16]) -> u64 {
+    let mut m = [0i32; 16];
+    // Rows.
+    for r in 0..4 {
+        let a = res[r * 4];
+        let b = res[r * 4 + 1];
+        let c = res[r * 4 + 2];
+        let d = res[r * 4 + 3];
+        let s0 = a + c;
+        let s1 = b + d;
+        let d0 = a - c;
+        let d1 = b - d;
+        m[r * 4] = s0 + s1;
+        m[r * 4 + 1] = s0 - s1;
+        m[r * 4 + 2] = d0 + d1;
+        m[r * 4 + 3] = d0 - d1;
+    }
+    // Columns.
+    let mut acc = 0u64;
+    for c in 0..4 {
+        let a = m[c];
+        let b = m[4 + c];
+        let cc = m[8 + c];
+        let d = m[12 + c];
+        let s0 = a + cc;
+        let s1 = b + d;
+        let d0 = a - cc;
+        let d1 = b - d;
+        acc += (s0 + s1).unsigned_abs() as u64;
+        acc += (s0 - s1).unsigned_abs() as u64;
+        acc += (d0 + d1).unsigned_abs() as u64;
+        acc += (d0 - d1).unsigned_abs() as u64;
+    }
+    acc
+}
+
+/// Sum of absolute Hadamard-transformed differences over 4x4 sub-blocks.
+///
+/// Blocks whose dimensions are not multiples of 4 fall back to [`sad`]
+/// for the ragged edge.
+///
+/// # Panics
+///
+/// Panics when `block` is not fully inside `cur`.
+pub fn satd(cur: &Plane, reference: &Plane, block: &Rect, mv: MotionVector) -> u64 {
+    assert!(
+        cur.bounds().contains_rect(block),
+        "block {block} outside current plane"
+    );
+    let mut acc = 0u64;
+    let full_w = block.w - block.w % 4;
+    let full_h = block.h - block.h % 4;
+    let mut res = [0i32; 16];
+    let mut by = 0;
+    while by < full_h {
+        let mut bx = 0;
+        while bx < full_w {
+            for sy in 0..4 {
+                let row = block.y + by + sy;
+                let ref_y = row as isize + mv.y as isize;
+                for sx in 0..4 {
+                    let col = block.x + bx + sx;
+                    let ref_x = col as isize + mv.x as isize;
+                    res[sy * 4 + sx] = cur.get(col, row) as i32
+                        - reference.get_clamped(ref_x, ref_y) as i32;
+                }
+            }
+            // Normalize by 2 to keep SATD on a SAD-comparable scale.
+            acc += hadamard4_cost(&res) / 2;
+            bx += 4;
+        }
+        by += 4;
+    }
+    // Ragged right edge.
+    if full_w < block.w {
+        let edge = Rect::new(block.x + full_w, block.y, block.w - full_w, block.h);
+        acc += sad(cur, reference, &edge, mv);
+    }
+    // Ragged bottom edge (excluding the corner already counted).
+    if full_h < block.h {
+        let edge = Rect::new(block.x, block.y + full_h, full_w, block.h - full_h);
+        acc += sad(cur, reference, &edge, mv);
+    }
+    acc
+}
+
+/// Dispatches to the chosen metric.
+///
+/// # Panics
+///
+/// Panics when `block` is not fully inside `cur`.
+pub fn block_cost(
+    metric: CostMetric,
+    cur: &Plane,
+    reference: &Plane,
+    block: &Rect,
+    mv: MotionVector,
+) -> u64 {
+    match metric {
+        CostMetric::Sad => sad(cur, reference, block, mv),
+        CostMetric::Ssd => ssd(cur, reference, block, mv),
+        CostMetric::Satd => satd(cur, reference, block, mv),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planes() -> (Plane, Plane) {
+        // Reference: gradient; current: the same gradient shifted right by 2.
+        let mut reference = Plane::new(32, 16);
+        for row in 0..16 {
+            for col in 0..32 {
+                reference.set(col, row, (col * 8 % 256) as u8);
+            }
+        }
+        let mut cur = Plane::new(32, 16);
+        for row in 0..16 {
+            for col in 0..32 {
+                cur.set(col, row, reference.get_clamped(col as isize - 2, row as isize));
+            }
+        }
+        (cur, reference)
+    }
+
+    #[test]
+    fn sad_zero_for_true_motion() {
+        let (cur, reference) = planes();
+        let block = Rect::new(8, 4, 8, 8);
+        // Content moved right by 2 ⇒ the matching reference block is at -2.
+        assert_eq!(sad(&cur, &reference, &block, MotionVector::new(-2, 0)), 0);
+        assert!(sad(&cur, &reference, &block, MotionVector::ZERO) > 0);
+    }
+
+    #[test]
+    fn ssd_grows_faster_than_sad() {
+        let (cur, reference) = planes();
+        let block = Rect::new(8, 4, 8, 8);
+        let s = sad(&cur, &reference, &block, MotionVector::ZERO);
+        let q = ssd(&cur, &reference, &block, MotionVector::ZERO);
+        // Each sample differs by 16 ⇒ ssd = 16 * sad.
+        assert_eq!(q, s * 16);
+    }
+
+    #[test]
+    fn satd_zero_for_perfect_match() {
+        let (cur, reference) = planes();
+        let block = Rect::new(8, 4, 8, 8);
+        assert_eq!(satd(&cur, &reference, &block, MotionVector::new(-2, 0)), 0);
+    }
+
+    #[test]
+    fn satd_prefers_true_motion() {
+        let (cur, reference) = planes();
+        let block = Rect::new(8, 4, 8, 8);
+        let good = satd(&cur, &reference, &block, MotionVector::new(-2, 0));
+        let bad = satd(&cur, &reference, &block, MotionVector::new(3, 1));
+        assert!(good < bad);
+    }
+
+    #[test]
+    fn hadamard_dc_only() {
+        // Constant residual of 1: all energy in DC = 16, so cost = 16.
+        let res = [1i32; 16];
+        assert_eq!(hadamard4_cost(&res), 16);
+    }
+
+    #[test]
+    fn satd_handles_ragged_blocks() {
+        let (cur, reference) = planes();
+        let block = Rect::new(1, 1, 7, 6);
+        // Must not panic; must still prefer the true displacement.
+        let good = satd(&cur, &reference, &block, MotionVector::new(-2, 0));
+        let bad = satd(&cur, &reference, &block, MotionVector::new(2, 0));
+        assert!(good < bad);
+    }
+
+    #[test]
+    fn block_cost_dispatches() {
+        let (cur, reference) = planes();
+        let block = Rect::new(8, 4, 8, 8);
+        let mv = MotionVector::new(-2, 0);
+        assert_eq!(block_cost(CostMetric::Sad, &cur, &reference, &block, mv), 0);
+        assert_eq!(block_cost(CostMetric::Ssd, &cur, &reference, &block, mv), 0);
+        assert_eq!(block_cost(CostMetric::Satd, &cur, &reference, &block, mv), 0);
+    }
+
+    #[test]
+    fn clamped_access_at_frame_edge() {
+        let (cur, reference) = planes();
+        let block = Rect::new(0, 0, 8, 8);
+        // Large negative MV reads clamped samples; must not panic.
+        let c = sad(&cur, &reference, &block, MotionVector::new(-100, -100));
+        assert!(c > 0);
+    }
+}

@@ -1,0 +1,382 @@
+//! Search framework: windows, contexts, results and the
+//! [`MotionSearch`] trait all algorithms implement.
+
+use crate::cost::{block_cost, CostMetric};
+use crate::MotionVector;
+use medvt_frame::{Plane, Rect};
+use serde::{Deserialize, Serialize};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+/// A square search window of `size x size` samples centered on the
+/// collocated block, i.e. motion components are clamped to
+/// `±size/2` (paper §III-C2 uses sizes 64, 32, 16 and 8).
+///
+/// # Examples
+///
+/// ```
+/// use medvt_motion::SearchWindow;
+///
+/// assert_eq!(SearchWindow::W64.radius(), 32);
+/// assert_eq!(SearchWindow::from_size(16).size(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SearchWindow {
+    radius: i16,
+}
+
+impl SearchWindow {
+    /// 64x64 window (±32) — the paper's maximum for high-motion tiles.
+    pub const W64: SearchWindow = SearchWindow { radius: 32 };
+    /// 32x32 window (±16).
+    pub const W32: SearchWindow = SearchWindow { radius: 16 };
+    /// 16x16 window (±8) — low-motion tiles, first GOP frame.
+    pub const W16: SearchWindow = SearchWindow { radius: 8 };
+    /// 8x8 window (±4) — low-motion tiles, subsequent GOP frames.
+    pub const W8: SearchWindow = SearchWindow { radius: 4 };
+
+    /// The window sizes the paper considers, largest first.
+    pub const ALL: [SearchWindow; 4] = [
+        SearchWindow::W64,
+        SearchWindow::W32,
+        SearchWindow::W16,
+        SearchWindow::W8,
+    ];
+
+    /// Creates a window from its side length in samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `size < 2`.
+    pub fn from_size(size: usize) -> Self {
+        assert!(size >= 2, "search window must be at least 2 samples");
+        Self {
+            radius: (size / 2) as i16,
+        }
+    }
+
+    /// Maximum absolute motion component.
+    pub const fn radius(&self) -> i16 {
+        self.radius
+    }
+
+    /// Side length in samples.
+    pub const fn size(&self) -> usize {
+        (self.radius as usize) * 2
+    }
+
+    /// `true` when `mv` lies inside the window.
+    pub fn contains(&self, mv: MotionVector) -> bool {
+        mv.linf_norm() <= self.radius
+    }
+
+    /// The next smaller paper window, if any (64→32→16→8).
+    pub fn shrunk(&self) -> Option<SearchWindow> {
+        Self::ALL
+            .iter()
+            .copied()
+            .filter(|w| w.radius < self.radius)
+            .max_by_key(|w| w.radius)
+    }
+}
+
+impl Default for SearchWindow {
+    fn default() -> Self {
+        SearchWindow::W64
+    }
+}
+
+/// Everything an algorithm needs to search one block: the two planes,
+/// the block geometry, the window, the metric and a starting predictor.
+///
+/// The context memoizes candidate costs, so the number of *distinct*
+/// candidates evaluated — the standard complexity measure for
+/// block-matching algorithms — is available as [`SearchContext::evaluations`].
+#[derive(Debug)]
+pub struct SearchContext<'a> {
+    cur: &'a Plane,
+    reference: &'a Plane,
+    block: Rect,
+    window: SearchWindow,
+    metric: CostMetric,
+    predictor: MotionVector,
+    evaluations: Cell<u64>,
+    cache: RefCell<HashMap<MotionVector, u64>>,
+}
+
+impl<'a> SearchContext<'a> {
+    /// Creates a search context.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block` is not fully inside `cur`.
+    pub fn new(
+        cur: &'a Plane,
+        reference: &'a Plane,
+        block: Rect,
+        window: SearchWindow,
+        metric: CostMetric,
+        predictor: MotionVector,
+    ) -> Self {
+        assert!(
+            cur.bounds().contains_rect(&block),
+            "block {block} outside current plane"
+        );
+        Self {
+            cur,
+            reference,
+            block,
+            window,
+            metric,
+            predictor,
+            evaluations: Cell::new(0),
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The block being matched.
+    pub fn block(&self) -> Rect {
+        self.block
+    }
+
+    /// The active search window.
+    pub fn window(&self) -> SearchWindow {
+        self.window
+    }
+
+    /// The starting predictor, clamped into the window.
+    pub fn predictor(&self) -> MotionVector {
+        self.predictor.clamped(self.window.radius())
+    }
+
+    /// Distinct candidates evaluated so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations.get()
+    }
+
+    /// A derived context over the same planes/block with a different
+    /// window (used by policy algorithms that shrink the window); the
+    /// evaluation counter starts at zero.
+    pub fn narrowed(&self, window: SearchWindow) -> SearchContext<'a> {
+        self.narrowed_with_predictor(window, self.predictor)
+    }
+
+    /// Like [`SearchContext::narrowed`] but replacing the predictor,
+    /// used when a policy injects an inherited motion direction.
+    pub fn narrowed_with_predictor(
+        &self,
+        window: SearchWindow,
+        predictor: MotionVector,
+    ) -> SearchContext<'a> {
+        SearchContext::new(
+            self.cur,
+            self.reference,
+            self.block,
+            window,
+            self.metric,
+            predictor,
+        )
+    }
+
+    /// Cost of candidate `mv`, or `None` when it falls outside the
+    /// window. Repeated queries of the same candidate are served from
+    /// cache and counted once.
+    pub fn try_cost(&self, mv: MotionVector) -> Option<u64> {
+        if !self.window.contains(mv) {
+            return None;
+        }
+        if let Some(&c) = self.cache.borrow().get(&mv) {
+            return Some(c);
+        }
+        let c = block_cost(self.metric, self.cur, self.reference, &self.block, mv);
+        self.cache.borrow_mut().insert(mv, c);
+        self.evaluations.set(self.evaluations.get() + 1);
+        Some(c)
+    }
+
+    /// Builds the search result once an algorithm settles on `best`.
+    pub fn result(&self, best: MotionVector, cost: u64) -> SearchResult {
+        SearchResult {
+            mv: best,
+            cost,
+            evaluations: self.evaluations(),
+        }
+    }
+}
+
+/// Running best-candidate tracker.
+#[derive(Debug, Clone, Copy)]
+pub struct Best {
+    /// Best motion vector found so far.
+    pub mv: MotionVector,
+    /// Its cost.
+    pub cost: u64,
+}
+
+impl Best {
+    /// Seeds the tracker from the first valid candidate among `seeds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no seed lies inside the window (the zero vector is
+    /// always inside, so passing it guarantees success).
+    pub fn seeded(ctx: &SearchContext<'_>, seeds: &[MotionVector]) -> Best {
+        let mut best: Option<Best> = None;
+        for &s in seeds {
+            if let Some(c) = ctx.try_cost(s) {
+                let better = best.map_or(true, |b| c < b.cost);
+                if better {
+                    best = Some(Best { mv: s, cost: c });
+                }
+            }
+        }
+        best.expect("at least one seed must lie inside the search window")
+    }
+
+    /// Evaluates `mv` and keeps it when strictly better. Returns `true`
+    /// on improvement.
+    pub fn try_candidate(&mut self, ctx: &SearchContext<'_>, mv: MotionVector) -> bool {
+        match ctx.try_cost(mv) {
+            Some(c) if c < self.cost => {
+                self.mv = mv;
+                self.cost = c;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Outcome of one block search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// The selected motion vector.
+    pub mv: MotionVector,
+    /// Distortion of the selected vector.
+    pub cost: u64,
+    /// Distinct candidates evaluated — the complexity measure behind
+    /// the speedup rows of Table I.
+    pub evaluations: u64,
+}
+
+/// A block-matching motion search algorithm.
+///
+/// Implementations must stay inside `ctx.window()` (guaranteed by
+/// [`SearchContext::try_cost`]) and should start from
+/// [`SearchContext::predictor`].
+pub trait MotionSearch: std::fmt::Debug {
+    /// Human-readable algorithm name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Searches one block.
+    fn search(&self, ctx: &SearchContext<'_>) -> SearchResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planes() -> (Plane, Plane) {
+        crate::testutil::shifted_planes(64, 64, 3, 1)
+    }
+
+    #[test]
+    fn window_properties() {
+        assert_eq!(SearchWindow::W8.size(), 8);
+        assert_eq!(SearchWindow::W8.radius(), 4);
+        assert!(SearchWindow::W8.contains(MotionVector::new(4, -4)));
+        assert!(!SearchWindow::W8.contains(MotionVector::new(5, 0)));
+        assert_eq!(SearchWindow::W64.shrunk(), Some(SearchWindow::W32));
+        assert_eq!(SearchWindow::W8.shrunk(), None);
+        assert_eq!(SearchWindow::default(), SearchWindow::W64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_window_rejected() {
+        SearchWindow::from_size(1);
+    }
+
+    #[test]
+    fn context_counts_distinct_evaluations() {
+        let (cur, reference) = planes();
+        let ctx = SearchContext::new(
+            &cur,
+            &reference,
+            Rect::new(16, 16, 8, 8),
+            SearchWindow::W16,
+            CostMetric::Sad,
+            MotionVector::ZERO,
+        );
+        assert_eq!(ctx.evaluations(), 0);
+        ctx.try_cost(MotionVector::ZERO);
+        ctx.try_cost(MotionVector::ZERO); // cached, not recounted
+        ctx.try_cost(MotionVector::new(1, 0));
+        assert_eq!(ctx.evaluations(), 2);
+    }
+
+    #[test]
+    fn out_of_window_candidates_rejected() {
+        let (cur, reference) = planes();
+        let ctx = SearchContext::new(
+            &cur,
+            &reference,
+            Rect::new(16, 16, 8, 8),
+            SearchWindow::W8,
+            CostMetric::Sad,
+            MotionVector::ZERO,
+        );
+        assert!(ctx.try_cost(MotionVector::new(9, 0)).is_none());
+        assert_eq!(ctx.evaluations(), 0);
+    }
+
+    #[test]
+    fn predictor_is_clamped() {
+        let (cur, reference) = planes();
+        let ctx = SearchContext::new(
+            &cur,
+            &reference,
+            Rect::new(16, 16, 8, 8),
+            SearchWindow::W8,
+            CostMetric::Sad,
+            MotionVector::new(100, -100),
+        );
+        assert_eq!(ctx.predictor(), MotionVector::new(4, -4));
+    }
+
+    #[test]
+    fn best_tracker_improves_only() {
+        let (cur, reference) = planes();
+        let ctx = SearchContext::new(
+            &cur,
+            &reference,
+            Rect::new(16, 16, 8, 8),
+            SearchWindow::W16,
+            CostMetric::Sad,
+            MotionVector::ZERO,
+        );
+        let mut best = Best::seeded(&ctx, &[MotionVector::ZERO]);
+        let improved = best.try_candidate(&ctx, MotionVector::new(-3, -1));
+        assert!(improved, "true motion candidate must improve on zero");
+        assert_eq!(best.mv, MotionVector::new(-3, -1));
+        assert_eq!(best.cost, 0);
+        assert!(!best.try_candidate(&ctx, MotionVector::new(2, 2)));
+    }
+
+    #[test]
+    fn narrowed_context_shares_geometry() {
+        let (cur, reference) = planes();
+        let ctx = SearchContext::new(
+            &cur,
+            &reference,
+            Rect::new(16, 16, 8, 8),
+            SearchWindow::W64,
+            CostMetric::Sad,
+            MotionVector::new(2, 1),
+        );
+        let narrow = ctx.narrowed(SearchWindow::W8);
+        assert_eq!(narrow.block(), ctx.block());
+        assert_eq!(narrow.window(), SearchWindow::W8);
+        assert_eq!(narrow.evaluations(), 0);
+    }
+}

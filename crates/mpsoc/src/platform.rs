@@ -1,0 +1,132 @@
+//! Platform description: the multicore server the scheduler targets.
+
+use crate::freq::{FreqLevel, FrequencySet};
+use serde::{Deserialize, Serialize};
+
+/// An MPSoC / multicore-server description.
+///
+/// # Examples
+///
+/// ```
+/// use medvt_mpsoc::Platform;
+///
+/// let server = Platform::xeon_e5_2667_quad();
+/// assert_eq!(server.total_cores(), 32);
+/// assert!((server.freqs().max().ghz() - 3.6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Human-readable platform name.
+    pub name: String,
+    /// Number of processor sockets.
+    pub sockets: usize,
+    /// Physical cores per socket.
+    pub cores_per_socket: usize,
+    /// Available DVFS ladder (shared by all cores; per-core settings).
+    freqs: FrequencySet,
+    /// DVFS transition latency in seconds (paper: 10 µs).
+    pub dvfs_transition_secs: f64,
+}
+
+impl Platform {
+    /// Builds a platform description.
+    ///
+    /// # Panics
+    ///
+    /// Panics when sockets or cores are zero, or the transition latency
+    /// is negative.
+    pub fn new(
+        name: impl Into<String>,
+        sockets: usize,
+        cores_per_socket: usize,
+        freqs: FrequencySet,
+        dvfs_transition_secs: f64,
+    ) -> Self {
+        assert!(sockets > 0, "need at least one socket");
+        assert!(cores_per_socket > 0, "need at least one core per socket");
+        assert!(
+            dvfs_transition_secs >= 0.0,
+            "transition latency cannot be negative"
+        );
+        Self {
+            name: name.into(),
+            sockets,
+            cores_per_socket,
+            freqs,
+            dvfs_transition_secs,
+        }
+    }
+
+    /// The paper's evaluation server: four 8-core Intel Xeon E5-2667
+    /// processors, DVFS levels {2.9, 3.2, 3.6} GHz, 10 µs transition
+    /// latency (§IV-A).
+    pub fn xeon_e5_2667_quad() -> Self {
+        Self::new(
+            "4x Intel Xeon E5-2667",
+            4,
+            8,
+            FrequencySet::xeon_e5_2667(),
+            10e-6,
+        )
+    }
+
+    /// A small embedded-style MPSoC useful for tests (1 socket, 4
+    /// cores, same ladder).
+    pub fn quad_core() -> Self {
+        Self::new("quad-core MPSoC", 1, 4, FrequencySet::xeon_e5_2667(), 10e-6)
+    }
+
+    /// Total physical cores.
+    pub fn total_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// The DVFS ladder.
+    pub fn freqs(&self) -> &FrequencySet {
+        &self.freqs
+    }
+
+    /// Highest operating point.
+    pub fn fmax(&self) -> FreqLevel {
+        self.freqs.max()
+    }
+
+    /// Lowest operating point.
+    pub fn fmin(&self) -> FreqLevel {
+        self.freqs.min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_platform_geometry() {
+        let p = Platform::xeon_e5_2667_quad();
+        assert_eq!(p.sockets, 4);
+        assert_eq!(p.cores_per_socket, 8);
+        assert_eq!(p.total_cores(), 32);
+        assert!((p.dvfs_transition_secs - 10e-6).abs() < 1e-12);
+        assert_eq!(p.freqs().len(), 3);
+    }
+
+    #[test]
+    fn fmax_fmin() {
+        let p = Platform::quad_core();
+        assert!((p.fmax().ghz() - 3.6).abs() < 1e-12);
+        assert!((p.fmin().ghz() - 2.9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "socket")]
+    fn zero_sockets_rejected() {
+        Platform::new("bad", 0, 8, FrequencySet::xeon_e5_2667(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_latency_rejected() {
+        Platform::new("bad", 1, 1, FrequencySet::xeon_e5_2667(), -1.0);
+    }
+}

@@ -1,0 +1,400 @@
+//! Time-slot simulation: executes one 1/FPS scheduling interval on
+//! every core and accounts time, deadline slack and energy.
+//!
+//! This is the substrate under Algorithm 2's DVFS stage (lines 16–24):
+//! cores whose load fits the slot run and then idle (or run slower but
+//! still on time), cores that cannot finish stay at f_max and carry the
+//! remainder into the next slot.
+
+use crate::freq::FreqLevel;
+use crate::platform::Platform;
+use crate::power::PowerModel;
+use serde::{Deserialize, Serialize};
+
+/// How a core's frequency is chosen for a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DvfsPolicy {
+    /// Run the load at f_max, then idle (clock-gated) at f_min for the
+    /// slack — the literal reading of Algorithm 2 lines 17–19.
+    RaceToIdle,
+    /// Run at the lowest frequency that still meets the deadline,
+    /// idling for any remaining slack — the refinement behind Fig. 3's
+    /// "only two of the three cores at maximum frequency". This is the
+    /// default.
+    #[default]
+    StretchToDeadline,
+    /// Stay pinned at f_max through the whole slot, clock running even
+    /// during slack — the coarse rail-frequency operation of the
+    /// baseline [19], which only re-decides frequency when every core
+    /// sits at a rail.
+    PinnedMax,
+}
+
+/// The execution plan of one core for one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorePlan {
+    /// Chosen operating point for the busy period.
+    pub freq: FreqLevel,
+    /// Seconds spent executing.
+    pub busy_secs: f64,
+    /// Seconds idling at the end of the slot.
+    pub slack_secs: f64,
+    /// Load (in fmax-seconds) that did not fit and carries into the
+    /// next slot.
+    pub carry_fmax_secs: f64,
+    /// DVFS transitions performed this slot.
+    pub transitions: u32,
+    /// `true` when the slack period keeps the clock running at `freq`
+    /// (pinned-rail operation) instead of gating down to idle.
+    pub slack_clock_running: bool,
+}
+
+impl CorePlan {
+    /// `true` when the core finished its assigned load in the slot.
+    pub fn met_deadline(&self) -> bool {
+        self.carry_fmax_secs <= 1e-12
+    }
+
+    /// Energy of this plan over a slot of `slot_secs`, joules.
+    pub fn energy_j(&self, power: &PowerModel, slot_secs: f64) -> f64 {
+        let slack_power = if self.slack_clock_running {
+            power.clock_idle_power_w(self.freq)
+        } else {
+            power.idle_power_w()
+        };
+        power.active_power_w(self.freq) * self.busy_secs
+            + slack_power * (slot_secs - self.busy_secs).max(0.0)
+            + power.transition_j * self.transitions as f64
+    }
+}
+
+/// Plans one core's slot given its assigned load in fmax-seconds.
+///
+/// `prev_freq` is the core's operating point from the previous slot,
+/// used to count DVFS transitions (each costs
+/// [`Platform::dvfs_transition_secs`] of the busy budget — 10 µs on
+/// the paper's platform, negligible but modelled).
+pub fn plan_core(
+    platform: &Platform,
+    policy: DvfsPolicy,
+    load_fmax_secs: f64,
+    slot_secs: f64,
+    prev_freq: FreqLevel,
+) -> CorePlan {
+    assert!(load_fmax_secs >= 0.0, "load cannot be negative");
+    assert!(slot_secs > 0.0, "slot must be positive");
+    let fmax = platform.fmax();
+    if load_fmax_secs <= 1e-15 {
+        // Fully idle core.
+        let fmin = platform.fmin();
+        return CorePlan {
+            freq: fmin,
+            busy_secs: 0.0,
+            slack_secs: slot_secs,
+            carry_fmax_secs: 0.0,
+            transitions: u32::from(prev_freq != fmin),
+            slack_clock_running: false,
+        };
+    }
+    let freq = match policy {
+        DvfsPolicy::RaceToIdle | DvfsPolicy::PinnedMax => fmax,
+        DvfsPolicy::StretchToDeadline => platform
+            .freqs()
+            .lowest_meeting(load_fmax_secs, slot_secs)
+            .unwrap_or(fmax),
+    };
+    let pinned = policy == DvfsPolicy::PinnedMax;
+    let mut transitions = u32::from(prev_freq != freq);
+    let run_secs = freq.stretch(load_fmax_secs, fmax)
+        + platform.dvfs_transition_secs * transitions as f64;
+    if run_secs <= slot_secs {
+        // Fits: idle the remainder (drop to fmin per Algorithm 2 line
+        // 18 — except under pinned-rail operation, which keeps the
+        // clock running at the rail through the slack).
+        let slack = slot_secs - run_secs;
+        if !pinned && slack > platform.dvfs_transition_secs && freq != platform.fmin() {
+            transitions += 1; // drop to fmin for the slack period
+        }
+        CorePlan {
+            freq,
+            busy_secs: run_secs,
+            slack_secs: slack,
+            carry_fmax_secs: 0.0,
+            transitions,
+            slack_clock_running: pinned,
+        }
+    } else {
+        // Does not fit even at the chosen point: run flat out at fmax
+        // for the whole slot and carry the remainder (lines 21–22).
+        // The DVFS switch eats into the executable time.
+        let transitions = u32::from(prev_freq != fmax);
+        let done_fmax =
+            (slot_secs - platform.dvfs_transition_secs * transitions as f64).max(0.0);
+        CorePlan {
+            freq: fmax,
+            busy_secs: slot_secs,
+            slack_secs: 0.0,
+            carry_fmax_secs: (load_fmax_secs - done_fmax).max(0.0),
+            transitions,
+            slack_clock_running: pinned,
+        }
+    }
+}
+
+/// Aggregate outcome of simulating one slot across all cores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotReport {
+    /// Per-core plans, indexed by core id.
+    pub cores: Vec<CorePlan>,
+    /// Slot length in seconds.
+    pub slot_secs: f64,
+    /// Total energy over the slot, joules.
+    pub energy_j: f64,
+    /// Cores that failed to finish their load.
+    pub deadline_misses: usize,
+}
+
+impl SlotReport {
+    /// Mean power over the slot, watts.
+    pub fn power_w(&self) -> f64 {
+        self.energy_j / self.slot_secs
+    }
+
+    /// Total load carried into the next slot, fmax-seconds.
+    pub fn total_carry(&self) -> f64 {
+        self.cores.iter().map(|c| c.carry_fmax_secs).sum()
+    }
+
+    /// Cores that executed anything this slot.
+    pub fn active_cores(&self) -> usize {
+        self.cores.iter().filter(|c| c.busy_secs > 0.0).count()
+    }
+}
+
+/// Simulates one slot: `loads[k]` is core `k`'s assigned load in
+/// fmax-seconds; `prev_freqs` the operating points left from the last
+/// slot (pass fmin for a cold start).
+///
+/// # Panics
+///
+/// Panics when `loads` and `prev_freqs` lengths differ from the
+/// platform's core count.
+pub fn simulate_slot(
+    platform: &Platform,
+    power: &PowerModel,
+    policy: DvfsPolicy,
+    loads: &[f64],
+    prev_freqs: &[FreqLevel],
+    slot_secs: f64,
+) -> SlotReport {
+    assert_eq!(
+        loads.len(),
+        platform.total_cores(),
+        "one load per platform core required"
+    );
+    assert_eq!(
+        prev_freqs.len(),
+        platform.total_cores(),
+        "one previous frequency per core required"
+    );
+    let mut cores = Vec::with_capacity(loads.len());
+    let mut energy = 0.0;
+    let mut misses = 0;
+    for (k, &load) in loads.iter().enumerate() {
+        let plan = plan_core(platform, policy, load, slot_secs, prev_freqs[k]);
+        energy += plan.energy_j(power, slot_secs);
+        if !plan.met_deadline() {
+            misses += 1;
+        }
+        cores.push(plan);
+    }
+    SlotReport {
+        cores,
+        slot_secs,
+        energy_j: energy,
+        deadline_misses: misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Platform, PowerModel) {
+        (Platform::quad_core(), PowerModel::default())
+    }
+
+    fn fmin_vec(p: &Platform) -> Vec<FreqLevel> {
+        vec![p.fmin(); p.total_cores()]
+    }
+
+    const SLOT: f64 = 1.0 / 24.0;
+
+    #[test]
+    fn idle_core_costs_idle_energy() {
+        let (p, m) = setup();
+        let plan = plan_core(&p, DvfsPolicy::StretchToDeadline, 0.0, SLOT, p.fmin());
+        assert_eq!(plan.busy_secs, 0.0);
+        assert_eq!(plan.transitions, 0);
+        assert!(plan.met_deadline());
+        let e = m.core_energy_j(plan.freq, plan.busy_secs, SLOT, plan.transitions);
+        assert!((e - m.idle_power_w() * SLOT).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stretch_picks_lowest_sufficient_frequency() {
+        let (p, _) = setup();
+        // Half-slot load at fmax → 2.9 GHz stretches it to 0.62 slots: fits.
+        let plan = plan_core(
+            &p,
+            DvfsPolicy::StretchToDeadline,
+            SLOT * 0.5,
+            SLOT,
+            p.fmax(),
+        );
+        assert_eq!(plan.freq, p.fmin());
+        assert!(plan.met_deadline());
+        assert!(plan.slack_secs > 0.0);
+    }
+
+    #[test]
+    fn race_runs_at_fmax_and_idles() {
+        let (p, _) = setup();
+        let plan = plan_core(&p, DvfsPolicy::RaceToIdle, SLOT * 0.5, SLOT, p.fmax());
+        assert_eq!(plan.freq, p.fmax());
+        assert!(plan.met_deadline());
+        assert!((plan.busy_secs - SLOT * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stretch_saves_energy_over_race() {
+        let (p, m) = setup();
+        let load = SLOT * 0.5;
+        let race = plan_core(&p, DvfsPolicy::RaceToIdle, load, SLOT, p.fmax());
+        let stretch = plan_core(&p, DvfsPolicy::StretchToDeadline, load, SLOT, p.fmax());
+        let e_race = m.core_energy_j(race.freq, race.busy_secs, SLOT, race.transitions);
+        let e_stretch =
+            m.core_energy_j(stretch.freq, stretch.busy_secs, SLOT, stretch.transitions);
+        assert!(
+            e_stretch < e_race,
+            "stretch {e_stretch} J vs race {e_race} J"
+        );
+    }
+
+    #[test]
+    fn pinned_max_keeps_clock_running_through_slack() {
+        let (p, m) = setup();
+        let load = SLOT * 0.4;
+        let pinned = plan_core(&p, DvfsPolicy::PinnedMax, load, SLOT, p.fmax());
+        assert_eq!(pinned.freq, p.fmax());
+        assert!(pinned.slack_clock_running);
+        assert_eq!(pinned.transitions, 0, "never leaves the rail");
+        let race = plan_core(&p, DvfsPolicy::RaceToIdle, load, SLOT, p.fmax());
+        assert!(!race.slack_clock_running);
+        // Pinned-rail slack burns clock power: strictly more energy.
+        let e_pinned = pinned.energy_j(&m, SLOT);
+        let e_race = race.energy_j(&m, SLOT);
+        assert!(
+            e_pinned > e_race,
+            "pinned {e_pinned} J must exceed race {e_race} J"
+        );
+    }
+
+    #[test]
+    fn clock_idle_power_sits_between_gated_and_active() {
+        let (p, m) = setup();
+        let ci = m.clock_idle_power_w(p.fmax());
+        assert!(ci > m.idle_power_w());
+        assert!(ci < m.active_power_w(p.fmax()));
+    }
+
+    #[test]
+    fn overload_carries_remainder() {
+        let (p, _) = setup();
+        let plan = plan_core(
+            &p,
+            DvfsPolicy::StretchToDeadline,
+            SLOT * 1.4,
+            SLOT,
+            p.fmax(),
+        );
+        assert_eq!(plan.freq, p.fmax());
+        assert!(!plan.met_deadline());
+        assert!((plan.carry_fmax_secs - SLOT * 0.4).abs() < 1e-9);
+        assert_eq!(plan.slack_secs, 0.0);
+    }
+
+    #[test]
+    fn simulate_slot_aggregates() {
+        let (p, m) = setup();
+        let loads = vec![0.0, SLOT * 0.3, SLOT * 0.9, SLOT * 1.5];
+        let report = simulate_slot(
+            &p,
+            &m,
+            DvfsPolicy::StretchToDeadline,
+            &loads,
+            &fmin_vec(&p),
+            SLOT,
+        );
+        assert_eq!(report.cores.len(), 4);
+        assert_eq!(report.deadline_misses, 1);
+        assert_eq!(report.active_cores(), 3);
+        assert!(report.total_carry() > 0.0);
+        assert!(report.power_w() > 0.0);
+    }
+
+    #[test]
+    fn lighter_total_load_uses_less_energy() {
+        let (p, m) = setup();
+        let heavy = vec![SLOT * 0.9; 4];
+        let light = vec![SLOT * 0.2; 4];
+        let e_heavy = simulate_slot(
+            &p,
+            &m,
+            DvfsPolicy::StretchToDeadline,
+            &heavy,
+            &fmin_vec(&p),
+            SLOT,
+        )
+        .energy_j;
+        let e_light = simulate_slot(
+            &p,
+            &m,
+            DvfsPolicy::StretchToDeadline,
+            &light,
+            &fmin_vec(&p),
+            SLOT,
+        )
+        .energy_j;
+        assert!(e_light < e_heavy);
+    }
+
+    #[test]
+    fn transition_latency_counted_in_busy_time() {
+        let (p, _) = setup();
+        // Core coming from fmin, needs fmax: one transition eats 10 µs.
+        let plan = plan_core(
+            &p,
+            DvfsPolicy::StretchToDeadline,
+            SLOT * 0.95,
+            SLOT,
+            p.fmin(),
+        );
+        assert!(plan.transitions >= 1);
+        assert!(plan.busy_secs > SLOT * 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "one load per platform core")]
+    fn wrong_load_count_rejected() {
+        let (p, m) = setup();
+        simulate_slot(
+            &p,
+            &m,
+            DvfsPolicy::RaceToIdle,
+            &[0.0],
+            &fmin_vec(&p),
+            SLOT,
+        );
+    }
+}

@@ -1,0 +1,387 @@
+//! Thread (tile) allocation — paper Algorithm 2, lines 1–15.
+//!
+//! Given each admitted user's per-tile CPU-time demands (in
+//! fmax-seconds per 1/FPS slot), the allocator:
+//!
+//! 1. computes each user's core demand `N_core = ceil(Σ T_fmax · FPS)`;
+//! 2. admits the maximum number of users by ascending core demand
+//!    until the platform's cores are exhausted;
+//! 3. places every admitted thread on the core that brings its load
+//!    closest to a dynamic cap (the current maximum core load, clipped
+//!    to the slot), i.e. `argmin_k |Cap − (Load_k + T_j)|`.
+//!
+//! The DVFS stage (lines 16–24) is `medvt_mpsoc::simulate_slot`.
+
+use serde::{Deserialize, Serialize};
+
+/// One user's demand for a scheduling slot: the estimated CPU time of
+/// each of its tiles at f_max.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserDemand {
+    /// Caller-meaningful user identifier.
+    pub user: usize,
+    /// Per-tile fmax-seconds for one frame slot.
+    pub thread_secs: Vec<f64>,
+}
+
+impl UserDemand {
+    /// Creates a demand.
+    pub fn new(user: usize, thread_secs: Vec<f64>) -> Self {
+        Self { user, thread_secs }
+    }
+
+    /// Total fmax-seconds per slot.
+    pub fn total_secs(&self) -> f64 {
+        self.thread_secs.iter().sum()
+    }
+
+    /// Fractional core demand (Algorithm 2 line 1): `(Σ T) · FPS`.
+    /// The paper sums these *fractional* demands during admission —
+    /// that is how ~23 users of ~1.4 cores each fit on 32 cores.
+    pub fn core_demand(&self, fps: f64) -> f64 {
+        self.total_secs() * fps
+    }
+
+    /// Whole cores needed: `ceil((Σ T) · FPS)`, used for sizing the
+    /// placement candidate set.
+    pub fn cores_needed(&self, fps: f64) -> usize {
+        self.core_demand(fps).ceil().max(1.0) as usize
+    }
+}
+
+/// One placed thread.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// User identifier.
+    pub user: usize,
+    /// Thread (tile) index within the user.
+    pub thread: usize,
+    /// Core the thread runs on.
+    pub core: usize,
+    /// The thread's fmax-seconds.
+    pub secs: f64,
+}
+
+/// The allocator's output.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Users admitted this slot, in admission order.
+    pub admitted: Vec<usize>,
+    /// Users that did not fit.
+    pub rejected: Vec<usize>,
+    /// Thread placements.
+    pub placements: Vec<Placement>,
+    /// Resulting per-core load in fmax-seconds.
+    pub core_loads: Vec<f64>,
+}
+
+impl Allocation {
+    /// Highest core load, fmax-seconds.
+    pub fn max_load(&self) -> f64 {
+        self.core_loads.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Number of cores with any load.
+    pub fn used_cores(&self) -> usize {
+        self.core_loads.iter().filter(|&&l| l > 0.0).count()
+    }
+
+    /// Load imbalance: max/mean over used cores (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        let used: Vec<f64> = self
+            .core_loads
+            .iter()
+            .copied()
+            .filter(|&l| l > 0.0)
+            .collect();
+        if used.is_empty() {
+            return 1.0;
+        }
+        let mean = used.iter().sum::<f64>() / used.len() as f64;
+        self.max_load() / mean
+    }
+}
+
+/// Runs Algorithm 2 lines 1–15.
+///
+/// `slot_secs` is the 1/FPS scheduling interval. Admission sorts users
+/// by ascending core demand (line 2) — ties keep queue order. The
+/// placement loop (lines 3–15) runs over the *demanded* core set
+/// `N_core^U = Σ N_core^k` of the admitted users, not the whole
+/// platform: that restriction is what consolidates threads onto few
+/// cores and leaves the rest of the platform idle for other work or
+/// deep sleep. Threads are handled in descending duration so large
+/// tiles seed the packing.
+///
+/// # Panics
+///
+/// Panics when `cores` is zero or `slot_secs` is not positive.
+pub fn allocate(cores: usize, slot_secs: f64, users: &[UserDemand]) -> Allocation {
+    assert!(cores > 0, "need at least one core");
+    assert!(slot_secs > 0.0, "slot must be positive");
+    let fps = 1.0 / slot_secs;
+
+    // Lines 1–2: admit the maximum number of users by ascending
+    // *fractional* core demand until the summed demand reaches Nc.
+    let mut order: Vec<usize> = (0..users.len()).collect();
+    order.sort_by(|&a, &b| {
+        users[a]
+            .core_demand(fps)
+            .total_cmp(&users[b].core_demand(fps))
+            .then(a.cmp(&b))
+    });
+    let mut admitted = Vec::new();
+    let mut rejected = Vec::new();
+    let mut used = 0.0f64;
+    for i in order {
+        let need = users[i].core_demand(fps);
+        if used + need <= cores as f64 + 1e-9 {
+            used += need;
+            admitted.push(users[i].user);
+        } else {
+            rejected.push(users[i].user);
+        }
+    }
+    let demanded_cores = used.ceil().max(1.0) as usize;
+
+    // Gather admitted threads, largest first.
+    let mut threads: Vec<Placement> = Vec::new();
+    for u in users {
+        if admitted.contains(&u.user) {
+            for (t, &secs) in u.thread_secs.iter().enumerate() {
+                threads.push(Placement {
+                    user: u.user,
+                    thread: t,
+                    core: usize::MAX,
+                    secs,
+                });
+            }
+        }
+    }
+    let core_loads = place(&mut threads, cores, demanded_cores, slot_secs);
+    Allocation {
+        admitted,
+        rejected,
+        placements: threads,
+        core_loads,
+    }
+}
+
+/// Runs only the placement stage (lines 3–15) for an already-admitted
+/// user set — what happens at the start of every GOP once admission is
+/// settled (§III-D2: "thread allocation is performed once at the
+/// beginning of each GOP").
+///
+/// # Panics
+///
+/// Panics when `cores` is zero or `slot_secs` is not positive.
+pub fn place_threads(cores: usize, slot_secs: f64, users: &[UserDemand]) -> Allocation {
+    assert!(cores > 0, "need at least one core");
+    assert!(slot_secs > 0.0, "slot must be positive");
+    let fps = 1.0 / slot_secs;
+    let demanded = users
+        .iter()
+        .map(|u| u.core_demand(fps))
+        .sum::<f64>()
+        .ceil()
+        .max(1.0) as usize;
+    let mut threads: Vec<Placement> = users
+        .iter()
+        .flat_map(|u| {
+            u.thread_secs.iter().enumerate().map(|(t, &secs)| Placement {
+                user: u.user,
+                thread: t,
+                core: usize::MAX,
+                secs,
+            })
+        })
+        .collect();
+    let core_loads = place(&mut threads, cores, demanded, slot_secs);
+    Allocation {
+        admitted: users.iter().map(|u| u.user).collect(),
+        rejected: vec![],
+        placements: threads,
+        core_loads,
+    }
+}
+
+/// Cap-seeking placement over the first `demanded_cores` cores
+/// (clamped to the platform), largest thread first.
+fn place(
+    threads: &mut [Placement],
+    cores: usize,
+    demanded_cores: usize,
+    slot_secs: f64,
+) -> Vec<f64> {
+    threads.sort_by(|a, b| b.secs.total_cmp(&a.secs));
+    let candidates = demanded_cores
+        .min(cores)
+        .max(usize::from(!threads.is_empty()));
+    let mut core_loads = vec![0.0f64; cores];
+    for th in threads.iter_mut() {
+        let max_load = core_loads[..candidates]
+            .iter()
+            .copied()
+            .fold(0.0, f64::max);
+        let cap = if max_load > slot_secs {
+            slot_secs
+        } else {
+            max_load
+        };
+        // The cap is a fill ceiling (lines 5–9: "CPU time … cannot be
+        // above 1/FPS"): among cores where the thread still fits the
+        // slot, pick the one landing nearest the cap; if none fits,
+        // spill to the least-loaded core so overload spreads evenly.
+        let mut best_fit: Option<(usize, f64)> = None;
+        let mut least: (usize, f64) = (0, f64::INFINITY);
+        for (k, &load) in core_loads[..candidates].iter().enumerate() {
+            if load < least.1 {
+                least = (k, load);
+            }
+            if load + th.secs <= slot_secs + 1e-12 {
+                let dist = (cap - (load + th.secs)).abs();
+                if best_fit.map_or(true, |(_, d)| dist < d) {
+                    best_fit = Some((k, dist));
+                }
+            }
+        }
+        let best_core = best_fit.map_or(least.0, |(k, _)| k);
+        th.core = best_core;
+        core_loads[best_core] += th.secs;
+    }
+    core_loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const SLOT: f64 = 1.0 / 24.0;
+
+    fn demand(user: usize, secs: &[f64]) -> UserDemand {
+        UserDemand::new(user, secs.to_vec())
+    }
+
+    #[test]
+    fn cores_needed_matches_line1() {
+        let u = demand(0, &[0.01, 0.02, 0.015]);
+        // Σ = 0.045 s per slot x 24 fps = 1.08 → 2 cores.
+        assert_eq!(u.cores_needed(24.0), 2);
+        let light = demand(1, &[0.001]);
+        assert_eq!(light.cores_needed(24.0), 1);
+    }
+
+    #[test]
+    fn admission_prefers_light_users() {
+        // 3 cores; heavy user needs 3, light users need 1 each.
+        let users = vec![
+            demand(0, &[SLOT, SLOT, SLOT / 2.0]), // needs 3
+            demand(1, &[SLOT / 3.0]),             // needs 1
+            demand(2, &[SLOT / 3.0]),             // needs 1
+            demand(3, &[SLOT / 3.0]),             // needs 1
+        ];
+        let alloc = allocate(3, SLOT, &users);
+        assert_eq!(alloc.admitted, vec![1, 2, 3]);
+        assert_eq!(alloc.rejected, vec![0]);
+    }
+
+    #[test]
+    fn all_admitted_threads_are_placed() {
+        let users = vec![
+            demand(0, &[0.004, 0.003, 0.001]),
+            demand(1, &[0.010, 0.002]),
+        ];
+        let alloc = allocate(4, SLOT, &users);
+        assert_eq!(alloc.admitted.len(), 2);
+        assert_eq!(alloc.placements.len(), 5);
+        assert!(alloc.placements.iter().all(|p| p.core < 4));
+        let total: f64 = alloc.core_loads.iter().sum();
+        assert!((total - 0.020).abs() < 1e-12);
+    }
+
+    #[test]
+    fn placement_balances_loads_across_demanded_cores() {
+        // 8 threads of half a slot each: demand = 4 cores; balance is
+        // exactly two threads per core.
+        let users = vec![demand(0, &[SLOT / 2.0; 8])];
+        let alloc = allocate(8, SLOT, &users);
+        assert_eq!(alloc.used_cores(), 4);
+        for &load in &alloc.core_loads[..4] {
+            assert!((load - SLOT).abs() < 1e-12, "load={load}");
+        }
+        assert!((alloc.imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn consolidates_before_spreading() {
+        // The cap rule packs threads onto busy cores while they stay
+        // under the slot, minimizing the number of active cores — the
+        // source of the paper's DVFS savings.
+        let users = vec![demand(0, &[SLOT / 4.0; 4])];
+        let alloc = allocate(8, SLOT, &users);
+        // 4 x SLOT/4 fits one core exactly.
+        assert_eq!(alloc.used_cores(), 1, "loads={:?}", alloc.core_loads);
+        assert!(alloc.max_load() <= SLOT + 1e-12);
+    }
+
+    #[test]
+    fn demand_rounding_can_overrun_and_carry() {
+        // 3 x 0.6-slot threads: demand ceil(1.8) = 2 cores, so one core
+        // must take two threads and carry the overrun into the next
+        // slot — Algorithm 2's lines 5–6/21–22 behaviour.
+        let users = vec![demand(0, &[SLOT * 0.6; 3])];
+        let alloc = allocate(4, SLOT, &users);
+        assert_eq!(alloc.used_cores(), 2);
+        assert!(alloc.max_load() > SLOT);
+    }
+
+    #[test]
+    fn empty_queue_yields_empty_allocation() {
+        let alloc = allocate(4, SLOT, &[]);
+        assert!(alloc.admitted.is_empty());
+        assert!(alloc.placements.is_empty());
+        assert_eq!(alloc.used_cores(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        allocate(0, SLOT, &[]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_no_thread_lost_and_loads_consistent(
+            user_count in 1usize..6,
+            threads_per_user in 1usize..6,
+            base_ms in 1u32..20,
+        ) {
+            let users: Vec<UserDemand> = (0..user_count)
+                .map(|u| {
+                    demand(
+                        u,
+                        &vec![base_ms as f64 * 1e-3; threads_per_user],
+                    )
+                })
+                .collect();
+            let alloc = allocate(16, SLOT, &users);
+            // Every admitted user's threads placed exactly once.
+            let expect = alloc.admitted.len() * threads_per_user;
+            prop_assert_eq!(alloc.placements.len(), expect);
+            // Core loads equal the sum of placements.
+            let mut check = vec![0.0f64; 16];
+            for p in &alloc.placements {
+                check[p.core] += p.secs;
+            }
+            for (a, b) in check.iter().zip(&alloc.core_loads) {
+                prop_assert!((a - b).abs() < 1e-12);
+            }
+            // Admitted + rejected = all users.
+            prop_assert_eq!(
+                alloc.admitted.len() + alloc.rejected.len(),
+                user_count
+            );
+        }
+    }
+}

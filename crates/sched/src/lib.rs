@@ -1,0 +1,53 @@
+//! # medvt-sched
+//!
+//! Workload estimation and thread allocation for the `medvt`
+//! reproduction of *"Online Efficient Bio-Medical Video Transcoding on
+//! MPSoCs Through Content-Aware Workload Allocation"* (Iranfar et al.,
+//! DATE 2018).
+//!
+//! Contents, mapped to the paper:
+//!
+//! * [`WorkloadLut`] / [`LutBank`] — the per-(tile structure, encoding
+//!   configuration) CPU-time histograms of §III-D1, updated online and
+//!   transferable across videos of the same body-part class;
+//! * [`allocate`] / [`place_threads`] — Algorithm 2 lines 1–15:
+//!   ascending-demand admission
+//!   and cap-seeking thread placement;
+//! * [`baseline_allocate`] / [`BaselineRetileTrigger`] — the
+//!   one-tile-per-core allocator and rail-frequency re-tile trigger of
+//!   the baseline [19];
+//! * [`FeedbackController`] — the per-frame deadline feedback of
+//!   §III-D2 (lighten bottleneck tiles at f_max, restore on banked
+//!   slack, one-second framerate accounting).
+//!
+//! The DVFS stage of Algorithm 2 (lines 16–24) lives in
+//! [`medvt_mpsoc::simulate_slot`], which consumes the
+//! [`Allocation::core_loads`] produced here.
+//!
+//! # Examples
+//!
+//! ```
+//! use medvt_sched::{allocate, UserDemand};
+//!
+//! let slot = 1.0 / 24.0;
+//! let users = vec![
+//!     UserDemand::new(0, vec![slot * 0.2, slot * 0.3]),
+//!     UserDemand::new(1, vec![slot * 0.5]),
+//! ];
+//! let alloc = allocate(4, slot, &users);
+//! assert_eq!(alloc.admitted.len(), 2);
+//! assert!(alloc.max_load() <= slot + 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod alloc;
+mod baseline;
+mod feedback;
+mod lut;
+
+pub use alloc::{allocate, place_threads, Allocation, Placement, UserDemand};
+pub use baseline::{baseline_allocate, BaselineRetileTrigger};
+pub use feedback::{Adjustment, FeedbackController};
+pub use lut::{CycleHistogram, LutBank, LutKey, WorkloadLut};

@@ -1,0 +1,96 @@
+//! Motion-search laboratory: compare every implemented block-matching
+//! algorithm on one phantom video — candidates evaluated, residual
+//! cost, and how each handles the bio-medical motion structure.
+//!
+//! Run: `cargo run --release --example motion_search_lab`
+
+use medvt::frame::synth::{BodyPart, MotionPattern, PhantomVideo};
+use medvt::frame::{Rect, Resolution};
+use medvt::motion::{
+    BioMedicalSearch, CostMetric, CrossSearch, DiamondSearch, FullSearch, GopPhase,
+    HexOrientation, HexagonSearch, MotionField, MotionLevel, MotionSearch, MotionVector,
+    OneAtATimeSearch, SearchWindow, ThreeStepSearch, TzSearch,
+};
+
+fn main() {
+    // Panning bones study: global motion 1.5 px/frame to the right.
+    let video = PhantomVideo::builder(BodyPart::Bones)
+        .resolution(Resolution::new(320, 240))
+        .motion(MotionPattern::Pan { dx: 1.5, dy: 0.0 })
+        .seed(13)
+        .build();
+    let reference = video.render(0);
+    let current = video.render(4); // 6 px of true motion
+    let tile = Rect::new(64, 56, 192, 128); // the anatomy-bearing center
+
+    let algorithms: Vec<(&str, Box<dyn MotionSearch>)> = vec![
+        ("full", Box::new(FullSearch)),
+        ("three-step", Box::new(ThreeStepSearch)),
+        ("diamond", Box::new(DiamondSearch)),
+        ("cross", Box::new(CrossSearch)),
+        ("one-at-a-time", Box::new(OneAtATimeSearch::new())),
+        (
+            "hexagon-h",
+            Box::new(HexagonSearch::new(HexOrientation::Horizontal)),
+        ),
+        (
+            "hexagon-rot",
+            Box::new(HexagonSearch::new(HexOrientation::Rotating)),
+        ),
+        ("tz (HM ref)", Box::new(TzSearch::new())),
+        (
+            "biomed first",
+            Box::new(BioMedicalSearch::new(MotionLevel::High, GopPhase::First)),
+        ),
+        (
+            "biomed follow",
+            Box::new(BioMedicalSearch::new(
+                MotionLevel::High,
+                GopPhase::Subsequent {
+                    direction: MotionVector::new(-6, 0),
+                },
+            )),
+        ),
+    ];
+
+    println!(
+        "{:<14} {:>12} {:>14} {:>12} {:>10}",
+        "algorithm", "evaluations", "total SAD", "dominant MV", "coherence"
+    );
+    let mut full_evals = 0u64;
+    for (name, algo) in &algorithms {
+        let (field, stats) = MotionField::estimate(
+            current.y(),
+            reference.y(),
+            tile,
+            16,
+            algo.as_ref(),
+            SearchWindow::W64,
+            CostMetric::Sad,
+        );
+        if *name == "full" {
+            full_evals = stats.evaluations;
+        }
+        let speedup = if stats.evaluations > 0 && full_evals > 0 {
+            format!("({:>5.1}x vs full)", full_evals as f64 / stats.evaluations as f64)
+        } else {
+            String::new()
+        };
+        println!(
+            "{:<14} {:>12} {:>14} {:>12} {:>9.0}% {}",
+            name,
+            stats.evaluations,
+            stats.total_cost,
+            field.dominant_mv().to_string(),
+            field.coherence() * 100.0,
+            speedup
+        );
+    }
+    println!(
+        "\nTrue motion is (-6,0). The direction-seeded biomed follow-up starts\n\
+         in the inherited direction and needs a fraction of the evaluations —\n\
+         the mechanism behind the paper's 4x ME speedup. (The low-motion\n\
+         variant would shrink the window to 8x8, which is why the analyzer\n\
+         only assigns it to tiles probed as low-motion.)"
+    );
+}

@@ -1,0 +1,124 @@
+//! Cross-crate integration: the full content-aware pipeline against
+//! the baseline [19] on identical phantom material.
+
+use medvt::analyze::AnalyzerConfig;
+use medvt::core::{
+    profile_video, Baseline19Controller, BaselineConfig, ContentAwareController, PipelineConfig,
+    VideoProfile,
+};
+use medvt::encoder::EncoderConfig;
+use medvt::frame::synth::{BodyPart, MotionPattern, PhantomVideo};
+use medvt::frame::{Resolution, VideoClip};
+use medvt::sched::WorkloadLut;
+
+fn clip() -> VideoClip {
+    PhantomVideo::builder(BodyPart::LungChest)
+        .resolution(Resolution::new(192, 144))
+        .motion(MotionPattern::Pan { dx: 1.0, dy: 0.3 })
+        .seed(99)
+        .build()
+        .capture(17)
+}
+
+fn pipeline_config() -> PipelineConfig {
+    PipelineConfig {
+        analyzer: AnalyzerConfig {
+            min_tile_width: 32,
+            min_tile_height: 32,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn proposed() -> VideoProfile {
+    let mut ctl = ContentAwareController::new(pipeline_config(), WorkloadLut::new());
+    profile_video(
+        "it",
+        "lung_chest",
+        &clip(),
+        &mut ctl,
+        &EncoderConfig::default(),
+        false,
+    )
+}
+
+fn baseline() -> VideoProfile {
+    let mut ctl = Baseline19Controller::new(BaselineConfig {
+        initial_cores_per_user: 4,
+        ..Default::default()
+    });
+    ctl.set_rails_pinned(true);
+    profile_video(
+        "it",
+        "lung_chest",
+        &clip(),
+        &mut ctl,
+        &EncoderConfig::default(),
+        false,
+    )
+}
+
+#[test]
+fn proposed_does_not_cost_more_than_baseline() {
+    let p = proposed();
+    let b = baseline();
+    assert!(
+        p.mean_frame_secs() <= b.mean_frame_secs(),
+        "proposed {:.4}s vs baseline {:.4}s per frame",
+        p.mean_frame_secs(),
+        b.mean_frame_secs()
+    );
+}
+
+#[test]
+fn both_pipelines_meet_quality_floor() {
+    let p = proposed();
+    let b = baseline();
+    assert!(p.mean_psnr_db > 36.0, "proposed psnr {}", p.mean_psnr_db);
+    assert!(b.mean_psnr_db > 36.0, "baseline psnr {}", b.mean_psnr_db);
+}
+
+#[test]
+fn proposed_tile_times_are_more_diverse() {
+    // The paper's Fig. 3 point: content-aware tiles have diverse CPU
+    // times (cheap borders, busy center) while capacity-balanced tiles
+    // are deliberately uniform.
+    let p = proposed();
+    let b = baseline();
+    let spread = |profile: &VideoProfile| {
+        let f = &profile.frames[profile.frames.len() - 2];
+        let times: Vec<f64> = f.tiles.iter().map(|t| t.fmax_secs).collect();
+        let max = times.iter().copied().fold(0.0, f64::max);
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        max / min.max(1e-12)
+    };
+    assert!(
+        spread(&p) > spread(&b),
+        "proposed spread {:.1} vs baseline {:.1}",
+        spread(&p),
+        spread(&b)
+    );
+}
+
+#[test]
+fn profiles_are_deterministic() {
+    let a = proposed();
+    let b = proposed();
+    assert_eq!(a.frames.len(), b.frames.len());
+    assert_eq!(a.mean_psnr_db, b.mean_psnr_db);
+    assert_eq!(a.bitrate_mbps, b.bitrate_mbps);
+    for (fa, fb) in a.frames.iter().zip(&b.frames) {
+        assert_eq!(fa, fb);
+    }
+}
+
+#[test]
+fn gop_structure_shows_in_frame_kinds() {
+    let p = proposed();
+    assert_eq!(p.frames[0].kind, 'I');
+    // Anchors at 8 and 16 are P (intra period 4 GOPs), mid-GOP are B.
+    assert_eq!(p.frames[8].kind, 'P');
+    assert_eq!(p.frames[4].kind, 'B');
+    assert_eq!(p.frames[1].kind, 'B');
+}

@@ -1,0 +1,178 @@
+//! Integration of profiling, Algorithm 2, the baseline allocator and
+//! the MPSoC slot simulation — the machinery behind Table II and
+//! Fig. 4 at test scale.
+
+use medvt::core::{Approach, FrameReport, ServerConfig, ServerSim, TileReport, VideoProfile};
+use medvt::frame::Rect;
+use medvt::mpsoc::{DvfsPolicy, Platform, PowerModel};
+
+const SLOT: f64 = 1.0 / 24.0;
+
+/// Synthetic profile with per-tile times mimicking the paper's Fig. 3
+/// content-aware tiling: busy center tiles, cheap border tiles,
+/// Σ ≈ 0.0765 s per frame (≈1.8 slots at 24 fps).
+fn content_aware_profile() -> VideoProfile {
+    let times = [0.020, 0.018, 0.015, 0.010, 0.004, 0.003, 0.002, 0.002, 0.002, 0.0005];
+    let tiles: Vec<TileReport> = times
+        .iter()
+        .enumerate()
+        .map(|(i, &secs)| TileReport {
+            rect: Rect::new((i % 5) * 64, (i / 5) * 64, 64, 64),
+            cycles: (secs * 3.6e9) as u64,
+            fmax_secs: secs,
+            bits: 8_000,
+            psnr_db: 40.5,
+        })
+        .collect();
+    VideoProfile {
+        name: "content-aware".into(),
+        class: "brain".into(),
+        fps: 24.0,
+        frames: (0..8)
+            .map(|poc| FrameReport {
+                poc,
+                kind: 'B',
+                tiles: tiles.clone(),
+            })
+            .collect(),
+        mean_psnr_db: 40.5,
+        bitrate_mbps: 2.23,
+    }
+}
+
+/// Capacity-balanced profile: 5 uniform tiles near core capacity
+/// (paper Fig. 3a: Σ ≈ 0.159 s per frame).
+fn baseline_profile() -> VideoProfile {
+    let tiles: Vec<TileReport> = (0..5)
+        .map(|i| TileReport {
+            rect: Rect::new(i * 128, 0, 128, 240),
+            cycles: (0.032 * 3.6e9) as u64,
+            fmax_secs: 0.032,
+            bits: 9_000,
+            psnr_db: 40.6,
+        })
+        .collect();
+    VideoProfile {
+        name: "baseline".into(),
+        class: "brain".into(),
+        fps: 24.0,
+        frames: (0..8)
+            .map(|poc| FrameReport {
+                poc,
+                kind: 'B',
+                tiles: tiles.clone(),
+            })
+            .collect(),
+        mean_psnr_db: 40.6,
+        bitrate_mbps: 2.23,
+    }
+}
+
+fn sim() -> ServerSim {
+    ServerSim::new(ServerConfig {
+        queue_len: 40,
+        sim_slots: 24,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn paper_like_workloads_give_paper_like_user_ratio() {
+    // Proposed: Σ 0.0765 s/frame ≈ 1.84 slots → ≈2.1 fractional cores
+    // per user with headroom. Baseline: 5 tiles, one core each.
+    let s = sim();
+    let prop = s.serve_max(&[content_aware_profile()], Approach::Proposed);
+    let base = s.serve_max(&[baseline_profile()], Approach::Baseline);
+    assert_eq!(base.users_served, 6, "32 cores / 5 tiles");
+    assert!(
+        prop.users_served >= 12,
+        "proposed packs ~2 cores/user: {}",
+        prop.users_served
+    );
+    let ratio = prop.users_served as f64 / base.users_served as f64;
+    assert!(
+        (1.3..=3.5).contains(&ratio),
+        "user ratio {ratio} out of plausible band"
+    );
+}
+
+#[test]
+fn proposed_uses_less_power_at_equal_throughput() {
+    let s = sim();
+    for n in [1usize, 2, 4, 6] {
+        let savings = s
+            .power_savings_percent(
+                &[content_aware_profile()],
+                &[baseline_profile()],
+                n,
+            )
+            .expect("both serve n users");
+        assert!(savings > 0.0, "n={n}: savings {savings}%");
+    }
+}
+
+#[test]
+fn savings_grow_with_user_count() {
+    let s = sim();
+    let at = |n| {
+        s.power_savings_percent(&[content_aware_profile()], &[baseline_profile()], n)
+            .expect("feasible")
+    };
+    let low = at(1);
+    let high = at(6);
+    assert!(
+        high >= low * 0.8,
+        "savings should not collapse with load: {low}% → {high}%"
+    );
+}
+
+#[test]
+fn stretch_policy_saves_energy_vs_race() {
+    let profiles = [content_aware_profile()];
+    let stretch = ServerSim::new(ServerConfig {
+        policy: DvfsPolicy::StretchToDeadline,
+        queue_len: 8,
+        sim_slots: 24,
+        ..Default::default()
+    });
+    let race = ServerSim::new(ServerConfig {
+        policy: DvfsPolicy::RaceToIdle,
+        queue_len: 8,
+        sim_slots: 24,
+        ..Default::default()
+    });
+    let e_stretch = stretch
+        .serve_fixed(&profiles, 4, Approach::Proposed)
+        .unwrap()
+        .energy_j;
+    let e_race = race
+        .serve_fixed(&profiles, 4, Approach::Proposed)
+        .unwrap()
+        .energy_j;
+    assert!(
+        e_stretch < e_race,
+        "stretch {e_stretch} J vs race {e_race} J"
+    );
+}
+
+#[test]
+fn deadline_misses_surface_under_oversubscription() {
+    // A profile that genuinely overruns: one tile of 1.2 slots.
+    let mut heavy = content_aware_profile();
+    for f in &mut heavy.frames {
+        f.tiles[0].fmax_secs = SLOT * 1.2;
+    }
+    let s = ServerSim::new(ServerConfig {
+        platform: Platform::quad_core(),
+        power: PowerModel::default(),
+        queue_len: 2,
+        sim_slots: 12,
+        ..Default::default()
+    });
+    let report = s.serve_max(&[heavy], Approach::Proposed);
+    assert!(report.users_served >= 1);
+    assert!(
+        report.miss_slots > 0,
+        "an overrunning tile must register deadline misses"
+    );
+}
