@@ -43,14 +43,11 @@ impl CapacityBalancedTiler {
     pub fn tile(&self, luma: &Plane) -> Tiling {
         let frame = luma.bounds();
         assert!(
-            frame.w % 8 == 0 && frame.h % 8 == 0,
+            frame.w.is_multiple_of(8) && frame.h.is_multiple_of(8),
             "frame must be 8-aligned"
         );
         let rows = if self.cores <= 4 { 1 } else { 2 };
-        assert!(
-            frame.h / 8 >= rows,
-            "frame too short for {rows} tile rows"
-        );
+        assert!(frame.h / 8 >= rows, "frame too short for {rows} tile rows");
         // Distribute cores over rows: top row gets the remainder.
         let per_row = self.cores / rows;
         let extra = self.cores % rows;

@@ -60,7 +60,7 @@ impl AnalyzerConfig {
                 self.texture_low, self.texture_high
             ));
         }
-        if self.min_tile_width % 8 != 0 || self.min_tile_height % 8 != 0 {
+        if !self.min_tile_width.is_multiple_of(8) || !self.min_tile_height.is_multiple_of(8) {
             return Err("minimum tile size must be 8-aligned".into());
         }
         if self.min_tile_width == 0 || self.min_tile_height == 0 {

@@ -38,12 +38,7 @@ pub struct MotionScore {
 ///
 /// Panics when the planes differ in size or `rect` is empty or outside
 /// them.
-pub fn probe_motion(
-    cur: &Plane,
-    prev: &Plane,
-    rect: &Rect,
-    cfg: &AnalyzerConfig,
-) -> MotionScore {
+pub fn probe_motion(cur: &Plane, prev: &Plane, rect: &Rect, cfg: &AnalyzerConfig) -> MotionScore {
     assert_eq!(cur.width(), prev.width(), "plane widths differ");
     assert_eq!(cur.height(), prev.height(), "plane heights differ");
     assert!(!rect.is_empty(), "cannot probe an empty rect");

@@ -80,7 +80,7 @@ impl Retiler {
     pub fn retile(&self, cur: &Plane, prev: Option<&Plane>) -> RetileOutcome {
         let frame = cur.bounds();
         assert!(
-            frame.w % 8 == 0 && frame.h % 8 == 0,
+            frame.w.is_multiple_of(8) && frame.h.is_multiple_of(8),
             "frame must be 8-aligned"
         );
         assert!(
@@ -332,7 +332,15 @@ mod tests {
         let mut p = Plane::new(256, 192);
         for row in 0..192 {
             for col in 0..256 {
-                p.set(col, row, if (col / 4 + row / 4) % 2 == 0 { 20 } else { 230 });
+                p.set(
+                    col,
+                    row,
+                    if (col / 4 + row / 4) % 2 == 0 {
+                        20
+                    } else {
+                        230
+                    },
+                );
             }
         }
         let out = retiler().retile(&p, None);

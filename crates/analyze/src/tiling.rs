@@ -55,17 +55,10 @@ impl Tiling {
             area += t.area();
         }
         if area != frame.area() {
-            return Err(format!(
-                "tiles cover {area} of {} samples",
-                frame.area()
-            ));
+            return Err(format!("tiles cover {area} of {} samples", frame.area()));
         }
-        for (i, a) in tiles.iter().enumerate() {
-            for b in tiles.iter().skip(i + 1) {
-                if a.intersects(b) {
-                    return Err(format!("tiles {a} and {b} overlap"));
-                }
-            }
+        if let Some((a, b)) = medvt_frame::find_overlap(&tiles) {
+            return Err(format!("tiles {a} and {b} overlap"));
         }
         Ok(Self { frame, tiles })
     }
@@ -79,7 +72,7 @@ impl Tiling {
     pub fn uniform(frame: Rect, cols: usize, rows: usize) -> Self {
         assert!(cols > 0 && rows > 0, "grid must be non-empty");
         assert!(
-            frame.w % 8 == 0 && frame.h % 8 == 0,
+            frame.w.is_multiple_of(8) && frame.h.is_multiple_of(8),
             "frame must be 8-aligned"
         );
         assert!(
@@ -235,12 +228,11 @@ mod tests {
             vec![Rect::new(0, 0, 64, 40), Rect::new(0, 32, 64, 32)]
         )
         .is_err());
-        assert!(Tiling::new(
-            frame,
-            vec![Rect::new(0, 0, 4, 64), Rect::new(4, 0, 60, 64)]
-        )
-        .unwrap_err()
-        .contains("8-aligned"));
+        assert!(
+            Tiling::new(frame, vec![Rect::new(0, 0, 4, 64), Rect::new(4, 0, 60, 64)])
+                .unwrap_err()
+                .contains("8-aligned")
+        );
         assert!(Tiling::new(frame, vec![]).is_err());
     }
 

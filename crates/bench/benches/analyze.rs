@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use medvt_analyze::{
-    analyze_tiling, measure_texture, probe_motion, AnalyzerConfig, CapacityBalancedTiler,
-    Retiler, Tiling,
+    analyze_tiling, measure_texture, probe_motion, AnalyzerConfig, CapacityBalancedTiler, Retiler,
+    Tiling,
 };
 use medvt_frame::synth::{BodyPart, MotionPattern, PhantomVideo};
 use medvt_frame::{Rect, Resolution};

@@ -78,14 +78,17 @@ fn bench_parallel_tiles(c: &mut Criterion) {
             BenchmarkId::from_parameter(if parallel { "parallel" } else { "serial" }),
             &parallel,
             |b, &parallel| {
-                b.iter(|| {
-                    encode_frame(&frame, &[], FrameKind::Intra, 0, &plan, &ecfg, parallel)
-                })
+                b.iter(|| encode_frame(&frame, &[], FrameKind::Intra, 0, &plan, &ecfg, parallel))
             },
         );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_transform, bench_tile_by_qp, bench_parallel_tiles);
+criterion_group!(
+    benches,
+    bench_transform,
+    bench_tile_by_qp,
+    bench_parallel_tiles
+);
 criterion_main!(benches);

@@ -5,9 +5,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use medvt_frame::synth::{BodyPart, MotionPattern, PhantomVideo};
 use medvt_frame::{Plane, Rect, Resolution};
 use medvt_motion::{
-    BioMedicalSearch, CostMetric, CrossSearch, DiamondSearch, FullSearch, GopPhase,
-    HexOrientation, HexagonSearch, MotionLevel, MotionSearch, MotionVector, OneAtATimeSearch,
-    SearchContext, SearchWindow, ThreeStepSearch, TzSearch,
+    BioMedicalSearch, CostMetric, CrossSearch, DiamondSearch, FullSearch, GopPhase, HexOrientation,
+    HexagonSearch, MotionLevel, MotionSearch, MotionVector, OneAtATimeSearch, SearchContext,
+    SearchWindow, ThreeStepSearch, TzSearch,
 };
 
 fn planes() -> (Plane, Plane) {

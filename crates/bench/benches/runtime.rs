@@ -1,0 +1,157 @@
+//! Frame-slot throughput of the placement-aware runtime: serial
+//! reference vs `ThreadPoolBackend` at 1/2/4/8 workers on a 16-tile
+//! frame.
+//!
+//! Besides the usual bench printout, writes a JSON artifact
+//! (`runtime_bench.json`, next to the other experiment artifacts) with
+//! per-configuration seconds-per-frame and the speedup at 4 workers.
+//! Speedups track the host's physical parallelism: on a multi-core
+//! host the 4-worker pool is expected to clear 2x the serial
+//! throughput; single-core hosts can only show queueing overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medvt_bench::write_artifact;
+use medvt_encoder::{encode_frame, encode_frame_with, EncoderConfig, FramePlan, Qp, TileConfig};
+use medvt_frame::synth::{BodyPart, MotionPattern, PhantomVideo};
+use medvt_frame::{Frame, FrameKind, Resolution};
+use medvt_mpsoc::{Platform, PowerModel};
+use medvt_runtime::ThreadPoolBackend;
+use serde::Serialize;
+use std::time::Instant;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+#[derive(Debug, Serialize)]
+struct ConfigResult {
+    config: String,
+    secs_per_frame: f64,
+    frames_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct RuntimeBench {
+    host_parallelism: usize,
+    frame_width: usize,
+    frame_height: usize,
+    tiles: usize,
+    results: Vec<ConfigResult>,
+    speedup_at_4_workers: f64,
+}
+
+fn test_frame() -> Frame {
+    PhantomVideo::builder(BodyPart::Cardiac)
+        .resolution(Resolution::new(320, 240))
+        .motion(MotionPattern::Pan { dx: 1.0, dy: 0.4 })
+        .seed(2024)
+        .build()
+        .render(0)
+}
+
+fn plan_for(frame: &Frame) -> FramePlan {
+    FramePlan::uniform(
+        frame.y().bounds(),
+        4,
+        4,
+        TileConfig::with_qp(Qp::new(32).expect("valid QP")),
+    )
+}
+
+/// Median seconds of 5 timed runs (after one warmup).
+fn measure(mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn bench_frame_slot_throughput(c: &mut Criterion) {
+    let frame = test_frame();
+    let plan = plan_for(&frame);
+    let ecfg = EncoderConfig::default();
+
+    let mut results = Vec::new();
+    let serial_secs = measure(|| {
+        encode_frame(&frame, &[], FrameKind::Intra, 0, &plan, &ecfg, false);
+    });
+    results.push(ConfigResult {
+        config: "serial".to_string(),
+        secs_per_frame: serial_secs,
+        frames_per_sec: 1.0 / serial_secs,
+    });
+    let mut pool4_secs = serial_secs;
+    for workers in WORKER_COUNTS {
+        let backend =
+            ThreadPoolBackend::with_workers(Platform::quad_core(), PowerModel::default(), workers);
+        let secs = measure(|| {
+            encode_frame_with(
+                &frame,
+                &[],
+                FrameKind::Intra,
+                0,
+                &plan,
+                &ecfg,
+                &backend,
+                None,
+            );
+        });
+        if workers == 4 {
+            pool4_secs = secs;
+        }
+        results.push(ConfigResult {
+            config: format!("pool-{workers}"),
+            secs_per_frame: secs,
+            frames_per_sec: 1.0 / secs,
+        });
+    }
+    for r in &results {
+        println!(
+            "runtime/frame_slot_16tiles/{:<8} {:>8.2} ms/frame  {:>7.1} fps",
+            r.config,
+            r.secs_per_frame * 1e3,
+            r.frames_per_sec
+        );
+    }
+    let speedup = serial_secs / pool4_secs;
+    println!("runtime/frame_slot_16tiles speedup at 4 workers: {speedup:.2}x");
+    let artifact = RuntimeBench {
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        frame_width: 320,
+        frame_height: 240,
+        tiles: plan.tile_count(),
+        results,
+        speedup_at_4_workers: speedup,
+    };
+    let path = write_artifact("runtime_bench", &artifact);
+    println!("artifact: {}", path.display());
+
+    // Standard criterion entries for the two headline configurations.
+    let mut group = c.benchmark_group("frame_slot_16tiles");
+    group.bench_with_input(BenchmarkId::from_parameter("serial"), &(), |b, ()| {
+        b.iter(|| encode_frame(&frame, &[], FrameKind::Intra, 0, &plan, &ecfg, false))
+    });
+    let backend = ThreadPoolBackend::with_workers(Platform::quad_core(), PowerModel::default(), 4);
+    group.bench_with_input(BenchmarkId::from_parameter("pool-4"), &(), |b, ()| {
+        b.iter(|| {
+            encode_frame_with(
+                &frame,
+                &[],
+                FrameKind::Intra,
+                0,
+                &plan,
+                &ecfg,
+                &backend,
+                None,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frame_slot_throughput);
+criterion_main!(benches);

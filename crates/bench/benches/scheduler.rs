@@ -8,6 +8,7 @@ use medvt_encoder::Qp;
 use medvt_frame::{FrameKind, Rect};
 use medvt_motion::MotionLevel;
 use medvt_mpsoc::{simulate_slot, DvfsPolicy, Platform, PowerModel};
+use medvt_runtime::{DemandSource, ReplanPolicy, ServerLoop, ServerLoopConfig, SimBackend};
 use medvt_sched::{allocate, baseline_allocate, LutKey, UserDemand, WorkloadLut};
 
 const SLOT: f64 = 1.0 / 24.0;
@@ -98,11 +99,43 @@ fn bench_slot_sim(c: &mut Criterion) {
     });
 }
 
+/// The complete per-slot server path as production runs it: per-GOP
+/// re-placement plus backend slot execution for 24 users on 32 cores.
+fn bench_server_loop(c: &mut Criterion) {
+    struct Flat;
+    impl DemandSource for Flat {
+        fn demand_at(&self, user: usize, slot: usize) -> Vec<f64> {
+            (0..10)
+                .map(|t| SLOT / 80.0 * (1.0 + 0.1 * ((user + t + slot) % 5) as f64))
+                .collect()
+        }
+    }
+    let platform = Platform::xeon_e5_2667_quad();
+    let admitted: Vec<usize> = (0..24).collect();
+    c.bench_function("server_loop_gop_24users_32cores", |b| {
+        let mut backend = SimBackend::new(platform.clone(), PowerModel::default());
+        b.iter(|| {
+            let mut lp = ServerLoop::new(
+                &mut backend,
+                ServerLoopConfig {
+                    fps: 24.0,
+                    slots: 8,
+                    policy: DvfsPolicy::StretchToDeadline,
+                    replan: ReplanPolicy::PerGop { headroom: 1.15 },
+                    gop_slots: 8,
+                },
+            );
+            lp.run(&Flat, &admitted, &[])
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_allocate,
     bench_baseline_allocate,
     bench_lut,
-    bench_slot_sim
+    bench_slot_sim,
+    bench_server_loop
 );
 criterion_main!(benches);

@@ -19,8 +19,8 @@ use medvt_core::{
 use medvt_encoder::{CostModel, EncoderConfig, Qp, SearchSpec, VideoEncoder};
 use medvt_frame::synth::{BodyPart, MotionPattern, PhantomVideo};
 use medvt_frame::VideoClip;
-use medvt_mpsoc::{simulate_slot, DvfsPolicy, Platform, PowerModel};
 use medvt_motion::HexOrientation;
+use medvt_mpsoc::{simulate_slot, DvfsPolicy, Platform, PowerModel};
 use medvt_sched::WorkloadLut;
 use serde::Serialize;
 
@@ -75,7 +75,11 @@ fn row_uniform(scale: Scale, label: &str, policy: MePolicy) -> AblationRow {
 
 fn main() {
     let scale = Scale::from_env();
-    println!("Ablation study ({} @ {})\n", scale.frames().min(17), scale.resolution());
+    println!(
+        "Ablation study ({} @ {})\n",
+        scale.frames().min(17),
+        scale.resolution()
+    );
 
     // --- 1+2: pipeline variants ------------------------------------
     let full = profile_proposed(scale);
@@ -85,13 +89,21 @@ fn main() {
         psnr_db: full.mean_psnr_db,
         bitrate_mbps: full.bitrate_mbps,
     }];
-    rows.push(row_uniform(scale, "uniform 4x3 + biomed ME (no retiling/QP ladder)", MePolicy::Proposed));
+    rows.push(row_uniform(
+        scale,
+        "uniform 4x3 + biomed ME (no retiling/QP ladder)",
+        MePolicy::Proposed,
+    ));
     rows.push(row_uniform(
         scale,
         "uniform 4x3 + hexagon ME",
         MePolicy::Fixed(SearchSpec::Hexagon(HexOrientation::Horizontal)),
     ));
-    rows.push(row_uniform(scale, "uniform 4x3 + TZ ME", MePolicy::Fixed(SearchSpec::Tz)));
+    rows.push(row_uniform(
+        scale,
+        "uniform 4x3 + TZ ME",
+        MePolicy::Fixed(SearchSpec::Tz),
+    ));
 
     println!(
         "{:<50} {:>11} {:>8} {:>8}",

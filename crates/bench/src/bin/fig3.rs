@@ -6,9 +6,7 @@
 //! Run: `cargo run --release -p medvt-bench --bin fig3`
 
 use medvt_bench::{baseline_config, pipeline_config, write_artifact, Scale};
-use medvt_core::{
-    profile_video, Baseline19Controller, ContentAwareController, VideoProfile,
-};
+use medvt_core::{profile_video, Baseline19Controller, ContentAwareController, VideoProfile};
 use medvt_encoder::EncoderConfig;
 use medvt_frame::synth::{BodyPart, MotionPattern, PhantomVideo};
 use medvt_mpsoc::{plan_core, DvfsPolicy, Platform};
@@ -23,12 +21,7 @@ struct Fig3Side {
     cores_at_fmax: usize,
 }
 
-fn analyze_side(
-    label: &str,
-    profile: &VideoProfile,
-    frame_idx: usize,
-    baseline: bool,
-) -> Fig3Side {
+fn analyze_side(label: &str, profile: &VideoProfile, frame_idx: usize, baseline: bool) -> Fig3Side {
     let platform = Platform::xeon_e5_2667_quad();
     let slot = 1.0 / 24.0;
     let frame = &profile.frames[frame_idx.min(profile.frames.len() - 1)];
@@ -77,10 +70,8 @@ fn main() {
         .capture(scale.frames().min(17));
 
     eprintln!("profiling proposed…");
-    let mut prop_ctl = ContentAwareController::new(
-        pipeline_config(scale),
-        medvt_sched::WorkloadLut::new(),
-    );
+    let mut prop_ctl =
+        ContentAwareController::new(pipeline_config(scale), medvt_sched::WorkloadLut::new());
     let prop = profile_video(
         "fig3",
         "lung_chest",

@@ -25,7 +25,10 @@ fn main() {
     let sim = ServerSim::new(ServerConfig::default());
 
     println!("Fig. 4 — power savings (%) vs number of users (equal throughput)\n");
-    println!("{:>6} {:>12} {:>12} {:>10}", "users", "proposed(W)", "[19](W)", "savings%");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "users", "proposed(W)", "[19](W)", "savings%"
+    );
     let mut points = Vec::new();
     for &n in &USER_COUNTS {
         let base = sim.serve_fixed(&base_profiles, n, Approach::Baseline);
@@ -55,8 +58,7 @@ fn main() {
             "\nshape: savings grow from {:.0}% at {} user(s) toward {:.0}% at {} users (paper: up to ~44%)",
             first.savings_pct, first.users, last.savings_pct, last.users
         );
-        let avg: f64 =
-            points.iter().map(|p| p.savings_pct).sum::<f64>() / points.len() as f64;
+        let avg: f64 = points.iter().map(|p| p.savings_pct).sum::<f64>() / points.len() as f64;
         println!("shape: mean savings across the sweep {avg:.0}%");
     }
 

@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p medvt-bench --bin headline`
 
-use medvt_bench::{baseline_profiles, proposed_profiles, write_artifact, Scale};
+use medvt_bench::{backend_from_env, baseline_profiles, proposed_profiles, write_artifact, Scale};
 use medvt_core::{Approach, MePolicy, ServerConfig, ServerSim, UniformMeController};
 use medvt_encoder::{EncoderConfig, Qp, SearchSpec, VideoEncoder};
 use medvt_frame::synth::{BodyPart, MotionPattern, PhantomVideo};
@@ -16,6 +16,7 @@ use serde::Serialize;
 
 #[derive(Debug, Serialize)]
 struct Headline {
+    backend: String,
     me_speedup_vs_tz: f64,
     user_ratio: f64,
     power_savings_pct_at_max_common_users: f64,
@@ -49,10 +50,12 @@ fn main() {
     let prop_profiles = proposed_profiles(scale);
     let base_profiles = baseline_profiles(scale);
     let sim = ServerSim::new(ServerConfig::default());
-    let prop = sim.serve_max(&prop_profiles, Approach::Proposed);
-    let base = sim.serve_max(&base_profiles, Approach::Baseline);
+    let (backend_name, mut backend) = backend_from_env(sim.config());
+    eprintln!("serving on the `{backend_name}` backend…");
+    let prop = sim.serve_max_on(&mut backend, &prop_profiles, Approach::Proposed);
+    let base = sim.serve_max_on(&mut backend, &base_profiles, Approach::Baseline);
     let ratio = prop.users_served as f64 / base.users_served.max(1) as f64;
-    let common = base.users_served.min(12).max(1);
+    let common = base.users_served.clamp(1, 12);
     let savings = sim
         .power_savings_percent(&prop_profiles, &base_profiles, common)
         .unwrap_or(f64::NAN);
@@ -70,6 +73,7 @@ fn main() {
     );
 
     let artifact = Headline {
+        backend: backend_name.to_string(),
         me_speedup_vs_tz: speedup,
         user_ratio: ratio,
         power_savings_pct_at_max_common_users: savings,

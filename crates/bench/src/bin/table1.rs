@@ -80,7 +80,11 @@ fn main() {
         .capture(scale.me_frames());
 
     println!("Table I — ME speedup / PSNR loss / bitrate loss vs TZ search");
-    println!("(phantom video, {} frames @ {})\n", clip.len(), scale.resolution());
+    println!(
+        "(phantom video, {} frames @ {})\n",
+        clip.len(),
+        scale.resolution()
+    );
 
     let mut table = Table1 {
         tilings: TILINGS.iter().map(|(c, r)| format!("{c}x{r}")).collect(),
@@ -115,7 +119,8 @@ fn main() {
         let tz_cycles = total_cycles(&tz).max(1) as f64;
         let (first, rest) = table.rows.split_at_mut(1);
         for (row, stats) in [(&mut first[0], &proposed), (&mut rest[0], &hex)] {
-            row.speedup.push(tz_cycles / total_cycles(stats).max(1) as f64);
+            row.speedup
+                .push(tz_cycles / total_cycles(stats).max(1) as f64);
             row.me_speedup
                 .push(tz_samples / stats.total_sad_samples().max(1) as f64);
             row.psnr_loss_db.push(tz.mean_psnr() - stats.mean_psnr());
@@ -154,7 +159,10 @@ fn main() {
     let h = &table.rows[1];
     let p_last = *p.speedup.last().expect("rows filled");
     let p_first = p.speedup[0];
-    println!("\nshape: proposed speedup grows {:.1}x → {:.1}x across tilings", p_first, p_last);
+    println!(
+        "\nshape: proposed speedup grows {:.1}x → {:.1}x across tilings",
+        p_first, p_last
+    );
     let wins = p
         .speedup
         .iter()

@@ -4,20 +4,30 @@
 //!
 //! Run: `cargo run --release -p medvt-bench --bin table2`
 
-use medvt_bench::{baseline_profiles, proposed_profiles, write_artifact, Scale};
+use medvt_bench::{backend_from_env, baseline_profiles, proposed_profiles, write_artifact, Scale};
 use medvt_core::{Approach, ServerConfig, ServerReport, ServerSim};
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
 struct Table2 {
+    backend: String,
     proposed: ServerReport,
     baseline: ServerReport,
     user_ratio: f64,
 }
 
 fn print_block(r: &ServerReport) {
-    println!("{:<10}  Max  {:>6.1}  {:>6.2}  {:>4}", r.approach.label(), r.psnr_db.max, r.bitrate_mbps.max, "");
-    println!("{:<10}  Min  {:>6.1}  {:>6.2}  {:>4}", "", r.psnr_db.min, r.bitrate_mbps.min, "");
+    println!(
+        "{:<10}  Max  {:>6.1}  {:>6.2}  {:>4}",
+        r.approach.label(),
+        r.psnr_db.max,
+        r.bitrate_mbps.max,
+        ""
+    );
+    println!(
+        "{:<10}  Min  {:>6.1}  {:>6.2}  {:>4}",
+        "", r.psnr_db.min, r.bitrate_mbps.min, ""
+    );
     println!(
         "{:<10}  Avg  {:>6.1}  {:>6.2}  {:>4}",
         "", r.psnr_db.avg, r.bitrate_mbps.avg, r.users_served
@@ -32,16 +42,24 @@ fn main() {
     let base_profiles = baseline_profiles(scale);
 
     let sim = ServerSim::new(ServerConfig::default());
-    let proposed = sim.serve_max(&prop_profiles, Approach::Proposed);
-    let baseline = sim.serve_max(&base_profiles, Approach::Baseline);
+    let (backend_name, mut backend) = backend_from_env(sim.config());
+    eprintln!("serving on the `{backend_name}` backend…");
+    let proposed = sim.serve_max_on(&mut backend, &prop_profiles, Approach::Proposed);
+    let baseline = sim.serve_max_on(&mut backend, &base_profiles, Approach::Baseline);
 
     println!("\nTable II — PSNR, bitrate and number of served users");
-    println!("{:<10}  {:<4} {:>6}  {:>6}  {:>5}", "", "", "PSNR", "Mbps", "users");
+    println!(
+        "{:<10}  {:<4} {:>6}  {:>6}  {:>5}",
+        "", "", "PSNR", "Mbps", "users"
+    );
     print_block(&proposed);
     print_block(&baseline);
 
     let ratio = proposed.users_served as f64 / baseline.users_served.max(1) as f64;
-    println!("\nshape: proposed serves {:.2}x the users of [19] (paper ≈ 1.5-1.6x)", ratio);
+    println!(
+        "\nshape: proposed serves {:.2}x the users of [19] (paper ≈ 1.5-1.6x)",
+        ratio
+    );
     println!(
         "shape: PSNR floors {:.1} vs {:.1} dB — no quality degradation (paper: ~39.9/39.7)",
         proposed.psnr_db.min, baseline.psnr_db.min
@@ -53,6 +71,7 @@ fn main() {
     );
 
     let artifact = Table2 {
+        backend: backend_name.to_string(),
         proposed,
         baseline,
         user_ratio: ratio,

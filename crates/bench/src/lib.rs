@@ -1,22 +1,31 @@
 //! Shared harness for the experiment binaries that regenerate the
 //! paper's tables and figures.
 //!
-//! Every binary honours two environment variables:
+//! Every binary honours three environment variables:
 //!
 //! * `MEDVT_SCALE=full|quick` — `full` uses the paper's geometry
 //!   (640x480, long clips; minutes of CPU), `quick` (default) runs a
 //!   reduced geometry that preserves every trend in seconds.
 //! * `MEDVT_OUT=dir` — where JSON result artifacts are written
 //!   (default `target/experiments`).
+//! * `MEDVT_BACKEND=sim|pool` — which execution backend serves the
+//!   frame slots: the analytical model (default) or the per-core
+//!   thread-pool backend. Both report identical statistics by
+//!   construction. Note that profile replay carries no per-tile
+//!   closures (`DemandSource::work_for` is `None`), so under `pool`
+//!   the slots flow through the worker-pool backend's queueing and
+//!   carry state but no tile is re-encoded — real work in the server
+//!   path needs a `DemandSource` that supplies closures.
 
+use medvt_analyze::AnalyzerConfig;
 use medvt_core::{
     profile_video, Baseline19Controller, BaselineConfig, ContentAwareController, PipelineConfig,
-    VideoProfile,
+    ServerConfig, VideoProfile,
 };
-use medvt_analyze::AnalyzerConfig;
 use medvt_encoder::EncoderConfig;
 use medvt_frame::synth::{medical_suite, PhantomConfig, PhantomVideo};
 use medvt_frame::{Resolution, VideoClip};
+use medvt_runtime::{ExecutionBackend, SimBackend, ThreadPoolBackend};
 use medvt_sched::{LutBank, WorkloadLut};
 use serde::Serialize;
 use std::path::PathBuf;
@@ -51,8 +60,8 @@ impl Scale {
     /// Frames per profiled clip.
     pub fn frames(&self) -> usize {
         match self {
-            Scale::Quick => 33,  // IDR + 4 GOPs
-            Scale::Full => 97,   // IDR + 12 GOPs
+            Scale::Quick => 33, // IDR + 4 GOPs
+            Scale::Full => 97,  // IDR + 12 GOPs
         }
     }
 
@@ -142,7 +151,14 @@ pub fn proposed_profiles(scale: Scale) -> Vec<VideoProfile> {
     for (name, class, clip) in suite_clips(scale) {
         let lut: WorkloadLut = bank.seed_for(&class);
         let mut ctl = ContentAwareController::new(pipeline_config(scale), lut);
-        let profile = profile_video(&name, &class, &clip, &mut ctl, &EncoderConfig::default(), false);
+        let profile = profile_video(
+            &name,
+            &class,
+            &clip,
+            &mut ctl,
+            &EncoderConfig::default(),
+            false,
+        );
         bank.learn(&class, ctl.lut());
         out.push(profile);
     }
@@ -160,9 +176,31 @@ pub fn baseline_profiles(scale: Scale) -> Vec<VideoProfile> {
         .map(|(name, class, clip)| {
             let mut ctl = Baseline19Controller::new(baseline_config(scale));
             ctl.set_rails_pinned(true);
-            profile_video(&name, &class, &clip, &mut ctl, &EncoderConfig::default(), false)
+            profile_video(
+                &name,
+                &class,
+                &clip,
+                &mut ctl,
+                &EncoderConfig::default(),
+                false,
+            )
         })
         .collect()
+}
+
+/// The execution backend selected by `MEDVT_BACKEND` (default `sim`),
+/// with its label for artifacts.
+pub fn backend_from_env(cfg: &ServerConfig) -> (&'static str, Box<dyn ExecutionBackend>) {
+    match std::env::var("MEDVT_BACKEND").as_deref() {
+        Ok("pool") | Ok("POOL") => (
+            "pool",
+            Box::new(ThreadPoolBackend::new(cfg.platform.clone(), cfg.power)),
+        ),
+        _ => (
+            "sim",
+            Box::new(SimBackend::new(cfg.platform.clone(), cfg.power)),
+        ),
+    }
 }
 
 /// Writes a JSON artifact under `MEDVT_OUT` (default

@@ -111,8 +111,9 @@ impl Baseline19Controller {
     fn estimate_cores(&self) -> usize {
         match self.last_frame_secs {
             None => self.cfg.initial_cores_per_user,
-            Some(secs) => ((secs * self.cfg.fps).ceil() as usize)
-                .clamp(1, self.cfg.max_cores_per_user),
+            Some(secs) => {
+                ((secs * self.cfg.fps).ceil() as usize).clamp(1, self.cfg.max_cores_per_user)
+            }
         }
     }
 }

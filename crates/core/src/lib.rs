@@ -59,9 +59,9 @@ mod server;
 
 pub use baseline19::{Baseline19Controller, BaselineConfig};
 pub use pipeline::{
-    ContentAwareController, FrameReport, MePolicy, PipelineConfig, TileReport,
-    TranscodeController, UniformMeController,
+    ContentAwareController, FrameReport, MePolicy, PipelineConfig, TileReport, TranscodeController,
+    UniformMeController,
 };
-pub use profile::{profile_video, VideoProfile};
+pub use profile::{profile_video, profile_video_with, VideoProfile};
 pub use qp_control::{default_qp, QpControlConfig, QpController, TileObservation};
 pub use server::{Approach, ServerConfig, ServerReport, ServerSim, Stats3};

@@ -8,7 +8,7 @@
 //! deadline-driven lightening from the feedback controller.
 
 use crate::qp_control::{QpControlConfig, QpController, TileObservation};
-use medvt_analyze::{AnalyzerConfig, Retiler, TileAnalysis, TextureClass};
+use medvt_analyze::{AnalyzerConfig, Retiler, TextureClass, TileAnalysis};
 use medvt_encoder::{
     CostModel, EncodeController, FramePlan, FramePlanContext, FrameStats, Qp, SearchSpec,
     TileConfig,
@@ -260,10 +260,7 @@ impl EncodeController for ContentAwareController {
         if self.pending_gop_first {
             self.directions = Some(dominant_mvs.to_vec());
         }
-        let kind = self
-            .pending_meta
-            .first()
-            .map_or('B', |m| m.kind.letter());
+        let kind = self.pending_meta.first().map_or('B', |m| m.kind.letter());
         self.reports.push(FrameReport { poc, kind, tiles });
     }
 }
@@ -384,9 +381,7 @@ impl EncodeController for UniformMeController {
                     MePolicy::Fixed(s) => s,
                     MePolicy::Proposed => match &self.directions {
                         None => SearchSpec::biomed_first(a.motion_level()),
-                        Some(dirs) => {
-                            SearchSpec::biomed_subsequent(a.motion_level(), dirs[i])
-                        }
+                        Some(dirs) => SearchSpec::biomed_subsequent(a.motion_level(), dirs[i]),
                     },
                 };
                 TileConfig {
@@ -526,9 +521,7 @@ mod tests {
             lightened.configs[0].qp,
             planned.configs[0].qp
         );
-        assert!(
-            lightened.configs[0].window.radius() < planned.configs[0].window.radius()
-        );
+        assert!(lightened.configs[0].window.radius() < planned.configs[0].window.radius());
         // Other tiles untouched.
         assert_eq!(lightened.configs[1].window, planned.configs[1].window);
         // Restore undoes it.

@@ -5,16 +5,37 @@
 //! videos drawn from the profiled suite, the scheduler admits as many
 //! as the 32 cores sustain at 24 fps, and every 1/FPS slot each
 //! admitted user's current frame tiles execute on their assigned cores.
-//! Energy comes from the MPSoC power model; deadline misses carry load
-//! into the next slot exactly as Algorithm 2 lines 21–22 prescribe.
+//! Admission and reporting live here; the slot loop itself is the
+//! backend-generic [`medvt_runtime::ServerLoop`] — [`ServerSim`] runs
+//! it on a [`SimBackend`] by default and on any other
+//! [`ExecutionBackend`] (e.g. the real
+//! [`medvt_runtime::ThreadPoolBackend`]) via [`ServerSim::serve_max_on`],
+//! with identical energy/deadline accounting either way.
 
 use crate::profile::VideoProfile;
-use medvt_mpsoc::{simulate_slot, DvfsPolicy, FreqLevel, Platform, PowerModel};
-use medvt_sched::{allocate, baseline_allocate, place_threads, Allocation, UserDemand};
+use medvt_mpsoc::{DvfsPolicy, Platform, PowerModel};
+use medvt_runtime::{
+    DemandSource, ExecutionBackend, ReplanPolicy, ServerLoop, ServerLoopConfig, SimBackend,
+};
+use medvt_sched::{allocate, baseline_allocate, Allocation, UserDemand};
 use serde::{Deserialize, Serialize};
 
 /// GOP length used for per-GOP thread re-placement (paper §III-D2).
 const GOP_SLOTS: usize = 8;
+
+/// Profile replay as a runtime demand source: user `u` plays profile
+/// `u % profiles.len()`, staggered by 3 slots per user so IDR frames
+/// decorrelate across users.
+#[derive(Debug, Clone, Copy)]
+struct ProfileSource<'a> {
+    profiles: &'a [VideoProfile],
+}
+
+impl DemandSource for ProfileSource<'_> {
+    fn demand_at(&self, user: usize, slot: usize) -> Vec<f64> {
+        self.profiles[user % self.profiles.len()].demand_at(slot + user * 3)
+    }
+}
 
 /// Scheduling approach under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -164,16 +185,39 @@ impl ServerSim {
             .collect()
     }
 
-    /// Serves as many queued users as possible (Table II scenario).
+    /// A fresh analytical backend matching this configuration.
+    pub fn sim_backend(&self) -> SimBackend {
+        SimBackend::new(self.cfg.platform.clone(), self.cfg.power)
+    }
+
+    /// Serves as many queued users as possible (Table II scenario) on
+    /// the analytical backend.
     ///
     /// # Panics
     ///
     /// Panics when `profiles` is empty.
     pub fn serve_max(&self, profiles: &[VideoProfile], approach: Approach) -> ServerReport {
+        self.serve_max_on(&mut self.sim_backend(), profiles, approach)
+    }
+
+    /// Serves as many queued users as possible, driving the frame
+    /// slots through `backend` (e.g. a real
+    /// [`medvt_runtime::ThreadPoolBackend`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `profiles` is empty or `backend` has a different
+    /// core count than the platform.
+    pub fn serve_max_on<B: ExecutionBackend>(
+        &self,
+        backend: &mut B,
+        profiles: &[VideoProfile],
+        approach: Approach,
+    ) -> ServerReport {
         assert!(!profiles.is_empty(), "need at least one profiled video");
         let users = self.queue(profiles, self.cfg.queue_len);
         let alloc = self.allocate_for(approach, &users);
-        self.simulate(profiles, approach, &alloc)
+        self.simulate_on(backend, profiles, approach, &alloc)
     }
 
     /// Serves exactly `n` users (Fig. 4's equal-throughput comparison),
@@ -194,7 +238,7 @@ impl ServerSim {
         if alloc.admitted.len() < n {
             return None;
         }
-        Some(self.simulate(profiles, approach, &alloc))
+        Some(self.simulate_on(&mut self.sim_backend(), profiles, approach, &alloc))
     }
 
     /// Fig. 4's quantity: percentage power saving of the proposed
@@ -234,36 +278,20 @@ impl ServerSim {
         }
     }
 
-    /// Mean per-tile demand of user `u` over the GOP starting at
-    /// `gop_start` (what the LUT would predict for the upcoming GOP).
-    fn gop_demand(&self, profiles: &[VideoProfile], u: usize, gop_start: usize) -> Vec<f64> {
-        let profile = &profiles[u % profiles.len()];
-        let mut acc: Vec<f64> = Vec::new();
-        let mut counts: Vec<u32> = Vec::new();
-        for slot in gop_start..gop_start + GOP_SLOTS {
-            let d = profile.demand_at(slot + u * 3);
-            if d.len() > acc.len() {
-                acc.resize(d.len(), 0.0);
-                counts.resize(d.len(), 0);
-            }
-            for (i, &s) in d.iter().enumerate() {
-                acc[i] += s;
-                counts[i] += 1;
-            }
-        }
-        acc.iter()
-            .zip(&counts)
-            .map(|(&a, &c)| if c == 0 { 0.0 } else { a / c as f64 })
-            .collect()
-    }
-
-    fn simulate(
+    /// Drives the admitted users' slots through `backend` and folds
+    /// the loop statistics into a Table II-style report.
+    fn simulate_on<B: ExecutionBackend>(
         &self,
+        backend: &mut B,
         profiles: &[VideoProfile],
         approach: Approach,
         alloc: &Allocation,
     ) -> ServerReport {
-        let cores = self.cfg.platform.total_cores();
+        assert_eq!(
+            backend.cores(),
+            self.cfg.platform.total_cores(),
+            "backend must model the configured platform"
+        );
         let slot_secs = 1.0 / self.cfg.fps;
         let policy = match approach {
             Approach::Proposed => self.cfg.policy,
@@ -271,111 +299,28 @@ impl ServerSim {
             // clock running even through slack.
             Approach::Baseline => DvfsPolicy::PinnedMax,
         };
-        let mut prev_freqs: Vec<FreqLevel> =
-            vec![self.cfg.platform.fmin(); cores];
-        let mut carry = vec![0.0f64; cores];
-        let mut energy = 0.0;
-        let mut miss_slots = 0usize;
-        let mut windows = 0usize;
-        let mut window_misses = 0usize;
-        let mut active_in_window = vec![false; cores];
-        let window_len = self.cfg.fps.round().max(1.0) as usize;
-        let mut active_cores_acc = 0usize;
-        let mut placements = alloc.placements.clone();
-        for slot in 0..self.cfg.sim_slots {
-            // Thread allocation happens once per GOP (paper §III-D2),
-            // using that GOP's estimated per-tile demand. The baseline
-            // binds tiles to cores statically instead.
-            if approach == Approach::Proposed && slot % GOP_SLOTS == 0 {
-                // Demands are padded by the admission headroom so the
-                // candidate core set keeps the reserved slack.
-                let demands: Vec<UserDemand> = alloc
-                    .admitted
-                    .iter()
-                    .map(|&u| {
-                        UserDemand::new(
-                            u,
-                            self.gop_demand(profiles, u, slot)
-                                .iter()
-                                .map(|s| s * self.cfg.admission_headroom)
-                                .collect(),
-                        )
-                    })
-                    .collect();
-                let placed = place_threads(cores, slot_secs, &demands);
-                if std::env::var_os("MEDVT_DEBUG_SLOTS").is_some() {
-                    let mut sorted = placed.core_loads.clone();
-                    sorted.sort_by(|a, b| b.total_cmp(a));
-                    eprintln!(
-                        "gop@{slot}: padded loads top {:?} used {} threads {}",
-                        &sorted[..4.min(sorted.len())]
-                            .iter()
-                            .map(|l| (l / slot_secs * 100.0).round() / 100.0)
-                            .collect::<Vec<_>>(),
-                        placed.used_cores(),
-                        placed.placements.len(),
-                    );
-                }
-                placements = placed.placements;
-            }
-            let mut loads = carry.clone();
-            for p in &placements {
-                // Stagger users so IDR frames decorrelate across users.
-                // Placement vectors cover the maximum tile count of the
-                // window; frames with fewer tiles simply have no work
-                // for the higher thread indices.
-                let profile = &profiles[p.user % profiles.len()];
-                let demand = profile.demand_at(slot + p.user * 3);
-                loads[p.core] += demand.get(p.thread).copied().unwrap_or(0.0);
-            }
-            let report = simulate_slot(
-                &self.cfg.platform,
-                &self.cfg.power,
+        // The proposed approach re-places threads at GOP boundaries
+        // (§III-D2), padded by the admission headroom so the candidate
+        // core set keeps the reserved slack; the baseline binds tiles
+        // to cores statically.
+        let replan = match approach {
+            Approach::Proposed => ReplanPolicy::PerGop {
+                headroom: self.cfg.admission_headroom,
+            },
+            Approach::Baseline => ReplanPolicy::Static,
+        };
+        let source = ProfileSource { profiles };
+        let report = ServerLoop::new(
+            backend,
+            ServerLoopConfig {
+                fps: self.cfg.fps,
+                slots: self.cfg.sim_slots,
                 policy,
-                &loads,
-                &prev_freqs,
-                slot_secs,
-            );
-            energy += report.energy_j;
-            if report.deadline_misses > 0 {
-                miss_slots += 1;
-            }
-            if std::env::var_os("MEDVT_DEBUG_SLOTS").is_some() {
-                let max_load = loads.iter().copied().fold(0.0, f64::max);
-                let carrying = report
-                    .cores
-                    .iter()
-                    .filter(|c| c.carry_fmax_secs > 1e-9)
-                    .count();
-                eprintln!(
-                    "slot {slot:>3}: max_load {:.3} slots, {} cores carrying, total carry {:.3}",
-                    max_load / slot_secs,
-                    carrying,
-                    report.total_carry() / slot_secs
-                );
-            }
-            active_cores_acc += report.active_cores();
-            for (k, plan) in report.cores.iter().enumerate() {
-                carry[k] = plan.carry_fmax_secs;
-                prev_freqs[k] = plan.freq;
-                if plan.busy_secs > 0.0 {
-                    active_in_window[k] = true;
-                }
-            }
-            // One-second framerate check (paper §III-D2): a core misses
-            // its window when work remains unfinished at the boundary.
-            if (slot + 1) % window_len == 0 {
-                for (k, active) in active_in_window.iter_mut().enumerate() {
-                    if *active {
-                        windows += 1;
-                        if carry[k] > 1e-9 {
-                            window_misses += 1;
-                        }
-                    }
-                    *active = false;
-                }
-            }
-        }
+                replan,
+                gop_slots: GOP_SLOTS,
+            },
+        )
+        .run(&source, &alloc.admitted, &alloc.placements);
         let served: Vec<&VideoProfile> = alloc
             .admitted
             .iter()
@@ -388,13 +333,13 @@ impl ServerSim {
             users_served: alloc.admitted.len(),
             psnr_db: Stats3::from_values(&psnrs),
             bitrate_mbps: Stats3::from_values(&rates),
-            avg_power_w: energy / (self.cfg.sim_slots as f64 * slot_secs),
-            energy_j: energy,
+            avg_power_w: report.energy_j / (self.cfg.sim_slots as f64 * slot_secs),
+            energy_j: report.energy_j,
             slots: self.cfg.sim_slots,
-            miss_slots,
-            windows,
-            window_misses,
-            avg_active_cores: active_cores_acc as f64 / self.cfg.sim_slots as f64,
+            miss_slots: report.miss_slots,
+            windows: report.windows,
+            window_misses: report.window_misses,
+            avg_active_cores: report.avg_active_cores(),
         }
     }
 }
@@ -506,15 +451,12 @@ mod tests {
 
     #[test]
     fn table2_style_stats_cover_min_max_avg() {
-        let profiles = vec![
-            profile("a", 4, SLOT / 8.0),
-            {
-                let mut p = profile("b", 4, SLOT / 8.0);
-                p.mean_psnr_db = 46.5;
-                p.bitrate_mbps = 2.45;
-                p
-            },
-        ];
+        let profiles = vec![profile("a", 4, SLOT / 8.0), {
+            let mut p = profile("b", 4, SLOT / 8.0);
+            p.mean_psnr_db = 46.5;
+            p.bitrate_mbps = 2.45;
+            p
+        }];
         let s = sim();
         let report = s.serve_max(&profiles, Approach::Proposed);
         assert!(report.psnr_db.max >= 46.5 - 1e-9);
@@ -527,5 +469,19 @@ mod tests {
     fn approach_labels() {
         assert_eq!(Approach::Proposed.label(), "proposed");
         assert_eq!(Approach::Baseline.label(), "work [19]");
+    }
+
+    #[test]
+    fn thread_pool_backend_reports_identical_statistics() {
+        use medvt_runtime::ThreadPoolBackend;
+        let profiles = vec![profile("v", 6, SLOT / 8.0)];
+        let s = sim();
+        for approach in [Approach::Proposed, Approach::Baseline] {
+            let analytical = s.serve_max(&profiles, approach);
+            let mut pool =
+                ThreadPoolBackend::with_workers(s.config().platform.clone(), s.config().power, 4);
+            let real = s.serve_max_on(&mut pool, &profiles, approach);
+            assert_eq!(analytical, real, "backends must account identically");
+        }
     }
 }

@@ -261,7 +261,7 @@ mod tests {
         // First entries of the classic zig-zag: (0,0),(0,1),(1,0),(2,0),(1,1),(0,2)…
         assert_eq!(z[0], 0);
         assert!(z[1] == 1 || z[1] == 4); // direction convention
-        // Must be a permutation.
+                                         // Must be a permutation.
         let mut sorted = z.to_vec();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..16).collect::<Vec<_>>());

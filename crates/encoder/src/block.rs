@@ -42,7 +42,7 @@ pub fn code_residual(
     assert_eq!(original.len(), w * h, "original buffer mismatch");
     assert_eq!(prediction.len(), w * h, "prediction buffer mismatch");
     assert!(
-        w % tx_size == 0 && h % tx_size == 0,
+        w.is_multiple_of(tx_size) && h.is_multiple_of(tx_size),
         "{w}x{h} region not divisible into {tx_size}x{tx_size} transforms"
     );
     let mut recon = prediction.to_vec();
@@ -57,8 +57,7 @@ pub fn code_residual(
             for r in 0..tx_size {
                 for c in 0..tx_size {
                     let idx = (ty + r) * w + (tx + c);
-                    residual[r * tx_size + c] =
-                        original[idx] as i32 - prediction[idx] as i32;
+                    residual[r * tx_size + c] = original[idx] as i32 - prediction[idx] as i32;
                 }
             }
             let coeffs = transform::forward(tx_size, &residual);
@@ -152,7 +151,10 @@ mod tests {
         let pred_ssd: u64 = original.iter().map(|&o| (o as u64) * (o as u64)).sum();
         let mut w = BitWriter::new();
         let out = code_residual(&original, &prediction, 8, 8, 8, qp(27), &mut w);
-        assert!(out.ssd < pred_ssd / 4, "coding should fix most of the error");
+        assert!(
+            out.ssd < pred_ssd / 4,
+            "coding should fix most of the error"
+        );
     }
 
     #[test]

@@ -233,7 +233,7 @@ impl EncoderConfig {
     /// Returns a message when the block size is not a positive multiple
     /// of 8 or the GOP size is zero.
     pub fn validate(&self) -> Result<(), String> {
-        if self.block_size == 0 || self.block_size % 8 != 0 {
+        if self.block_size == 0 || !self.block_size.is_multiple_of(8) {
             return Err(format!(
                 "block size {} must be a positive multiple of 8",
                 self.block_size

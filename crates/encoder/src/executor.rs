@@ -1,0 +1,95 @@
+//! The tile-execution seam: who runs a frame's tile work units, and on
+//! which core.
+//!
+//! The paper's Algorithm 2 decides *which core runs which tile
+//! thread*; the encoder itself must not care. [`encode_frame_with`]
+//! therefore hands every tile as a [`TileJob`] — a closure plus an
+//! optional core assignment and a deterministic cost hint — to a
+//! [`TileExecutor`]. Three executors exist:
+//!
+//! * [`SerialExecutor`] — runs jobs in tile order on the calling
+//!   thread (the reference path; all others must match it bit-exactly);
+//! * [`ScopedExecutor`] — one scoped thread per tile, unpinned (the
+//!   legacy `parallel=true` behaviour, formerly ad-hoc `crossbeam`
+//!   spawning);
+//! * `medvt_runtime::ThreadPoolBackend` — the placement-aware
+//!   persistent worker pool that honours `sched::place_threads`
+//!   core assignments.
+//!
+//! [`encode_frame_with`]: crate::encode_frame_with
+
+use crate::tile::TileOutcome;
+
+/// One tile's encoding work, ready to run on any thread.
+pub struct TileJob<'scope> {
+    /// Tile index within the frame plan (output order key).
+    pub index: usize,
+    /// Core assignment from the scheduler, when one exists. Executors
+    /// without core affinity may ignore it.
+    pub core: Option<usize>,
+    /// Deterministic pre-encode cost proxy (luma samples in the tile),
+    /// for executors that compute their own placement.
+    pub cost_hint: f64,
+    /// The work: encodes the tile and returns its outcome.
+    pub run: Box<dyn FnOnce() -> TileOutcome + Send + 'scope>,
+}
+
+impl std::fmt::Debug for TileJob<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TileJob")
+            .field("index", &self.index)
+            .field("core", &self.core)
+            .field("cost_hint", &self.cost_hint)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Executes a frame's tile jobs, returning outcomes in tile order.
+///
+/// Implementations must return exactly one outcome per job, ordered by
+/// [`TileJob::index`], and must run each job exactly once — tile
+/// encoding is deterministic, so any conforming executor produces
+/// bit-identical frames.
+pub trait TileExecutor: Sync {
+    /// Runs all jobs and collects their outcomes in tile order.
+    fn execute<'scope>(&self, jobs: Vec<TileJob<'scope>>) -> Vec<TileOutcome>;
+}
+
+/// Runs tiles one after another on the calling thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerialExecutor;
+
+impl TileExecutor for SerialExecutor {
+    fn execute<'scope>(&self, jobs: Vec<TileJob<'scope>>) -> Vec<TileOutcome> {
+        let mut out: Vec<(usize, TileOutcome)> =
+            jobs.into_iter().map(|j| (j.index, (j.run)())).collect();
+        out.sort_by_key(|(i, _)| *i);
+        out.into_iter().map(|(_, o)| o).collect()
+    }
+}
+
+/// Spawns one scoped thread per tile (unpinned) — the legacy parallel
+/// path, now on `std::thread::scope` instead of `crossbeam`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScopedExecutor;
+
+impl TileExecutor for ScopedExecutor {
+    fn execute<'scope>(&self, jobs: Vec<TileJob<'scope>>) -> Vec<TileOutcome> {
+        if jobs.len() <= 1 {
+            // Nothing to parallelize: skip the thread spawn.
+            return SerialExecutor.execute(jobs);
+        }
+        let mut indexed: Vec<(usize, TileOutcome)> = std::thread::scope(|s| {
+            let handles: Vec<_> = jobs
+                .into_iter()
+                .map(|j| (j.index, s.spawn(j.run)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|(i, h)| (i, h.join().expect("tile thread panicked")))
+                .collect()
+        });
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, o)| o).collect()
+    }
+}

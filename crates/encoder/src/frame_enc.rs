@@ -1,11 +1,80 @@
-//! Whole-frame encoding: tile partition validation, parallel per-tile
-//! encoding and reconstruction stitching.
+//! Whole-frame encoding: tile partition validation, executor-driven
+//! per-tile encoding and reconstruction stitching.
 
 use crate::config::{EncoderConfig, TileConfig};
+use crate::executor::{ScopedExecutor, SerialExecutor, TileExecutor, TileJob};
 use crate::stats::FrameStats;
-use crate::tile::{encode_tile, TileOutcome};
-use medvt_frame::{Frame, FrameKind, Rect};
+use crate::tile::encode_tile;
+use medvt_frame::{find_overlap, Frame, FrameKind, Rect};
 use medvt_motion::MotionVector;
+use std::fmt;
+
+/// A violated [`FramePlan`] invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The plan has no tiles at all.
+    NoTiles,
+    /// `tiles` and `configs` lengths differ.
+    ConfigMismatch {
+        /// Number of tiles.
+        tiles: usize,
+        /// Number of configs.
+        configs: usize,
+    },
+    /// A tile has zero area.
+    EmptyTile {
+        /// The offending tile.
+        tile: Rect,
+    },
+    /// A tile reaches outside the frame.
+    OutsideFrame {
+        /// The offending tile.
+        tile: Rect,
+        /// The frame bounds.
+        frame: Rect,
+    },
+    /// A tile is not aligned to the 8-sample coding grid.
+    Misaligned {
+        /// The offending tile.
+        tile: Rect,
+    },
+    /// Tiles cover more or less area than the frame (gap or overlap).
+    CoverageMismatch {
+        /// Samples covered by the tiles.
+        covered: usize,
+        /// Samples in the frame.
+        frame: usize,
+    },
+    /// Two tiles overlap.
+    Overlap {
+        /// First tile.
+        a: Rect,
+        /// Second tile.
+        b: Rect,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NoTiles => write!(f, "plan has no tiles"),
+            PlanError::ConfigMismatch { tiles, configs } => {
+                write!(f, "{tiles} tiles but {configs} configs")
+            }
+            PlanError::EmptyTile { tile } => write!(f, "empty tile {tile}"),
+            PlanError::OutsideFrame { tile, frame } => {
+                write!(f, "tile {tile} outside frame {frame}")
+            }
+            PlanError::Misaligned { tile } => write!(f, "tile {tile} not 8-aligned"),
+            PlanError::CoverageMismatch { covered, frame } => {
+                write!(f, "tiles cover {covered} samples, frame has {frame}")
+            }
+            PlanError::Overlap { a, b } => write!(f, "tiles {a} and {b} overlap"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// The tiling and per-tile configurations for one frame — what the
 /// content-aware pipeline produces per GOP and the encoder consumes
@@ -37,45 +106,47 @@ impl FramePlan {
     /// Validates that the plan exactly partitions `frame` with
     /// 8-aligned tiles and one config per tile.
     ///
+    /// Overlap detection is an O(n log n) sweep over tile edges (the
+    /// former pairwise check was O(n²) and dominated validation for
+    /// fine tilings).
+    ///
     /// # Errors
     ///
-    /// Returns a description of the first violated invariant.
-    pub fn validate(&self, frame: &Rect) -> Result<(), String> {
+    /// Returns the first violated invariant as a typed [`PlanError`].
+    pub fn validate(&self, frame: &Rect) -> Result<(), PlanError> {
         if self.tiles.is_empty() {
-            return Err("plan has no tiles".into());
+            return Err(PlanError::NoTiles);
         }
         if self.tiles.len() != self.configs.len() {
-            return Err(format!(
-                "{} tiles but {} configs",
-                self.tiles.len(),
-                self.configs.len()
-            ));
+            return Err(PlanError::ConfigMismatch {
+                tiles: self.tiles.len(),
+                configs: self.configs.len(),
+            });
         }
         let mut area = 0usize;
         for t in &self.tiles {
             if t.is_empty() {
-                return Err(format!("empty tile {t}"));
+                return Err(PlanError::EmptyTile { tile: *t });
             }
             if !frame.contains_rect(t) {
-                return Err(format!("tile {t} outside frame {frame}"));
+                return Err(PlanError::OutsideFrame {
+                    tile: *t,
+                    frame: *frame,
+                });
             }
             if t.x % 8 != 0 || t.y % 8 != 0 || t.w % 8 != 0 || t.h % 8 != 0 {
-                return Err(format!("tile {t} not 8-aligned"));
+                return Err(PlanError::Misaligned { tile: *t });
             }
             area += t.area();
         }
         if area != frame.area() {
-            return Err(format!(
-                "tiles cover {area} samples, frame has {}",
-                frame.area()
-            ));
+            return Err(PlanError::CoverageMismatch {
+                covered: area,
+                frame: frame.area(),
+            });
         }
-        for (i, a) in self.tiles.iter().enumerate() {
-            for b in self.tiles.iter().skip(i + 1) {
-                if a.intersects(b) {
-                    return Err(format!("tiles {a} and {b} overlap"));
-                }
-            }
+        if let Some((a, b)) = find_overlap(&self.tiles) {
+            return Err(PlanError::Overlap { a, b });
         }
         Ok(())
     }
@@ -112,7 +183,7 @@ fn aligned_axis(origin: usize, len: usize, n: usize) -> Vec<(usize, usize)> {
         "cannot split {len} samples into {n} tiles of >=8 samples"
     );
     let units = len / 8; // length is a multiple of 8 for supported frames
-    assert!(len % 8 == 0, "frame dimension {len} not 8-aligned");
+    assert!(len.is_multiple_of(8), "frame dimension {len} not 8-aligned");
     let base = units / n;
     let extra = units % n;
     let mut out = Vec::with_capacity(n);
@@ -143,9 +214,9 @@ pub struct EncodedFrame {
 
 /// Encodes one frame according to `plan`.
 ///
-/// With `parallel` set, tiles are encoded on scoped threads — the
-/// frame-level parallelization the paper's scheduler distributes over
-/// MPSoC cores.
+/// With `parallel` set, tiles are encoded on unpinned scoped threads.
+/// For placement-aware execution on a persistent worker pool, use
+/// [`encode_frame_with`] and a runtime executor.
 ///
 /// # Panics
 ///
@@ -160,34 +231,71 @@ pub fn encode_frame(
     ecfg: &EncoderConfig,
     parallel: bool,
 ) -> EncodedFrame {
+    if parallel && plan.tiles.len() > 1 {
+        encode_frame_with(original, refs, kind, poc, plan, ecfg, &ScopedExecutor, None)
+    } else {
+        encode_frame_with(original, refs, kind, poc, plan, ecfg, &SerialExecutor, None)
+    }
+}
+
+/// Encodes one frame, delegating tile execution to `executor`.
+///
+/// `assignment`, when given, maps each tile index to the core that
+/// must run it (what `sched::place_threads` decided); executors
+/// without core affinity ignore it, and placement-aware executors
+/// compute their own assignment from the jobs' cost hints when it is
+/// `None`.
+///
+/// Tile encoding is deterministic and tiles are independent, so every
+/// conforming executor produces bit-identical frames.
+///
+/// # Panics
+///
+/// Panics when the plan fails [`FramePlan::validate`], `assignment`
+/// has the wrong length, or `refs` is empty for an inter `kind`.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_frame_with(
+    original: &Frame,
+    refs: &[&Frame],
+    kind: FrameKind,
+    poc: usize,
+    plan: &FramePlan,
+    ecfg: &EncoderConfig,
+    executor: &dyn TileExecutor,
+    assignment: Option<&[usize]>,
+) -> EncodedFrame {
     let frame_rect = original.y().bounds();
     plan.validate(&frame_rect)
         .expect("frame plan must partition the frame");
-    let outcomes: Vec<TileOutcome> = if parallel && plan.tiles.len() > 1 {
-        crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = plan
-                .tiles
-                .iter()
-                .zip(&plan.configs)
-                .map(|(tile, cfg)| {
-                    let tile = *tile;
-                    let cfg = *cfg;
-                    s.spawn(move |_| encode_tile(original, refs, kind, tile, &cfg, ecfg))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("tile thread panicked"))
-                .collect()
+    if let Some(a) = assignment {
+        assert_eq!(
+            a.len(),
+            plan.tiles.len(),
+            "one core assignment per tile required"
+        );
+    }
+    let jobs: Vec<TileJob<'_>> = plan
+        .tiles
+        .iter()
+        .zip(&plan.configs)
+        .enumerate()
+        .map(|(index, (tile, cfg))| {
+            let tile = *tile;
+            let cfg = *cfg;
+            TileJob {
+                index,
+                core: assignment.map(|a| a[index]),
+                cost_hint: tile.area() as f64,
+                run: Box::new(move || encode_tile(original, refs, kind, tile, &cfg, ecfg)),
+            }
         })
-        .expect("tile scope panicked")
-    } else {
-        plan.tiles
-            .iter()
-            .zip(&plan.configs)
-            .map(|(tile, cfg)| encode_tile(original, refs, kind, *tile, cfg, ecfg))
-            .collect()
-    };
+        .collect();
+    let outcomes = executor.execute(jobs);
+    assert_eq!(
+        outcomes.len(),
+        plan.tiles.len(),
+        "executor must return one outcome per tile"
+    );
 
     // Stitch tile reconstructions into the frame reconstruction.
     let mut recon = Frame::black(original.resolution());
@@ -249,7 +357,15 @@ mod tests {
             tiles: vec![Rect::new(0, 0, 64, 32)],
             configs: vec![cfg],
         };
-        assert!(plan.validate(&rect).unwrap_err().contains("cover"));
+        assert!(matches!(
+            plan.validate(&rect),
+            Err(PlanError::CoverageMismatch { .. })
+        ));
+        assert!(plan
+            .validate(&rect)
+            .unwrap_err()
+            .to_string()
+            .contains("cover"));
         // Overlap.
         let plan = FramePlan {
             tiles: vec![Rect::new(0, 0, 64, 40), Rect::new(0, 32, 64, 32)],
@@ -261,7 +377,51 @@ mod tests {
             tiles: vec![Rect::new(0, 0, 60, 64), Rect::new(60, 0, 4, 64)],
             configs: vec![cfg, cfg],
         };
-        assert!(plan.validate(&rect).unwrap_err().contains("8-aligned"));
+        assert!(matches!(
+            plan.validate(&rect),
+            Err(PlanError::Misaligned { .. })
+        ));
+        assert!(plan
+            .validate(&rect)
+            .unwrap_err()
+            .to_string()
+            .contains("8-aligned"));
+    }
+
+    #[test]
+    fn sweep_detects_overlap_with_exact_coverage() {
+        // Area matches the frame but two tiles overlap while another
+        // region is uncovered — the case a pure area check misses.
+        let rect = Rect::frame(64, 64);
+        let cfg = TileConfig::default();
+        let plan = FramePlan {
+            tiles: vec![
+                Rect::new(0, 0, 32, 64),
+                Rect::new(16, 0, 32, 64), // overlaps the first
+            ],
+            configs: vec![cfg, cfg],
+        };
+        assert!(matches!(
+            plan.validate(&rect),
+            Err(PlanError::Overlap { .. })
+        ));
+    }
+
+    #[test]
+    fn sweep_accepts_touching_tiles_and_staggered_rows() {
+        let rect = Rect::frame(96, 64);
+        let cfg = TileConfig::default();
+        // Irregular but exact partition: a wide top strip over two
+        // bottom tiles with a different split point.
+        let plan = FramePlan {
+            tiles: vec![
+                Rect::new(0, 0, 96, 32),
+                Rect::new(0, 32, 40, 32),
+                Rect::new(40, 32, 56, 32),
+            ],
+            configs: vec![cfg, cfg, cfg],
+        };
+        assert!(plan.validate(&rect).is_ok());
     }
 
     #[test]

@@ -81,11 +81,7 @@ impl GopStructure {
     pub fn max_ref_distance(&self) -> usize {
         self.entries
             .iter()
-            .flat_map(|e| {
-                e.ref_offsets
-                    .iter()
-                    .map(move |&r| e.offset.abs_diff(r))
-            })
+            .flat_map(|e| e.ref_offsets.iter().map(move |&r| e.offset.abs_diff(r)))
             .max()
             .unwrap_or(0)
     }

@@ -99,8 +99,8 @@ impl IntraRefs {
             IntraMode::Horizontal => match &self.left {
                 Some(left) => {
                     let mut out = Vec::with_capacity(w * h);
-                    for row in 0..h {
-                        out.extend(std::iter::repeat(left[row]).take(w));
+                    for &edge in left.iter().take(h) {
+                        out.extend(std::iter::repeat_n(edge, w));
                     }
                     out
                 }
@@ -131,13 +131,13 @@ impl IntraRefs {
             sum += left.iter().map(|&s| s as u32).sum::<u32>();
             count += left.len() as u32;
         }
-        if count == 0 {
-            128
-        } else {
-            ((sum + count / 2) / count) as u8
-        }
+        (sum + count / 2)
+            .checked_div(count)
+            .map_or(128, |v| v as u8)
     }
 
+    // `x`/`y` also feed the blend arithmetic, not just the indexing.
+    #[allow(clippy::needless_range_loop)]
     fn predict_planar(&self, w: usize, h: usize) -> Vec<u8> {
         let dc = self.dc_value();
         let top: Vec<u16> = match &self.top {
@@ -154,12 +154,9 @@ impl IntraRefs {
         for y in 0..h {
             for x in 0..w {
                 // HEVC-style planar: horizontal + vertical linear blends.
-                let hor = (w as u32 - 1 - x as u32) * left[y] as u32
-                    + (x as u32 + 1) * top_right;
-                let ver = (h as u32 - 1 - y as u32) * top[x] as u32
-                    + (y as u32 + 1) * bottom_left;
-                let v = (hor * h as u32 + ver * w as u32 + (w * h) as u32)
-                    / (2 * (w * h) as u32);
+                let hor = (w as u32 - 1 - x as u32) * left[y] as u32 + (x as u32 + 1) * top_right;
+                let ver = (h as u32 - 1 - y as u32) * top[x] as u32 + (y as u32 + 1) * bottom_left;
+                let v = (hor * h as u32 + ver * w as u32 + (w * h) as u32) / (2 * (w * h) as u32);
                 out.push(v.min(255) as u8);
             }
         }
@@ -177,7 +174,7 @@ impl IntraRefs {
                 .zip(&pred)
                 .map(|(&a, &b)| (a as i16 - b as i16).unsigned_abs() as u64)
                 .sum();
-            if best.as_ref().map_or(true, |(_, _, c)| sad < *c) {
+            if best.as_ref().is_none_or(|(_, _, c)| sad < *c) {
                 best = Some((mode, pred, sad));
             }
         }

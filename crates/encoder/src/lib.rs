@@ -55,6 +55,7 @@ pub mod bits;
 mod block;
 mod config;
 mod cost_model;
+mod executor;
 mod frame_enc;
 mod gop;
 mod intra;
@@ -67,7 +68,10 @@ mod video_enc;
 pub use block::{code_residual, CodedResidual};
 pub use config::{EncoderConfig, Qp, SearchSpec, TileConfig};
 pub use cost_model::CostModel;
-pub use frame_enc::{encode_frame, split_aligned, EncodedFrame, FramePlan};
+pub use executor::{ScopedExecutor, SerialExecutor, TileExecutor, TileJob};
+pub use frame_enc::{
+    encode_frame, encode_frame_with, split_aligned, EncodedFrame, FramePlan, PlanError,
+};
 pub use gop::{GopEntry, GopStructure};
 pub use intra::{IntraMode, IntraRefs};
 pub use stats::{FrameStats, SequenceStats, TileStats};

@@ -133,10 +133,7 @@ impl SequenceStats {
     /// Total motion-search sample operations — the ME complexity the
     /// Table I speedups compare.
     pub fn total_sad_samples(&self) -> u64 {
-        self.frames
-            .iter()
-            .map(|f| f.total().sad_samples)
-            .sum()
+        self.frames.iter().map(|f| f.total().sad_samples).sum()
     }
 }
 

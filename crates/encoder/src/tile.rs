@@ -51,7 +51,10 @@ pub fn encode_tile(
     ecfg: &EncoderConfig,
 ) -> TileOutcome {
     assert!(
-        tile.x % 8 == 0 && tile.y % 8 == 0 && tile.w % 8 == 0 && tile.h % 8 == 0,
+        tile.x.is_multiple_of(8)
+            && tile.y.is_multiple_of(8)
+            && tile.w.is_multiple_of(8)
+            && tile.h.is_multiple_of(8),
         "tile {tile} must align to the 8-sample grid"
     );
     assert!(
@@ -89,8 +92,7 @@ pub fn encode_tile(
 
             // Intra candidate (always available).
             let intra_refs = IntraRefs::gather(&recon_y, &rel_block, &tile_local);
-            let (intra_mode, intra_pred, intra_sad) =
-                intra_refs.best_mode(&orig_block, bw, bh);
+            let (intra_mode, intra_pred, intra_sad) = intra_refs.best_mode(&orig_block, bw, bh);
             let intra_header_bits = 1 + 2; // mode flag + intra mode index
             let intra_cost = intra_sad as f64 + lambda * intra_header_bits as f64;
 
@@ -110,7 +112,7 @@ pub fn encode_tile(
                     stats.sad_samples += r.evaluations * abs_block.area() as u64;
                     let better = inter_choice
                         .as_ref()
-                        .map_or(true, |&(_, _, cost, _)| r.cost < cost);
+                        .is_none_or(|&(_, _, cost, _)| r.cost < cost);
                     if better {
                         inter_choice = Some((ref_idx, r.mv, r.cost, r.evaluations));
                     }
@@ -121,10 +123,8 @@ pub fn encode_tile(
                 None => false,
                 Some((_, mv, sad, _)) => {
                     let mvd = mv - prev_mv;
-                    let header = 1
-                        + u64::from(refs.len() > 1)
-                        + se_len(mvd.x as i32)
-                        + se_len(mvd.y as i32);
+                    let header =
+                        1 + u64::from(refs.len() > 1) + se_len(mvd.x as i32) + se_len(mvd.y as i32);
                     let inter_cost = sad as f64 + lambda * header as f64;
                     inter_cost <= intra_cost
                 }
@@ -171,12 +171,10 @@ pub fn encode_tile(
                 let ch = bh / 2;
                 let c_abs = Rect::new(abs_block.x / 2, abs_block.y / 2, cw, ch);
                 let c_rel = Rect::new(rel_block.x / 2, rel_block.y / 2, cw, ch);
-                for (plane_idx, (orig_c, recon_c)) in [
-                    (original.u(), &mut recon_u),
-                    (original.v(), &mut recon_v),
-                ]
-                .into_iter()
-                .enumerate()
+                for (plane_idx, (orig_c, recon_c)) in
+                    [(original.u(), &mut recon_u), (original.v(), &mut recon_v)]
+                        .into_iter()
+                        .enumerate()
                 {
                     let orig_cb = orig_c.copy_rect(&c_abs);
                     let pred_cb: Vec<u8> = if use_inter {
@@ -338,8 +336,7 @@ mod tests {
         let (tcfg, ecfg) = default_cfgs(32);
         let tile = Rect::new(16, 16, 64, 32);
         let one_ref = encode_tile(&f1, &[&f0], FrameKind::Predicted, tile, &tcfg, &ecfg);
-        let two_ref =
-            encode_tile(&f1, &[&f0, &f2], FrameKind::BiPredicted, tile, &tcfg, &ecfg);
+        let two_ref = encode_tile(&f1, &[&f0, &f2], FrameKind::BiPredicted, tile, &tcfg, &ecfg);
         assert!(two_ref.stats.sad_samples > one_ref.stats.sad_samples);
     }
 

@@ -147,7 +147,7 @@ mod tests {
 
     #[test]
     fn parseval_energy_preserved() {
-        let input: Vec<i32> = (0..64).map(|i| (i * i % 97) as i32 - 48).collect();
+        let input: Vec<i32> = (0..64).map(|i| (i * i % 97) - 48).collect();
         let coeffs = forward(8, &input);
         let e_spatial: f64 = input.iter().map(|&x| (x as f64) * (x as f64)).sum();
         let e_freq: f64 = coeffs.iter().map(|c| c * c).sum();

@@ -9,7 +9,8 @@
 //! capacity-balanced baseline [19].
 
 use crate::config::{EncoderConfig, TileConfig};
-use crate::frame_enc::{encode_frame, EncodedFrame, FramePlan};
+use crate::executor::{ScopedExecutor, SerialExecutor, TileExecutor};
+use crate::frame_enc::{encode_frame_with, EncodedFrame, FramePlan};
 use crate::gop::GopStructure;
 use crate::stats::{FrameStats, SequenceStats};
 use medvt_frame::{Frame, FrameKind, VideoClip};
@@ -70,12 +71,7 @@ impl UniformController {
 
 impl EncodeController for UniformController {
     fn plan(&mut self, ctx: &FramePlanContext<'_>) -> FramePlan {
-        FramePlan::uniform(
-            ctx.frame.y().bounds(),
-            self.cols,
-            self.rows,
-            self.config,
-        )
+        FramePlan::uniform(ctx.frame.y().bounds(), self.cols, self.rows, self.config)
     }
 }
 
@@ -115,11 +111,32 @@ impl VideoEncoder {
     /// Encodes `clip` under `controller`, returning per-frame stats.
     ///
     /// Frames are processed in GOP coding order; statistics come back
-    /// in display order.
+    /// in display order. Tile execution uses the serial path, or
+    /// unpinned scoped threads when [`VideoEncoder::parallel`] is set;
+    /// [`VideoEncoder::encode_clip_with`] plugs in an arbitrary
+    /// executor instead (e.g. the runtime's placement-aware pool).
     pub fn encode_clip(
         &self,
         clip: &VideoClip,
         controller: &mut dyn EncodeController,
+    ) -> SequenceStats {
+        if self.parallel {
+            self.encode_clip_with(clip, controller, &ScopedExecutor)
+        } else {
+            self.encode_clip_with(clip, controller, &SerialExecutor)
+        }
+    }
+
+    /// Encodes `clip` under `controller`, running every frame's tiles
+    /// on `executor`.
+    ///
+    /// All executors produce bit-identical streams (tile encoding is
+    /// deterministic); they differ only in where the work runs.
+    pub fn encode_clip_with(
+        &self,
+        clip: &VideoClip,
+        controller: &mut dyn EncodeController,
+        executor: &dyn TileExecutor,
     ) -> SequenceStats {
         let n = clip.len();
         let mut per_frame: Vec<Option<FrameStats>> = vec![None; n];
@@ -136,6 +153,7 @@ impl VideoEncoder {
         let first = clip.get(0).expect("n > 0");
         let encoded = self.encode_one(
             controller,
+            executor,
             first,
             &[],
             FrameKind::Intra,
@@ -160,7 +178,7 @@ impl VideoEncoder {
                 for (i, entry) in gop.entries().iter().enumerate() {
                     let poc = gop_start + entry.offset;
                     let kind = if entry.offset == gop_size
-                        && gop_index % self.config.intra_period_gops == 0
+                        && gop_index.is_multiple_of(self.config.intra_period_gops)
                     {
                         FrameKind::Intra
                     } else {
@@ -179,6 +197,7 @@ impl VideoEncoder {
                     let prev_anchor = dpb.get(&gop_start);
                     let encoded = self.encode_one(
                         controller,
+                        executor,
                         frame,
                         &refs,
                         kind,
@@ -196,7 +215,9 @@ impl VideoEncoder {
                 dpb.retain(|&poc, _| poc == anchor_poc);
                 gop_start = anchor_poc;
             } else {
-                // Trailing partial GOP: low-delay P chain.
+                // Trailing partial GOP: low-delay P chain. (`poc` is
+                // the display index, not just a vector position.)
+                #[allow(clippy::needless_range_loop)]
                 for poc in gop_start + 1..n {
                     let frame = clip.get(poc).expect("poc inside clip");
                     let ref_poc = poc - 1;
@@ -204,6 +225,7 @@ impl VideoEncoder {
                     let refs = vec![reference];
                     let encoded = self.encode_one(
                         controller,
+                        executor,
                         frame,
                         &refs,
                         FrameKind::Predicted,
@@ -234,6 +256,7 @@ impl VideoEncoder {
     fn encode_one(
         &self,
         controller: &mut dyn EncodeController,
+        executor: &dyn TileExecutor,
         frame: &Frame,
         refs: &[&Frame],
         kind: FrameKind,
@@ -253,7 +276,7 @@ impl VideoEncoder {
             prev_anchor,
         };
         let plan = controller.plan(&ctx);
-        encode_frame(frame, refs, kind, poc, &plan, &self.config, self.parallel)
+        encode_frame_with(frame, refs, kind, poc, &plan, &self.config, executor, None)
     }
 }
 
@@ -364,12 +387,7 @@ mod tests {
                 }
                 FramePlan::uniform(ctx.frame.y().bounds(), 1, 1, tcfg(32))
             }
-            fn frame_done(
-                &mut self,
-                poc: usize,
-                _stats: &FrameStats,
-                _mvs: &[MotionVector],
-            ) {
+            fn frame_done(&mut self, poc: usize, _stats: &FrameStats, _mvs: &[MotionVector]) {
                 self.done.push(poc);
             }
         }

@@ -91,7 +91,7 @@ mod tests {
 
     #[test]
     fn io_error_source_preserved() {
-        let inner = io::Error::new(io::ErrorKind::Other, "boom");
+        let inner = io::Error::other("boom");
         let e = FrameError::from(inner);
         assert!(e.source().is_some());
     }

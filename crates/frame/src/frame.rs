@@ -60,7 +60,7 @@ impl Resolution {
                 reason: "zero dimension",
             });
         }
-        if self.width % 2 != 0 || self.height % 2 != 0 {
+        if !self.width.is_multiple_of(2) || !self.height.is_multiple_of(2) {
             return Err(FrameError::Dimensions {
                 width: self.width,
                 height: self.height,
@@ -108,7 +108,8 @@ impl Frame {
     ///
     /// Panics if the resolution is not 4:2:0 compatible.
     pub fn black(res: Resolution) -> Self {
-        res.validate_420().expect("resolution must be 4:2:0 compatible");
+        res.validate_420()
+            .expect("resolution must be 4:2:0 compatible");
         Self {
             y: Plane::filled(res.width, res.height, 16),
             u: Plane::filled(res.width / 2, res.height / 2, 128),
@@ -122,7 +123,8 @@ impl Frame {
     ///
     /// Panics if the resolution is not 4:2:0 compatible.
     pub fn flat(res: Resolution, value: u8) -> Self {
-        res.validate_420().expect("resolution must be 4:2:0 compatible");
+        res.validate_420()
+            .expect("resolution must be 4:2:0 compatible");
         Self {
             y: Plane::filled(res.width, res.height, value),
             u: Plane::filled(res.width / 2, res.height / 2, 128),

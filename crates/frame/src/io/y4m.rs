@@ -22,9 +22,9 @@ pub fn write_y4m<W: Write>(mut w: W, clip: &VideoClip) -> Result<(), FrameError>
     } else {
         ((fps * 1000.0).round() as u64, 1000u64)
     };
-    write!(
+    writeln!(
         w,
-        "YUV4MPEG2 W{} H{} F{}:{} Ip A1:1 C420\n",
+        "YUV4MPEG2 W{} H{} F{}:{} Ip A1:1 C420",
         res.width, res.height, num, den
     )?;
     for frame in clip {
@@ -84,10 +84,8 @@ pub fn read_y4m<R: BufRead>(mut r: R) -> Result<VideoClip, FrameError> {
                 }
                 fps = num / den;
             }
-            "C" => {
-                if !rest.starts_with("420") {
-                    return Err(FrameError::Parse(format!("unsupported chroma C{rest}")));
-                }
+            "C" if !rest.starts_with("420") => {
+                return Err(FrameError::Parse(format!("unsupported chroma C{rest}")));
             }
             _ => {} // interlacing/aspect ignored
         }

@@ -62,6 +62,6 @@ pub mod synth;
 pub use error::FrameError;
 pub use frame::{Frame, FrameKind, Resolution};
 pub use plane::Plane;
-pub use rect::Rect;
+pub use rect::{find_overlap, Rect};
 pub use stats::RegionStats;
 pub use video::{FrameSource, VideoClip};

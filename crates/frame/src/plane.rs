@@ -215,9 +215,8 @@ impl Plane {
             "rect {rect} outside plane"
         );
         let rect = *rect;
-        (rect.y..rect.bottom()).flat_map(move |row| {
-            self.row(row)[rect.x..rect.right()].iter().copied()
-        })
+        (rect.y..rect.bottom())
+            .flat_map(move |row| self.row(row)[rect.x..rect.right()].iter().copied())
     }
 
     /// Downsamples by 2x in both dimensions via 2x2 box averaging, used to
@@ -259,7 +258,13 @@ mod tests {
     fn from_vec_validates_len() {
         assert!(Plane::from_vec(2, 2, vec![0; 4]).is_ok());
         let err = Plane::from_vec(2, 2, vec![0; 5]).unwrap_err();
-        assert!(matches!(err, FrameError::BufferSize { expected: 4, actual: 5 }));
+        assert!(matches!(
+            err,
+            FrameError::BufferSize {
+                expected: 4,
+                actual: 5
+            }
+        ));
     }
 
     #[test]

@@ -166,7 +166,8 @@ impl Rect {
     /// Iterates over all `(col, row)` sample coordinates in raster order.
     pub fn samples(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         let this = *self;
-        (this.y..this.bottom()).flat_map(move |row| (this.x..this.right()).map(move |col| (col, row)))
+        (this.y..this.bottom())
+            .flat_map(move |row| (this.x..this.right()).map(move |col| (col, row)))
     }
 }
 
@@ -174,6 +175,59 @@ impl fmt::Display for Rect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}x{}@({},{})", self.w, self.h, self.x, self.y)
     }
+}
+
+/// Finds one overlapping pair among `rects`, or `None` when all are
+/// pairwise disjoint.
+///
+/// O(n log n) sweep over top/bottom edges in ascending `y`: an ordered
+/// map from left edge to the open rect keeps the active set, and each
+/// insertion only has to inspect its two x-neighbours (the active set
+/// stays x-disjoint by induction, so any overlapper of a new interval
+/// is adjacent to its insertion point). Empty rects never overlap
+/// anything. Ends sort before starts at equal `y`, so touching rects
+/// do not count as overlapping.
+pub fn find_overlap(rects: &[Rect]) -> Option<(Rect, Rect)> {
+    // (y, is_start, rect index).
+    let mut events: Vec<(usize, bool, usize)> = Vec::with_capacity(rects.len() * 2);
+    for (i, r) in rects.iter().enumerate() {
+        if !r.is_empty() {
+            events.push((r.y, true, i));
+            events.push((r.y + r.h, false, i));
+        }
+    }
+    events.sort_by_key(|&(y, is_start, _)| (y, is_start));
+
+    // Active rects ordered by left edge: x -> rect index.
+    let mut active: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    for (_, is_start, i) in events {
+        let r = &rects[i];
+        if !is_start {
+            // Only remove if this rect still owns the slot (duplicate
+            // x keys were already reported as overlaps on insert).
+            if active.get(&r.x) == Some(&i) {
+                active.remove(&r.x);
+            }
+            continue;
+        }
+        if let Some(&other) = active.get(&r.x) {
+            return Some((rects[other], *r));
+        }
+        if let Some((_, &left)) = active.range(..r.x).next_back() {
+            let l = &rects[left];
+            if l.x + l.w > r.x {
+                return Some((*l, *r));
+            }
+        }
+        if let Some((_, &right)) = active.range(r.x + 1..).next() {
+            let rr = &rects[right];
+            if r.x + r.w > rr.x {
+                return Some((*r, *rr));
+            }
+        }
+        active.insert(r.x, i);
+    }
+    None
 }
 
 /// Splits an axis of length `len` starting at `origin` into `n` spans whose
@@ -195,6 +249,34 @@ fn split_axis(origin: usize, len: usize, n: usize) -> Vec<(usize, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn find_overlap_detects_and_clears() {
+        // Disjoint partition with staggered rows: no overlap.
+        let disjoint = [
+            Rect::new(0, 0, 96, 32),
+            Rect::new(0, 32, 40, 32),
+            Rect::new(40, 32, 56, 32),
+        ];
+        assert_eq!(find_overlap(&disjoint), None);
+        // Same x, overlapping y.
+        let stacked = [Rect::new(0, 0, 64, 40), Rect::new(0, 32, 64, 32)];
+        assert!(find_overlap(&stacked).is_some());
+        // Overlap in x between same-band neighbours.
+        let side = [Rect::new(0, 0, 32, 64), Rect::new(16, 0, 32, 64)];
+        assert_eq!(
+            find_overlap(&side),
+            Some((Rect::new(0, 0, 32, 64), Rect::new(16, 0, 32, 64)))
+        );
+        // Touching edges never count; empty rects are ignored.
+        let touching = [
+            Rect::new(0, 0, 32, 32),
+            Rect::new(32, 0, 32, 32),
+            Rect::new(0, 32, 64, 32),
+            Rect::new(5, 5, 0, 9),
+        ];
+        assert_eq!(find_overlap(&touching), None);
+    }
 
     #[test]
     fn area_and_edges() {

@@ -82,7 +82,10 @@ pub fn render_canvas(
     seed: u64,
     texture_gain: f64,
 ) -> Plane {
-    assert!(width > 0 && height > 0, "canvas dimensions must be non-zero");
+    assert!(
+        width > 0 && height > 0,
+        "canvas dimensions must be non-zero"
+    );
     assert!(
         content_rx > 0.0 && content_ry > 0.0,
         "content radii must be positive"
@@ -112,6 +115,7 @@ pub fn render_canvas(
 
 /// Luma contribution (above black level) of `part` at normalized
 /// anatomy coordinates `(nx, ny)` / absolute canvas coordinates `(x, y)`.
+#[allow(clippy::too_many_arguments)]
 fn intensity(
     part: BodyPart,
     nx: f64,
@@ -257,7 +261,11 @@ mod tests {
             let c = canvas(part);
             let corner = RegionStats::of(&c, &Rect::new(0, 0, 24, 18));
             assert!(corner.mean < 40.0, "{part}: corner mean {}", corner.mean);
-            assert!(corner.stddev < 12.0, "{part}: corner stddev {}", corner.stddev);
+            assert!(
+                corner.stddev < 12.0,
+                "{part}: corner stddev {}",
+                corner.stddev
+            );
         }
     }
 
@@ -298,8 +306,6 @@ mod tests {
         let brain = canvas(BodyPart::Brain);
         let r = Rect::new(40, 30, 80, 60);
         // Bones: crisp shafts → large dynamic range in center region.
-        assert!(
-            RegionStats::of(&bones, &r).range() >= RegionStats::of(&brain, &r).range()
-        );
+        assert!(RegionStats::of(&bones, &r).range() >= RegionStats::of(&brain, &r).range());
     }
 }

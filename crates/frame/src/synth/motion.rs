@@ -12,8 +12,10 @@ use serde::{Deserialize, Serialize};
 /// The camera/view trajectory of a phantom video.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum MotionPattern {
     /// No motion at all (still study).
+    #[default]
     Still,
     /// Constant-velocity pan in samples per frame. The paper's Fig. 1
     /// upper pair pans right; the lower pair pans down.
@@ -112,12 +114,6 @@ impl MotionPattern {
             std::cmp::Ordering::Equal => 0,
         });
         (sx, sy)
-    }
-}
-
-impl Default for MotionPattern {
-    fn default() -> Self {
-        MotionPattern::Still
     }
 }
 

@@ -280,8 +280,7 @@ impl PhantomVideo {
                 let x = col as f64;
                 let yf = row as f64;
                 let (sx, sy) = view.source_of(x, yf, cx, cy);
-                let sample =
-                    self.sample_canvas(sx + self.margin as f64, sy + self.margin as f64);
+                let sample = self.sample_canvas(sx + self.margin as f64, sy + self.margin as f64);
                 // Elliptical vignette in *output* space: corners stay
                 // dark and static regardless of content motion.
                 let nx = (x - cx) * inv_hw;
@@ -374,7 +373,12 @@ pub fn medical_suite(base_seed: u64) -> Vec<(String, PhantomConfig)> {
         ("brain_rotate".into(), mk(0, BodyPart::Brain, None, 1.0)),
         (
             "brain_pan".into(),
-            mk(1, BodyPart::Brain, Some(MotionPattern::Pan { dx: 0.8, dy: 0.0 }), 1.1),
+            mk(
+                1,
+                BodyPart::Brain,
+                Some(MotionPattern::Pan { dx: 0.8, dy: 0.0 }),
+                1.1,
+            ),
         ),
         ("bones_pan".into(), mk(2, BodyPart::Bones, None, 1.0)),
         (
@@ -391,7 +395,10 @@ pub fn medical_suite(base_seed: u64) -> Vec<(String, PhantomConfig)> {
                 1.2,
             ),
         ),
-        ("spine_scroll".into(), mk(6, BodyPart::SpinalCord, None, 1.0)),
+        (
+            "spine_scroll".into(),
+            mk(6, BodyPart::SpinalCord, None, 1.0),
+        ),
         (
             "tendon_inspect".into(),
             mk(7, BodyPart::LigamentTendon, None, 1.0),

@@ -229,7 +229,11 @@ mod tests {
         let mut src = VideoClip::from_frames(
             res(),
             24.0,
-            vec![Frame::flat(res(), 5), Frame::flat(res(), 6), Frame::flat(res(), 7)],
+            vec![
+                Frame::flat(res(), 5),
+                Frame::flat(res(), 6),
+                Frame::flat(res(), 7),
+            ],
         );
         let clip = VideoClip::capture(&mut src, 2);
         assert_eq!(clip.len(), 2);

@@ -48,7 +48,7 @@ impl HexagonSearch {
             HexOrientation::Horizontal => &HEX_H,
             HexOrientation::Vertical => &HEX_V,
             HexOrientation::Rotating => {
-                if iter % 2 == 0 {
+                if iter.is_multiple_of(2) {
                     &HEX_H
                 } else {
                     &HEX_V
@@ -163,9 +163,18 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        assert_eq!(HexagonSearch::new(HexOrientation::Horizontal).name(), "hexagon-h");
-        assert_eq!(HexagonSearch::new(HexOrientation::Vertical).name(), "hexagon-v");
-        assert_eq!(HexagonSearch::new(HexOrientation::Rotating).name(), "hexagon-rot");
+        assert_eq!(
+            HexagonSearch::new(HexOrientation::Horizontal).name(),
+            "hexagon-h"
+        );
+        assert_eq!(
+            HexagonSearch::new(HexOrientation::Vertical).name(),
+            "hexagon-v"
+        );
+        assert_eq!(
+            HexagonSearch::new(HexOrientation::Rotating).name(),
+            "hexagon-rot"
+        );
     }
 
     #[test]

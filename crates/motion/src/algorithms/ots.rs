@@ -121,8 +121,7 @@ mod tests {
         let c1 = ctx(&cur, &reference, MotionVector::ZERO);
         let horizontal_first = OneAtATimeSearch::new().search(&c1);
         let c2 = ctx(&cur, &reference, MotionVector::ZERO);
-        let vertical_first =
-            OneAtATimeSearch::along(MotionAxis::Vertical).search(&c2);
+        let vertical_first = OneAtATimeSearch::along(MotionAxis::Vertical).search(&c2);
         assert_eq!(vertical_first.mv, MotionVector::new(0, -4));
         assert!(vertical_first.evaluations <= horizontal_first.evaluations);
     }

@@ -18,8 +18,7 @@ impl MotionSearch for ThreeStepSearch {
         let mut best = Best::seeded(ctx, &[MotionVector::ZERO, ctx.predictor()]);
         // Initial step: half the radius rounded up to a power of two,
         // so W16 (r=8) gives the classic 4-2-1 schedule.
-        let mut step =
-            ((ctx.window().radius() / 2).max(1) as u16).next_power_of_two() as i16;
+        let mut step = ((ctx.window().radius() / 2).max(1) as u16).next_power_of_two() as i16;
         while step >= 1 {
             let center = best.mv;
             for dy in [-step, 0, step] {

@@ -193,8 +193,7 @@ mod tests {
     fn low_motion_subsequent_rides_direction_cheaply() {
         let (cur, reference) = shifted_planes(2, 0);
         let c = ctx(&cur, &reference, SearchWindow::W64);
-        let r =
-            BioMedicalSearch::subsequent(MotionLevel::Low, MotionVector::new(-2, 0)).search(&c);
+        let r = BioMedicalSearch::subsequent(MotionLevel::Low, MotionVector::new(-2, 0)).search(&c);
         assert_eq!(r.mv, MotionVector::new(-2, 0));
         assert!(r.evaluations <= 12, "evals={}", r.evaluations);
     }
@@ -219,8 +218,7 @@ mod tests {
         let cold = BioMedicalSearch::first_frame(MotionLevel::High).search(&c);
         let c2 = ctx(&cur, &reference, SearchWindow::W64);
         let seeded =
-            BioMedicalSearch::subsequent(MotionLevel::High, MotionVector::new(-14, 7))
-                .search(&c2);
+            BioMedicalSearch::subsequent(MotionLevel::High, MotionVector::new(-14, 7)).search(&c2);
         assert_eq!(seeded.mv, MotionVector::new(-14, 7));
         assert_eq!(seeded.cost, 0);
         assert!(seeded.cost <= cold.cost);
@@ -230,8 +228,8 @@ mod tests {
     fn high_motion_subsequent_locks_orientation() {
         let (cur, reference) = shifted_planes(0, 12);
         let c = ctx(&cur, &reference, SearchWindow::W64);
-        let r = BioMedicalSearch::subsequent(MotionLevel::High, MotionVector::new(0, -12))
-            .search(&c);
+        let r =
+            BioMedicalSearch::subsequent(MotionLevel::High, MotionVector::new(0, -12)).search(&c);
         assert_eq!(r.mv, MotionVector::new(0, -12));
     }
 
@@ -250,8 +248,8 @@ mod tests {
     fn cheaper_than_plain_hexagon_on_low_motion_tiles() {
         let (cur, reference) = shifted_planes(1, 0);
         let c1 = ctx(&cur, &reference, SearchWindow::W64);
-        let biomed = BioMedicalSearch::subsequent(MotionLevel::Low, MotionVector::new(-1, 0))
-            .search(&c1);
+        let biomed =
+            BioMedicalSearch::subsequent(MotionLevel::Low, MotionVector::new(-1, 0)).search(&c1);
         let c2 = ctx(&cur, &reference, SearchWindow::W64);
         let hex = HexagonSearch::default().search(&c2);
         assert!(biomed.evaluations < hex.evaluations);

@@ -134,8 +134,8 @@ pub fn satd(cur: &Plane, reference: &Plane, block: &Rect, mv: MotionVector) -> u
                 for sx in 0..4 {
                     let col = block.x + bx + sx;
                     let ref_x = col as isize + mv.x as isize;
-                    res[sy * 4 + sx] = cur.get(col, row) as i32
-                        - reference.get_clamped(ref_x, ref_y) as i32;
+                    res[sy * 4 + sx] =
+                        cur.get(col, row) as i32 - reference.get_clamped(ref_x, ref_y) as i32;
                 }
             }
             // Normalize by 2 to keep SATD on a SAD-comparable scale.
@@ -191,7 +191,11 @@ mod tests {
         let mut cur = Plane::new(32, 16);
         for row in 0..16 {
             for col in 0..32 {
-                cur.set(col, row, reference.get_clamped(col as isize - 2, row as isize));
+                cur.set(
+                    col,
+                    row,
+                    reference.get_clamped(col as isize - 2, row as isize),
+                );
             }
         }
         (cur, reference)
@@ -256,7 +260,10 @@ mod tests {
         let mv = MotionVector::new(-2, 0);
         assert_eq!(block_cost(CostMetric::Sad, &cur, &reference, &block, mv), 0);
         assert_eq!(block_cost(CostMetric::Ssd, &cur, &reference, &block, mv), 0);
-        assert_eq!(block_cost(CostMetric::Satd, &cur, &reference, &block, mv), 0);
+        assert_eq!(
+            block_cost(CostMetric::Satd, &cur, &reference, &block, mv),
+            0
+        );
     }
 
     #[test]

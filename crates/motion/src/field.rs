@@ -159,9 +159,7 @@ impl MotionField {
         let agree = self
             .mvs
             .iter()
-            .filter(|m| {
-                m.x.signum() == dom.x.signum() && m.y.signum() == dom.y.signum()
-            })
+            .filter(|m| m.x.signum() == dom.x.signum() && m.y.signum() == dom.y.signum())
             .count();
         agree as f64 / self.mvs.len() as f64
     }

@@ -57,12 +57,12 @@
 
 pub mod algorithms;
 mod biomed;
-#[cfg(test)]
-mod testutil;
 mod cost;
 mod field;
 mod mv;
 mod search;
+#[cfg(test)]
+mod testutil;
 
 pub use algorithms::{
     CrossSearch, DiamondSearch, FullSearch, HexOrientation, HexagonSearch, OneAtATimeSearch,

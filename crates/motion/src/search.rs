@@ -224,7 +224,7 @@ impl Best {
         let mut best: Option<Best> = None;
         for &s in seeds {
             if let Some(c) = ctx.try_cost(s) {
-                let better = best.map_or(true, |b| c < b.cost);
+                let better = best.is_none_or(|b| c < b.cost);
                 if better {
                     best = Some(Best { mv: s, cost: c });
                 }

@@ -27,12 +27,7 @@ pub(crate) fn smooth_texture(width: usize, height: usize) -> Plane {
 /// Returns `(cur, reference)` where the current plane shows the
 /// reference content moved by `(dx, dy)` samples (content moves right
 /// for positive `dx`), so the true motion vector is `(-dx, -dy)`.
-pub(crate) fn shifted_planes(
-    width: usize,
-    height: usize,
-    dx: isize,
-    dy: isize,
-) -> (Plane, Plane) {
+pub(crate) fn shifted_planes(width: usize, height: usize, dx: isize, dy: isize) -> (Plane, Plane) {
     let reference = smooth_texture(width, height);
     let mut cur = Plane::new(width, height);
     for row in 0..height {

@@ -105,8 +105,8 @@ pub fn plan_core(
     };
     let pinned = policy == DvfsPolicy::PinnedMax;
     let mut transitions = u32::from(prev_freq != freq);
-    let run_secs = freq.stretch(load_fmax_secs, fmax)
-        + platform.dvfs_transition_secs * transitions as f64;
+    let run_secs =
+        freq.stretch(load_fmax_secs, fmax) + platform.dvfs_transition_secs * transitions as f64;
     if run_secs <= slot_secs {
         // Fits: idle the remainder (drop to fmin per Algorithm 2 line
         // 18 — except under pinned-rail operation, which keeps the
@@ -128,8 +128,7 @@ pub fn plan_core(
         // for the whole slot and carry the remainder (lines 21–22).
         // The DVFS switch eats into the executable time.
         let transitions = u32::from(prev_freq != fmax);
-        let done_fmax =
-            (slot_secs - platform.dvfs_transition_secs * transitions as f64).max(0.0);
+        let done_fmax = (slot_secs - platform.dvfs_transition_secs * transitions as f64).max(0.0);
         CorePlan {
             freq: fmax,
             busy_secs: slot_secs,
@@ -273,8 +272,7 @@ mod tests {
         let race = plan_core(&p, DvfsPolicy::RaceToIdle, load, SLOT, p.fmax());
         let stretch = plan_core(&p, DvfsPolicy::StretchToDeadline, load, SLOT, p.fmax());
         let e_race = m.core_energy_j(race.freq, race.busy_secs, SLOT, race.transitions);
-        let e_stretch =
-            m.core_energy_j(stretch.freq, stretch.busy_secs, SLOT, stretch.transitions);
+        let e_stretch = m.core_energy_j(stretch.freq, stretch.busy_secs, SLOT, stretch.transitions);
         assert!(
             e_stretch < e_race,
             "stretch {e_stretch} J vs race {e_race} J"
@@ -388,13 +386,6 @@ mod tests {
     #[should_panic(expected = "one load per platform core")]
     fn wrong_load_count_rejected() {
         let (p, m) = setup();
-        simulate_slot(
-            &p,
-            &m,
-            DvfsPolicy::RaceToIdle,
-            &[0.0],
-            &fmin_vec(&p),
-            SLOT,
-        );
+        simulate_slot(&p, &m, DvfsPolicy::RaceToIdle, &[0.0], &fmin_vec(&p), SLOT);
     }
 }

@@ -1,0 +1,129 @@
+//! The [`ExecutionBackend`] abstraction: one trait, two ways to run a
+//! frame slot.
+//!
+//! A *slot* is one 1/FPS scheduling interval. The server loop turns
+//! Algorithm 2's placements into [`WorkUnit`]s — (user, thread, core,
+//! cost) tuples, optionally carrying the real tile-encoding closure —
+//! and a backend executes them:
+//!
+//! * [`SimBackend`](crate::SimBackend) prices the slot analytically
+//!   from the costs (the paper's evaluation model);
+//! * [`ThreadPoolBackend`](crate::ThreadPoolBackend) additionally runs
+//!   the closures on its per-core worker queues, FIFO per core, while
+//!   keeping the *same* analytical energy/deadline accounting so both
+//!   backends report identical statistics for identical workloads.
+//!
+//! Backends are stateful across slots: they own the per-core DVFS
+//! operating points and the deadline-miss carry (Algorithm 2 lines
+//! 21–22) from one slot to the next.
+
+use medvt_mpsoc::{DvfsPolicy, SlotReport};
+
+/// One placed unit of slot work: user `user`'s tile-thread `thread`
+/// on core `core`, costing `cost_fmax_secs` seconds at f_max.
+pub struct WorkUnit<'scope> {
+    /// User the work belongs to.
+    pub user: usize,
+    /// Thread (tile) index within the user.
+    pub thread: usize,
+    /// Core assigned by the scheduler.
+    pub core: usize,
+    /// Estimated CPU time at f_max, seconds.
+    pub cost_fmax_secs: f64,
+    /// The actual work, when the caller has any (`None` for replayed
+    /// profiles). Sim backends ignore it; pool backends run it on the
+    /// assigned core's queue.
+    pub job: Option<Box<dyn FnOnce() + Send + 'scope>>,
+}
+
+impl std::fmt::Debug for WorkUnit<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkUnit")
+            .field("user", &self.user)
+            .field("thread", &self.thread)
+            .field("core", &self.core)
+            .field("cost_fmax_secs", &self.cost_fmax_secs)
+            .field("has_job", &self.job.is_some())
+            .finish()
+    }
+}
+
+impl<'scope> WorkUnit<'scope> {
+    /// A cost-only unit (profile replay).
+    pub fn cost_only(user: usize, thread: usize, core: usize, cost_fmax_secs: f64) -> Self {
+        Self {
+            user,
+            thread,
+            core,
+            cost_fmax_secs,
+            job: None,
+        }
+    }
+}
+
+/// Outcome of executing one slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotOutcome {
+    /// The analytical per-core accounting (energy, carry, misses) —
+    /// identical across backends for identical work.
+    pub report: SlotReport,
+    /// Wall-clock seconds spent actually executing jobs (0 when the
+    /// slot carried no real work).
+    pub wall_secs: f64,
+}
+
+/// Executes scheduled slot work and carries DVFS/deadline state
+/// between slots.
+pub trait ExecutionBackend {
+    /// Number of schedulable cores (what placements index against).
+    fn cores(&self) -> usize;
+
+    /// Clears carried load and DVFS state (start of a fresh run).
+    fn reset(&mut self);
+
+    /// Executes one slot of placed work under `policy`.
+    fn execute_slot<'scope>(
+        &mut self,
+        policy: DvfsPolicy,
+        slot_secs: f64,
+        work: Vec<WorkUnit<'scope>>,
+    ) -> SlotOutcome;
+}
+
+impl<B: ExecutionBackend + ?Sized> ExecutionBackend for Box<B> {
+    fn cores(&self) -> usize {
+        (**self).cores()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn execute_slot<'scope>(
+        &mut self,
+        policy: DvfsPolicy,
+        slot_secs: f64,
+        work: Vec<WorkUnit<'scope>>,
+    ) -> SlotOutcome {
+        (**self).execute_slot(policy, slot_secs, work)
+    }
+}
+
+impl<B: ExecutionBackend + ?Sized> ExecutionBackend for &mut B {
+    fn cores(&self) -> usize {
+        (**self).cores()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+
+    fn execute_slot<'scope>(
+        &mut self,
+        policy: DvfsPolicy,
+        slot_secs: f64,
+        work: Vec<WorkUnit<'scope>>,
+    ) -> SlotOutcome {
+        (**self).execute_slot(policy, slot_secs, work)
+    }
+}

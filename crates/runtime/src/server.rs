@@ -1,0 +1,357 @@
+//! The backend-generic multi-user server loop.
+//!
+//! Drives N admitted users' frame slots through any
+//! [`ExecutionBackend`]: per-GOP thread re-placement (Algorithm 2
+//! lines 3–15, re-run each GOP per §III-D2), per-slot work-unit
+//! dispatch, deadline-miss carry-over (lines 21–22, owned by the
+//! backend) and the paper's one-second framerate windows.
+//!
+//! `core::ServerSim` wraps this loop with profile-driven admission and
+//! Table II reporting; real-execution servers feed it closures through
+//! [`DemandSource::work_for`].
+
+use crate::backend::{ExecutionBackend, WorkUnit};
+use medvt_mpsoc::DvfsPolicy;
+use medvt_sched::{place_threads, Placement, UserDemand};
+
+/// Per-user, per-slot demand (and optionally real work) for the loop.
+pub trait DemandSource {
+    /// Per-tile f_max-second demand of `user`'s frame at `slot`.
+    fn demand_at(&self, user: usize, slot: usize) -> Vec<f64>;
+
+    /// Real work for one tile thread, when the source has any.
+    /// Cost-only sources (profile replay) return `None`.
+    fn work_for(
+        &self,
+        _user: usize,
+        _slot: usize,
+        _thread: usize,
+    ) -> Option<Box<dyn FnOnce() + Send + '_>> {
+        None
+    }
+}
+
+/// When thread placements are recomputed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReplanPolicy {
+    /// Keep the initial placements for the whole run (baseline [19]'s
+    /// static binding).
+    Static,
+    /// Re-run Algorithm 2's placement at every GOP boundary on the
+    /// upcoming GOP's mean demand, padded by `headroom` (§III-D2).
+    PerGop {
+        /// Multiplier on estimated demands (> 1 keeps admission slack).
+        headroom: f64,
+    },
+}
+
+/// Server-loop configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerLoopConfig {
+    /// Target frames per second per user.
+    pub fps: f64,
+    /// Slots to run.
+    pub slots: usize,
+    /// DVFS policy handed to the backend.
+    pub policy: DvfsPolicy,
+    /// Placement refresh policy.
+    pub replan: ReplanPolicy,
+    /// Slots per GOP (re-placement period).
+    pub gop_slots: usize,
+}
+
+/// Aggregate outcome of a server-loop run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopReport {
+    /// Total energy, joules.
+    pub energy_j: f64,
+    /// Slots in which at least one core carried work over.
+    pub miss_slots: usize,
+    /// One-second framerate windows evaluated (per active core).
+    pub windows: usize,
+    /// Windows ending with unfinished work — real framerate misses.
+    pub window_misses: usize,
+    /// Sum over slots of the number of busy cores.
+    pub active_core_slots: usize,
+    /// Slots run.
+    pub slots: usize,
+    /// Wall-clock seconds spent executing real work (pool backends).
+    pub wall_secs: f64,
+}
+
+impl LoopReport {
+    /// Mean busy cores per slot.
+    pub fn avg_active_cores(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.active_core_slots as f64 / self.slots as f64
+        }
+    }
+
+    /// Fraction of one-second windows meeting the framerate.
+    pub fn on_time_rate(&self) -> f64 {
+        if self.windows == 0 {
+            1.0
+        } else {
+            1.0 - self.window_misses as f64 / self.windows as f64
+        }
+    }
+}
+
+/// Runs admitted users' slots through an execution backend.
+#[derive(Debug)]
+pub struct ServerLoop<'b, B: ExecutionBackend> {
+    backend: &'b mut B,
+    cfg: ServerLoopConfig,
+}
+
+impl<'b, B: ExecutionBackend> ServerLoop<'b, B> {
+    /// Creates a loop over `backend`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fps` or `gop_slots` is not positive.
+    pub fn new(backend: &'b mut B, cfg: ServerLoopConfig) -> Self {
+        assert!(cfg.fps > 0.0, "fps must be positive");
+        assert!(cfg.gop_slots > 0, "gop must have slots");
+        Self { backend, cfg }
+    }
+
+    /// Mean per-tile demand of `user` over the GOP starting at
+    /// `gop_start` (what the LUT would predict for the upcoming GOP).
+    fn gop_demand(&self, source: &impl DemandSource, user: usize, gop_start: usize) -> Vec<f64> {
+        let mut acc: Vec<f64> = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
+        for slot in gop_start..gop_start + self.cfg.gop_slots {
+            let d = source.demand_at(user, slot);
+            if d.len() > acc.len() {
+                acc.resize(d.len(), 0.0);
+                counts.resize(d.len(), 0);
+            }
+            for (i, &s) in d.iter().enumerate() {
+                acc[i] += s;
+                counts[i] += 1;
+            }
+        }
+        acc.iter()
+            .zip(&counts)
+            .map(|(&a, &c)| if c == 0 { 0.0 } else { a / c as f64 })
+            .collect()
+    }
+
+    /// Runs `cfg.slots` slots for `admitted` users, starting from
+    /// `initial` placements, and aggregates deadline/energy statistics.
+    ///
+    /// The backend is reset first, so repeated runs are independent.
+    pub fn run(
+        &mut self,
+        source: &impl DemandSource,
+        admitted: &[usize],
+        initial: &[Placement],
+    ) -> LoopReport {
+        let cores = self.backend.cores();
+        let slot_secs = 1.0 / self.cfg.fps;
+        let debug = std::env::var_os("MEDVT_DEBUG_SLOTS").is_some();
+        self.backend.reset();
+        let mut placements: Vec<Placement> = initial.to_vec();
+        let mut report = LoopReport {
+            energy_j: 0.0,
+            miss_slots: 0,
+            windows: 0,
+            window_misses: 0,
+            active_core_slots: 0,
+            slots: self.cfg.slots,
+            wall_secs: 0.0,
+        };
+        let window_len = self.cfg.fps.round().max(1.0) as usize;
+        let mut active_in_window = vec![false; cores];
+        for slot in 0..self.cfg.slots {
+            // Thread allocation happens once per GOP (paper §III-D2),
+            // using that GOP's estimated per-tile demand; the static
+            // policy keeps tiles bound to their initial cores.
+            if let ReplanPolicy::PerGop { headroom } = self.cfg.replan {
+                if slot % self.cfg.gop_slots == 0 {
+                    let demands: Vec<UserDemand> = admitted
+                        .iter()
+                        .map(|&u| {
+                            UserDemand::new(
+                                u,
+                                self.gop_demand(source, u, slot)
+                                    .iter()
+                                    .map(|s| s * headroom)
+                                    .collect(),
+                            )
+                        })
+                        .collect();
+                    let placed = place_threads(cores, slot_secs, &demands);
+                    if debug {
+                        let mut sorted = placed.core_loads.clone();
+                        sorted.sort_by(|a, b| b.total_cmp(a));
+                        eprintln!(
+                            "gop@{slot}: padded loads top {:?} used {} threads {}",
+                            &sorted[..4.min(sorted.len())]
+                                .iter()
+                                .map(|l| (l / slot_secs * 100.0).round() / 100.0)
+                                .collect::<Vec<_>>(),
+                            placed.used_cores(),
+                            placed.placements.len(),
+                        );
+                    }
+                    placements = placed.placements;
+                }
+            }
+            // Placement vectors cover the maximum tile count of the
+            // window; frames with fewer tiles simply have no work for
+            // the higher thread indices.
+            let mut work: Vec<WorkUnit<'_>> = Vec::with_capacity(placements.len());
+            for p in &placements {
+                let demand = source.demand_at(p.user, slot);
+                let cost = demand.get(p.thread).copied().unwrap_or(0.0);
+                work.push(WorkUnit {
+                    user: p.user,
+                    thread: p.thread,
+                    core: p.core,
+                    cost_fmax_secs: cost,
+                    job: source.work_for(p.user, slot, p.thread),
+                });
+            }
+            let outcome = self.backend.execute_slot(self.cfg.policy, slot_secs, work);
+            report.energy_j += outcome.report.energy_j;
+            report.wall_secs += outcome.wall_secs;
+            if outcome.report.deadline_misses > 0 {
+                report.miss_slots += 1;
+            }
+            if debug {
+                let carrying = outcome
+                    .report
+                    .cores
+                    .iter()
+                    .filter(|c| c.carry_fmax_secs > 1e-9)
+                    .count();
+                eprintln!(
+                    "slot {slot:>3}: {} cores carrying, total carry {:.3} slots",
+                    carrying,
+                    outcome.report.total_carry() / slot_secs
+                );
+            }
+            report.active_core_slots += outcome.report.active_cores();
+            for (k, plan) in outcome.report.cores.iter().enumerate() {
+                if plan.busy_secs > 0.0 {
+                    active_in_window[k] = true;
+                }
+            }
+            // One-second framerate check (paper §III-D2): a core misses
+            // its window when work remains unfinished at the boundary.
+            if (slot + 1) % window_len == 0 {
+                for (k, active) in active_in_window.iter_mut().enumerate() {
+                    if *active {
+                        report.windows += 1;
+                        if outcome.report.cores[k].carry_fmax_secs > 1e-9 {
+                            report.window_misses += 1;
+                        }
+                    }
+                    *active = false;
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimBackend;
+    use medvt_mpsoc::{Platform, PowerModel};
+
+    const SLOT: f64 = 1.0 / 24.0;
+
+    struct FlatSource {
+        tiles: usize,
+        secs: f64,
+    }
+
+    impl DemandSource for FlatSource {
+        fn demand_at(&self, _user: usize, _slot: usize) -> Vec<f64> {
+            vec![self.secs; self.tiles]
+        }
+    }
+
+    fn cfg(slots: usize, replan: ReplanPolicy) -> ServerLoopConfig {
+        ServerLoopConfig {
+            fps: 24.0,
+            slots,
+            policy: DvfsPolicy::StretchToDeadline,
+            replan,
+            gop_slots: 8,
+        }
+    }
+
+    #[test]
+    fn light_load_meets_every_window() {
+        let mut backend = SimBackend::new(Platform::quad_core(), PowerModel::default());
+        let source = FlatSource {
+            tiles: 4,
+            secs: SLOT / 16.0,
+        };
+        let mut sl = ServerLoop::new(
+            &mut backend,
+            cfg(48, ReplanPolicy::PerGop { headroom: 1.1 }),
+        );
+        let report = sl.run(&source, &[0], &[]);
+        assert_eq!(report.miss_slots, 0);
+        assert_eq!(report.window_misses, 0);
+        assert!(report.windows > 0);
+        assert!(report.energy_j > 0.0);
+        assert!((report.on_time_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_replan_keeps_initial_placements_loaded() {
+        let mut backend = SimBackend::new(Platform::quad_core(), PowerModel::default());
+        let source = FlatSource {
+            tiles: 2,
+            secs: SLOT / 4.0,
+        };
+        // Initial placements put both tiles on core 3 only.
+        let initial = vec![
+            Placement {
+                user: 0,
+                thread: 0,
+                core: 3,
+                secs: SLOT / 4.0,
+            },
+            Placement {
+                user: 0,
+                thread: 1,
+                core: 3,
+                secs: SLOT / 4.0,
+            },
+        ];
+        let mut sl = ServerLoop::new(&mut backend, cfg(8, ReplanPolicy::Static));
+        let report = sl.run(&source, &[0], &initial);
+        // Exactly one core ever active.
+        assert_eq!(report.active_core_slots, 8);
+        assert_eq!(report.miss_slots, 0);
+    }
+
+    #[test]
+    fn overload_counts_misses_and_windows() {
+        let mut backend = SimBackend::new(Platform::quad_core(), PowerModel::default());
+        // 4 users x 4 tiles x 0.5 slots = 8 core-slots of work on 4
+        // cores: permanently overloaded.
+        let source = FlatSource {
+            tiles: 4,
+            secs: SLOT / 2.0,
+        };
+        let mut sl = ServerLoop::new(
+            &mut backend,
+            cfg(48, ReplanPolicy::PerGop { headroom: 1.0 }),
+        );
+        let report = sl.run(&source, &[0, 1, 2, 3], &[]);
+        assert!(report.miss_slots > 0);
+        assert!(report.window_misses > 0);
+        assert!(report.on_time_rate() < 1.0);
+    }
+}

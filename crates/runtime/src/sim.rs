@@ -1,0 +1,112 @@
+//! The analytical backend: today's slot model (extracted from
+//! `core::server` / `mpsoc::simulate_slot`) behind the
+//! [`ExecutionBackend`] trait.
+
+use crate::backend::{ExecutionBackend, SlotOutcome, WorkUnit};
+use medvt_mpsoc::{simulate_slot, DvfsPolicy, FreqLevel, Platform, PowerModel};
+
+/// Prices slots analytically from work-unit costs; never runs jobs.
+#[derive(Debug, Clone)]
+pub struct SimBackend {
+    platform: Platform,
+    power: PowerModel,
+    prev_freqs: Vec<FreqLevel>,
+    carry: Vec<f64>,
+}
+
+impl SimBackend {
+    /// Creates a backend over `platform` with `power` pricing.
+    pub fn new(platform: Platform, power: PowerModel) -> Self {
+        let cores = platform.total_cores();
+        let fmin = platform.fmin();
+        Self {
+            platform,
+            power,
+            prev_freqs: vec![fmin; cores],
+            carry: vec![0.0; cores],
+        }
+    }
+
+    /// The platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Load carried into the next slot, per core (fmax-seconds).
+    pub fn carry(&self) -> &[f64] {
+        &self.carry
+    }
+}
+
+impl ExecutionBackend for SimBackend {
+    fn cores(&self) -> usize {
+        self.platform.total_cores()
+    }
+
+    fn reset(&mut self) {
+        self.prev_freqs = vec![self.platform.fmin(); self.cores()];
+        self.carry = vec![0.0; self.cores()];
+    }
+
+    fn execute_slot<'scope>(
+        &mut self,
+        policy: DvfsPolicy,
+        slot_secs: f64,
+        work: Vec<WorkUnit<'scope>>,
+    ) -> SlotOutcome {
+        let mut loads = self.carry.clone();
+        for unit in &work {
+            loads[unit.core] += unit.cost_fmax_secs;
+        }
+        let report = simulate_slot(
+            &self.platform,
+            &self.power,
+            policy,
+            &loads,
+            &self.prev_freqs,
+            slot_secs,
+        );
+        for (k, plan) in report.cores.iter().enumerate() {
+            self.carry[k] = plan.carry_fmax_secs;
+            self.prev_freqs[k] = plan.freq;
+        }
+        SlotOutcome {
+            report,
+            wall_secs: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SLOT: f64 = 1.0 / 24.0;
+
+    #[test]
+    fn carry_flows_into_next_slot() {
+        let mut b = SimBackend::new(Platform::quad_core(), PowerModel::default());
+        let heavy = vec![WorkUnit::cost_only(0, 0, 0, SLOT * 1.5)];
+        let out = b.execute_slot(DvfsPolicy::StretchToDeadline, SLOT, heavy);
+        assert_eq!(out.report.deadline_misses, 1);
+        assert!(b.carry()[0] > 0.0);
+        // Empty next slot still executes the carried work.
+        let out2 = b.execute_slot(DvfsPolicy::StretchToDeadline, SLOT, vec![]);
+        assert!(out2.report.cores[0].busy_secs > 0.0);
+        assert_eq!(out2.report.deadline_misses, 0);
+        assert!((b.carry()[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut b = SimBackend::new(Platform::quad_core(), PowerModel::default());
+        b.execute_slot(
+            DvfsPolicy::StretchToDeadline,
+            SLOT,
+            vec![WorkUnit::cost_only(0, 0, 1, SLOT * 2.0)],
+        );
+        assert!(b.carry()[1] > 0.0);
+        b.reset();
+        assert!(b.carry().iter().all(|&c| c == 0.0));
+    }
+}

@@ -188,12 +188,15 @@ pub fn place_threads(cores: usize, slot_secs: f64, users: &[UserDemand]) -> Allo
     let mut threads: Vec<Placement> = users
         .iter()
         .flat_map(|u| {
-            u.thread_secs.iter().enumerate().map(|(t, &secs)| Placement {
-                user: u.user,
-                thread: t,
-                core: usize::MAX,
-                secs,
-            })
+            u.thread_secs
+                .iter()
+                .enumerate()
+                .map(|(t, &secs)| Placement {
+                    user: u.user,
+                    thread: t,
+                    core: usize::MAX,
+                    secs,
+                })
         })
         .collect();
     let core_loads = place(&mut threads, cores, demanded, slot_secs);
@@ -219,10 +222,7 @@ fn place(
         .max(usize::from(!threads.is_empty()));
     let mut core_loads = vec![0.0f64; cores];
     for th in threads.iter_mut() {
-        let max_load = core_loads[..candidates]
-            .iter()
-            .copied()
-            .fold(0.0, f64::max);
+        let max_load = core_loads[..candidates].iter().copied().fold(0.0, f64::max);
         let cap = if max_load > slot_secs {
             slot_secs
         } else {
@@ -240,7 +240,7 @@ fn place(
             }
             if load + th.secs <= slot_secs + 1e-12 {
                 let dist = (cap - (load + th.secs)).abs();
-                if best_fit.map_or(true, |(_, d)| dist < d) {
+                if best_fit.is_none_or(|(_, d)| dist < d) {
                     best_fit = Some((k, dist));
                 }
             }
@@ -370,7 +370,7 @@ mod tests {
             let expect = alloc.admitted.len() * threads_per_user;
             prop_assert_eq!(alloc.placements.len(), expect);
             // Core loads equal the sum of placements.
-            let mut check = vec![0.0f64; 16];
+            let mut check = [0.0f64; 16];
             for p in &alloc.placements {
                 check[p.core] += p.secs;
             }

@@ -74,12 +74,7 @@ impl FeedbackController {
     /// relevant cores already ran at the maximum frequency (the paper
     /// only lightens configurations in that case — otherwise DVFS has
     /// headroom).
-    pub fn on_frame(
-        &mut self,
-        frame_secs: f64,
-        tile_secs: &[f64],
-        at_fmax: bool,
-    ) -> Adjustment {
+    pub fn on_frame(&mut self, frame_secs: f64, tile_secs: &[f64], at_fmax: bool) -> Adjustment {
         self.debt_secs += frame_secs - self.slot_secs;
         // Slack banks at most one slot: surplus speed in the distant
         // past cannot excuse a miss now.

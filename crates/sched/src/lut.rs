@@ -176,9 +176,7 @@ impl WorkloadLut {
             {
                 if let Some(est) = h.estimate() {
                     let d = k.area_units.abs_diff(key.area_units);
-                    if best.map_or(true, |(bd, _)| {
-                        d < bd.abs_diff(key.area_units)
-                    }) {
+                    if best.is_none_or(|(bd, _)| d < bd.abs_diff(key.area_units)) {
                         best = Some((k.area_units, est));
                     }
                 }

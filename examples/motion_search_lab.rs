@@ -7,9 +7,9 @@
 use medvt::frame::synth::{BodyPart, MotionPattern, PhantomVideo};
 use medvt::frame::{Rect, Resolution};
 use medvt::motion::{
-    BioMedicalSearch, CostMetric, CrossSearch, DiamondSearch, FullSearch, GopPhase,
-    HexOrientation, HexagonSearch, MotionField, MotionLevel, MotionSearch, MotionVector,
-    OneAtATimeSearch, SearchWindow, ThreeStepSearch, TzSearch,
+    BioMedicalSearch, CostMetric, CrossSearch, DiamondSearch, FullSearch, GopPhase, HexOrientation,
+    HexagonSearch, MotionField, MotionLevel, MotionSearch, MotionVector, OneAtATimeSearch,
+    SearchWindow, ThreeStepSearch, TzSearch,
 };
 
 fn main() {
@@ -72,7 +72,10 @@ fn main() {
             full_evals = stats.evaluations;
         }
         let speedup = if stats.evaluations > 0 && full_evals > 0 {
-            format!("({:>5.1}x vs full)", full_evals as f64 / stats.evaluations as f64)
+            format!(
+                "({:>5.1}x vs full)",
+                full_evals as f64 / stats.evaluations as f64
+            )
         } else {
             String::new()
         };

@@ -1,24 +1,38 @@
-//! Multi-user telemedicine server: profile the medical suite, then
-//! serve an always-full queue of doctors on the 32-core Xeon platform
-//! with both the proposed scheduler and the baseline [19], comparing
-//! throughput and power.
+//! Multi-user telemedicine server: profile the medical suite on the
+//! placement-aware thread pool, then serve an always-full queue of
+//! doctors on the 32-core Xeon platform with both the proposed
+//! scheduler and the baseline [19], comparing throughput and power.
+//!
+//! Profiling encodes every tile on `ThreadPoolBackend` — the runtime
+//! places tiles on its per-core FIFO queues with Algorithm 2's
+//! `place_threads` — and serving drives the frame slots through the
+//! same backend, so this example exercises the real execution path
+//! end to end (the analytical `SimBackend` reports identical numbers).
 //!
 //! Run: `cargo run --release --example multi_user_server`
 
 use medvt::analyze::AnalyzerConfig;
 use medvt::core::{
-    profile_video, Approach, Baseline19Controller, BaselineConfig, ContentAwareController,
+    profile_video_with, Approach, Baseline19Controller, BaselineConfig, ContentAwareController,
     PipelineConfig, ServerConfig, ServerSim,
 };
 use medvt::encoder::EncoderConfig;
 use medvt::frame::synth::{medical_suite, PhantomConfig, PhantomVideo};
 use medvt::frame::Resolution;
+use medvt::runtime::ThreadPoolBackend;
 use medvt::sched::{LutBank, WorkloadLut};
 
 fn main() {
     let resolution = Resolution::new(320, 240);
     let frames = 33;
-    println!("profiling the 10-video medical suite at {resolution} ({frames} frames each)…");
+    let server_cfg = ServerConfig::default();
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let pool =
+        ThreadPoolBackend::with_workers(server_cfg.platform.clone(), server_cfg.power, workers);
+    println!(
+        "profiling the 10-video medical suite at {resolution} ({frames} frames each) \
+         on a {workers}-worker placement-aware pool…"
+    );
 
     let pipeline = PipelineConfig {
         analyzer: AnalyzerConfig {
@@ -32,40 +46,38 @@ fn main() {
     let mut proposed = Vec::new();
     let mut baseline = Vec::new();
     for (name, cfg) in medical_suite(2024) {
-        let cfg = PhantomConfig {
-            resolution,
-            ..cfg
-        };
+        let cfg = PhantomConfig { resolution, ..cfg };
         let class = cfg.body_part.label().to_string();
         let clip = PhantomVideo::new(cfg).capture(frames);
         // Proposed: LUTs transfer within a body-part class (§III-D1).
         let lut: WorkloadLut = bank.seed_for(&class);
         let mut ctl = ContentAwareController::new(pipeline, lut);
-        proposed.push(profile_video(
+        proposed.push(profile_video_with(
             &name,
             &class,
             &clip,
             &mut ctl,
             &EncoderConfig::default(),
-            true,
+            &pool,
         ));
         bank.learn(&class, ctl.lut());
         // Baseline [19].
         let mut base = Baseline19Controller::new(BaselineConfig::default());
-        baseline.push(profile_video(
+        baseline.push(profile_video_with(
             &name,
             &class,
             &clip,
             &mut base,
             &EncoderConfig::default(),
-            true,
+            &pool,
         ));
         println!("  {name}: done");
     }
 
-    let sim = ServerSim::new(ServerConfig::default());
-    let p = sim.serve_max(&proposed, Approach::Proposed);
-    let b = sim.serve_max(&baseline, Approach::Baseline);
+    let sim = ServerSim::new(server_cfg);
+    let mut backend = pool;
+    let p = sim.serve_max_on(&mut backend, &proposed, Approach::Proposed);
+    let b = sim.serve_max_on(&mut backend, &baseline, Approach::Baseline);
 
     println!("\n32-core server, 24 fps per user, queue always full:");
     for r in [&p, &b] {
@@ -83,8 +95,7 @@ fn main() {
         "\nthroughput gain: {:.2}x users (paper: 1.6x)",
         p.users_served as f64 / b.users_served.max(1) as f64
     );
-    if let Some(savings) = sim.power_savings_percent(&proposed, &baseline, b.users_served.min(8))
-    {
+    if let Some(savings) = sim.power_savings_percent(&proposed, &baseline, b.users_served.min(8)) {
         println!(
             "power savings at {} users: {savings:.0}% (paper: up to 44%)",
             b.users_served.min(8)

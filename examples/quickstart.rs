@@ -50,7 +50,10 @@ fn main() {
     let mut reports = controller.drain_reports();
     reports.sort_by_key(|r| r.poc);
     let last = reports.last().expect("at least one frame");
-    println!("          {} tiles in the last GOP's tiling:", last.tiles.len());
+    println!(
+        "          {} tiles in the last GOP's tiling:",
+        last.tiles.len()
+    );
     for t in &last.tiles {
         println!(
             "            {:<16} {:>7.2} ms @fmax  {:>6} bits  {:>5.1} dB",

@@ -15,7 +15,8 @@
 //! | [`analyze`] | `medvt-analyze` | texture/motion classification, content-aware re-tiling, baseline tiler |
 //! | [`mpsoc`] | `medvt-mpsoc` | 32-core Xeon platform model, DVFS, power/energy |
 //! | [`sched`] | `medvt-sched` | workload LUT, Algorithm 2 allocator, deadline feedback |
-//! | [`core`] | `medvt-core` | the full pipeline, baseline [19], multi-user server simulation |
+//! | [`runtime`] | `medvt-runtime` | placement-aware execution: per-core worker pool, sim/thread-pool backends, server loop |
+//! | [`core`] | `medvt-core` | the full pipeline, baseline [19], multi-user server on either backend |
 //!
 //! # Examples
 //!
@@ -54,4 +55,5 @@ pub use medvt_encoder as encoder;
 pub use medvt_frame as frame;
 pub use medvt_motion as motion;
 pub use medvt_mpsoc as mpsoc;
+pub use medvt_runtime as runtime;
 pub use medvt_sched as sched;

@@ -39,7 +39,10 @@ fn rate_distortion_is_monotone_across_the_qp_ladder() {
         let stats = encode_uniform(&clip, 2, 2, tcfg(qp), EncoderConfig::default());
         let bits = stats.total_bits();
         let psnr = stats.mean_psnr();
-        assert!(bits < last_bits, "QP{qp}: bits must fall ({bits} vs {last_bits})");
+        assert!(
+            bits < last_bits,
+            "QP{qp}: bits must fall ({bits} vs {last_bits})"
+        );
         assert!(
             psnr < last_psnr + 0.01,
             "QP{qp}: psnr must not rise ({psnr} vs {last_psnr})"
@@ -77,8 +80,7 @@ fn more_tiles_cost_slightly_more_bits() {
     let one = encode_uniform(&clip, 1, 1, tcfg(32), EncoderConfig::default());
     let many = encode_uniform(&clip, 5, 4, tcfg(32), EncoderConfig::default());
     assert!(many.total_bits() >= one.total_bits());
-    let loss =
-        (many.total_bits() - one.total_bits()) as f64 / one.total_bits() as f64 * 100.0;
+    let loss = (many.total_bits() - one.total_bits()) as f64 / one.total_bits() as f64 * 100.0;
     assert!(loss < 20.0, "tiling overhead {loss}% looks wrong");
 }
 

@@ -2,8 +2,8 @@
 //! hold for arbitrary content and parameters.
 
 use medvt::analyze::{AnalyzerConfig, CapacityBalancedTiler, Retiler};
-use medvt::encoder::{code_residual, EncoderConfig, FramePlan, Qp, TileConfig};
 use medvt::encoder::bits::BitWriter;
+use medvt::encoder::{code_residual, EncoderConfig, FramePlan, Qp, TileConfig};
 use medvt::frame::synth::{render_canvas, BodyPart, ValueNoise};
 use medvt::frame::{Plane, Rect};
 use medvt::mpsoc::{plan_core, DvfsPolicy, Platform};

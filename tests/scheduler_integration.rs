@@ -12,7 +12,9 @@ const SLOT: f64 = 1.0 / 24.0;
 /// content-aware tiling: busy center tiles, cheap border tiles,
 /// Σ ≈ 0.0765 s per frame (≈1.8 slots at 24 fps).
 fn content_aware_profile() -> VideoProfile {
-    let times = [0.020, 0.018, 0.015, 0.010, 0.004, 0.003, 0.002, 0.002, 0.002, 0.0005];
+    let times = [
+        0.020, 0.018, 0.015, 0.010, 0.004, 0.003, 0.002, 0.002, 0.002, 0.0005,
+    ];
     let tiles: Vec<TileReport> = times
         .iter()
         .enumerate()
@@ -101,11 +103,7 @@ fn proposed_uses_less_power_at_equal_throughput() {
     let s = sim();
     for n in [1usize, 2, 4, 6] {
         let savings = s
-            .power_savings_percent(
-                &[content_aware_profile()],
-                &[baseline_profile()],
-                n,
-            )
+            .power_savings_percent(&[content_aware_profile()], &[baseline_profile()], n)
             .expect("both serve n users");
         assert!(savings > 0.0, "n={n}: savings {savings}%");
     }

@@ -1,0 +1,186 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace benches use —
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], `b.iter(..)`,
+//! `criterion_group!`/`criterion_main!` — over a plain wall-clock
+//! measurement loop (no statistics, plots or comparisons). Results
+//! print as `name ... median time/iter`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives timed iterations of one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Median seconds per iteration, recorded for the caller.
+    last_secs_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, first calibrating an iteration count that runs
+    /// for a few milliseconds, then taking the median of 5 batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit ~20 ms?
+        let mut n: u64 = 1;
+        let per_iter = loop {
+            let t = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(20) || n >= 1 << 20 {
+                break elapsed.as_secs_f64() / n as f64;
+            }
+            n *= 4;
+        };
+        // Measure: median of 5 batches sized to ~25 ms each.
+        let batch = ((0.025 / per_iter.max(1e-12)) as u64).clamp(1, 1 << 22);
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                t.elapsed().as_secs_f64() / batch as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        self.last_secs_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) -> f64 {
+    let mut b = Bencher {
+        last_secs_per_iter: 0.0,
+    };
+    f(&mut b);
+    let s = b.last_secs_per_iter;
+    let human = if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    };
+    println!("bench {label:<48} {human}/iter");
+    s
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` against `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        routine: R,
+    ) -> &mut Self
+    where
+        R: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), |b| routine(b, input));
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<R: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        routine: R,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), routine);
+        self
+    }
+
+    /// Ends the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmarks a single function.
+    pub fn bench_function<R: FnOnce(&mut Bencher)>(&mut self, name: &str, routine: R) -> &mut Self {
+        run_one(name, routine);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group function calling each benchmark in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}

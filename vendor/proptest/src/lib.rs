@@ -1,0 +1,250 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate
+//! reimplements the small slice of proptest the workspace tests use:
+//! the `proptest!` macro over `arg in strategy` bindings, integer and
+//! float range strategies, `collection::vec`, `ProptestConfig`
+//! (`with_cases`), and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Sampling is deterministic (splitmix64 seeded from the test name) —
+//! no shrinking, no persistence. Each test runs `cases` sampled
+//! inputs plus the range endpoints-biased first iterations.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic splitmix64 generator driving all sampling.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Next pseudo-random u64 (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Seeds a generator from a test path (stable across runs).
+pub fn rng_for(name: &str) -> Rng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    Rng::new(h)
+}
+
+/// A source of sampled values.
+pub trait Strategy {
+    /// The sampled value type.
+    type Value;
+    /// Draws one value. `case` 0 and 1 are biased to the strategy's
+    /// extremes so boundary behaviour is always exercised.
+    fn sample(&self, rng: &mut Rng, case: u32) -> Self::Value;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut Rng, case: u32) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                match case {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => ((self.start as i128)
+                        + (rng.next_u64() as i128).rem_euclid(span)) as $t,
+                }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut Rng, case: u32) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128) - (lo as i128) + 1;
+                match case {
+                    0 => lo,
+                    1 => hi,
+                    _ => ((lo as i128)
+                        + (rng.next_u64() as i128).rem_euclid(span)) as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut Rng, case: u32) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        match case {
+            0 => self.start,
+            _ => self.start + (self.end - self.start) * rng.next_f64(),
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut Rng, case: u32) -> f64 {
+        match case {
+            0 => *self.start(),
+            1 => *self.end(),
+            _ => *self.start() + (*self.end() - *self.start()) * rng.next_f64(),
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Rng, Strategy};
+    use std::ops::Range;
+
+    /// Length specification: a fixed `usize` or a `Range<usize>`.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut Rng, case: u32) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut Rng, _case: u32) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut Rng, case: u32) -> usize {
+            Strategy::sample(self, rng, case)
+        }
+    }
+
+    /// Strategy producing `Vec`s of an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Creates a vector strategy (`vec(strategy, len_or_range)`).
+    pub fn vec<S, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut Rng, case: u32) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng, case);
+            // Element draws past case 1 use plain sampling so vectors
+            // are not all-extreme.
+            (0..n)
+                .map(|i| {
+                    let c = if case <= 1 && i == 0 { case } else { 2 };
+                    self.element.sample(rng, c)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Test-runner configuration (`ProptestConfig`).
+pub mod test_runner {
+    /// Number of sampled cases per property.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` inputs.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 48 }
+        }
+    }
+}
+
+/// Asserts a property (plain `assert!` under the hood).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Asserts equality (plain `assert_eq!` under the hood).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Skips the current case when the assumption does not hold (the
+/// `proptest!` body runs inside a per-case loop, so this `continue`s).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Defines property tests: each `arg in strategy` binding is sampled
+/// `cases` times and the body re-run per case.
+#[macro_export]
+macro_rules! proptest {
+    (@fns $cfg:expr;) => {};
+    (@fns $cfg:expr;
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cfg.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng, case);)+
+                $body
+            }
+        }
+        $crate::proptest!{@fns $cfg; $($rest)*}
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{@fns $cfg; $($rest)*}
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{
+            @fns $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+/// The prelude: everything the `proptest!` call sites import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}

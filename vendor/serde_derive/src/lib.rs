@@ -1,0 +1,265 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a minimal `serde` facade (see `vendor/serde`) whose
+//! `Serialize` trait is a single `to_value(&self) -> Value` method.
+//! This crate derives that trait for the struct/enum shapes the
+//! workspace actually uses, parsing the item with nothing but
+//! `proc_macro` token trees (no `syn`/`quote`).
+//!
+//! Supported shapes: unit/named/tuple structs and enums whose variants
+//! are unit, tuple or struct-like. Generic items are rejected with a
+//! compile error (none exist in this workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` (`to_value`) for an item.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`. The facade's trait is a
+/// marker with a blanket impl, so there is nothing to generate.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+enum ItemKind {
+    NamedStruct { fields: Vec<String> },
+    TupleStruct { arity: usize },
+    UnitStruct,
+    Enum { variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Consumes leading attributes (`#[...]`, doc comments) and visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum keyword, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic items ({name})");
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct {
+                    fields: parse_named_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct {
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            _ => ItemKind::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => ItemKind::Enum {
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("cannot derive Serialize for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+/// Splits a brace-group body into top-level comma-separated chunks,
+/// treating `<...>` generic arguments as nested (angle brackets are
+/// plain puncts, not token groups).
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0usize;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                // Ignore the `>` of `->` (fn-pointer return types).
+                let after_dash = matches!(
+                    cur.last(),
+                    Some(TokenTree::Punct(prev)) if prev.as_char() == '-'
+                );
+                if !after_dash {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+            }
+            _ => {}
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let i = skip_attrs_and_vis(&chunk, 0);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_commas(stream)
+        .into_iter()
+        .map(|chunk| {
+            let i = skip_attrs_and_vis(&chunk, 0);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected variant name, found {other:?}"),
+            };
+            let shape = match chunk.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => VariantShape::Unit, // unit variant, maybe `= disc`
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::UnitStruct => "::serde::Value::Object(::std::vec::Vec::new())".to_string(),
+        ItemKind::NamedStruct { fields } => {
+            let mut s = String::from("{ let mut m = ::std::vec::Vec::new();");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m) }");
+            s
+        }
+        ItemKind::TupleStruct { arity: 1 } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct { arity } => {
+            let mut s = String::from("{ let mut a = ::std::vec::Vec::new();");
+            for k in 0..*arity {
+                s.push_str(&format!("a.push(::serde::Serialize::to_value(&self.{k}));"));
+            }
+            s.push_str("::serde::Value::Array(a) }");
+            s
+        }
+        ItemKind::Enum { variants } => {
+            let mut s = String::from("match self {");
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => s.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|k| format!("f{k}")).collect();
+                        let pat = binds.join(", ");
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let mut a = String::from("{ let mut a = ::std::vec::Vec::new();");
+                            for b in &binds {
+                                a.push_str(&format!("a.push(::serde::Serialize::to_value({b}));"));
+                            }
+                            a.push_str("::serde::Value::Array(a) }");
+                            a
+                        };
+                        s.push_str(&format!(
+                            "{name}::{vname}({pat}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {inner})]),"
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let pat = fields.join(", ");
+                        let mut inner = String::from("{ let mut m = ::std::vec::Vec::new();");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "m.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));"
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Object(m) }");
+                        s.push_str(&format!(
+                            "{name}::{vname} {{ {pat} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {inner})]),"
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+    )
+}

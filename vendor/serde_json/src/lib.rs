@@ -1,0 +1,127 @@
+//! Offline stand-in for `serde_json`: renders the vendored `serde`
+//! facade's [`serde::Value`] tree as JSON text.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error (the vendored value tree cannot actually fail,
+/// but the signature matches `serde_json`).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable, 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                out.push_str(&format!("{x}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => write_seq(
+            out,
+            items.iter(),
+            items.len(),
+            indent,
+            depth,
+            |o, item, i, d| {
+                write_value(o, item, i, d);
+            },
+            '[',
+            ']',
+        ),
+        Value::Object(entries) => write_seq(
+            out,
+            entries.iter(),
+            entries.len(),
+            indent,
+            depth,
+            |o, (k, val), i, d| {
+                write_escaped(o, k);
+                o.push(':');
+                if i.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, val, i, d);
+            },
+            '{',
+            '}',
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_seq<T>(
+    out: &mut String,
+    items: impl Iterator<Item = T>,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    mut write_item: impl FnMut(&mut String, T, Option<usize>, usize),
+    open: char,
+    close: char,
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        write_item(out, item, indent, depth + 1);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
