@@ -1,0 +1,207 @@
+//! User requests and the arrival queue of the online serving scenario.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Service level a user signs up for — how many consecutive missed
+/// one-second windows the controller tolerates before evicting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DeadlineClass {
+    /// Live diagnostics: a single sustained miss is disqualifying.
+    Strict,
+    /// Interactive review (the default tier).
+    #[default]
+    Standard,
+    /// Archival / batch transcodes that tolerate sustained degradation.
+    BestEffort,
+}
+
+impl DeadlineClass {
+    /// Consecutive missed windows tolerated before eviction (scaled by
+    /// the controller's base threshold).
+    pub const fn miss_tolerance(&self) -> usize {
+        match self {
+            DeadlineClass::Strict => 1,
+            DeadlineClass::Standard => 2,
+            DeadlineClass::BestEffort => 4,
+        }
+    }
+
+    /// Display label.
+    pub const fn label(&self) -> &'static str {
+        match self {
+            DeadlineClass::Strict => "strict",
+            DeadlineClass::Standard => "standard",
+            DeadlineClass::BestEffort => "best-effort",
+        }
+    }
+}
+
+/// One user's timestamped transcoding request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserRequest {
+    /// Unique user id (doubles as the runtime's user id once admitted).
+    pub user: usize,
+    /// Slot at which the request enters the queue.
+    pub arrival_slot: usize,
+    /// Index into the workload set (which video the user transcodes).
+    pub profile: usize,
+    /// Service tier.
+    pub class: DeadlineClass,
+    /// Slot at which the user leaves voluntarily (`None`: stays until
+    /// the serving horizon ends). A queued user departing before
+    /// admission abandons the queue.
+    pub departure_slot: Option<usize>,
+}
+
+/// What the admission controller decides for one queued request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitDecision {
+    /// Admit onto the given shard.
+    Admit(usize),
+    /// No shard has room now — stay queued for the next GOP boundary.
+    Wait,
+    /// Never admissible (demand exceeds any shard outright) — drop.
+    Reject,
+}
+
+/// FIFO queue of arrived-but-not-yet-admitted requests.
+#[derive(Debug, Clone, Default)]
+pub struct RequestQueue {
+    pending: VecDeque<UserRequest>,
+}
+
+impl RequestQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues an arrived request at the tail.
+    pub fn push(&mut self, request: UserRequest) {
+        self.pending.push_back(request);
+    }
+
+    /// Queued requests, arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &UserRequest> {
+        self.pending.iter()
+    }
+
+    /// Number of waiting requests.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` when nothing waits.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Removes and returns requests whose departure passed while they
+    /// were still queued (the user gave up waiting).
+    pub fn drain_departed(&mut self, slot: usize) -> Vec<UserRequest> {
+        let mut gone = Vec::new();
+        self.pending.retain(|r| {
+            let departed = r.departure_slot.is_some_and(|d| d <= slot);
+            if departed {
+                gone.push(r.clone());
+            }
+            !departed
+        });
+        gone
+    }
+
+    /// Scans the queue in FIFO order, asking `decide` about each
+    /// request. `Admit` removes it (returned with its shard), `Wait`
+    /// keeps it in place for the next boundary, `Reject` drops it
+    /// (returned in the second list). The relative order of waiting
+    /// requests is preserved.
+    pub fn try_admit<F>(&mut self, mut decide: F) -> (Vec<(UserRequest, usize)>, Vec<UserRequest>)
+    where
+        F: FnMut(&UserRequest) -> AdmitDecision,
+    {
+        let mut admitted = Vec::new();
+        let mut rejected = Vec::new();
+        let mut waiting = VecDeque::with_capacity(self.pending.len());
+        for request in self.pending.drain(..) {
+            match decide(&request) {
+                AdmitDecision::Admit(shard) => admitted.push((request, shard)),
+                AdmitDecision::Wait => waiting.push_back(request),
+                AdmitDecision::Reject => rejected.push(request),
+            }
+        }
+        self.pending = waiting;
+        (admitted, rejected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(user: usize, arrival: usize, departure: Option<usize>) -> UserRequest {
+        UserRequest {
+            user,
+            arrival_slot: arrival,
+            profile: 0,
+            class: DeadlineClass::Standard,
+            departure_slot: departure,
+        }
+    }
+
+    #[test]
+    fn fifo_order_preserved_through_waits() {
+        let mut q = RequestQueue::new();
+        for u in 0..4 {
+            q.push(req(u, u, None));
+        }
+        // Admit evens, keep odds waiting.
+        let (admitted, rejected) = q.try_admit(|r| {
+            if r.user % 2 == 0 {
+                AdmitDecision::Admit(r.user / 2)
+            } else {
+                AdmitDecision::Wait
+            }
+        });
+        assert_eq!(rejected.len(), 0);
+        assert_eq!(
+            admitted
+                .iter()
+                .map(|(r, s)| (r.user, *s))
+                .collect::<Vec<_>>(),
+            vec![(0, 0), (2, 1)]
+        );
+        assert_eq!(q.iter().map(|r| r.user).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn departed_requests_abandon_the_queue() {
+        let mut q = RequestQueue::new();
+        q.push(req(0, 0, Some(10)));
+        q.push(req(1, 0, Some(40)));
+        q.push(req(2, 0, None));
+        let gone = q.drain_departed(16);
+        assert_eq!(gone.len(), 1);
+        assert_eq!(gone[0].user, 0);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn reject_drops_request() {
+        let mut q = RequestQueue::new();
+        q.push(req(7, 0, None));
+        let (admitted, rejected) = q.try_admit(|_| AdmitDecision::Reject);
+        assert!(admitted.is_empty());
+        assert_eq!(rejected.len(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn class_tolerances_ordered() {
+        assert!(DeadlineClass::Strict.miss_tolerance() < DeadlineClass::Standard.miss_tolerance());
+        assert!(
+            DeadlineClass::Standard.miss_tolerance() < DeadlineClass::BestEffort.miss_tolerance()
+        );
+        assert_eq!(DeadlineClass::default(), DeadlineClass::Standard);
+    }
+}

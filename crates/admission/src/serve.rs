@@ -1,0 +1,700 @@
+//! The online serving loop: GOP-boundary admission control over
+//! per-socket shard loops.
+//!
+//! Every `gop_slots` slots the controller, in this order:
+//!
+//! 1. pulls newly arrived requests into the FIFO [`RequestQueue`];
+//! 2. removes departed users (and queued requests whose user gave up);
+//! 3. evicts users whose consecutive missed one-second windows exceed
+//!    their [`DeadlineClass`](crate::DeadlineClass) tolerance — read
+//!    from the runtime's per-user accounting;
+//! 4. admits queued users whose Algorithm 2 line 1 core demand fits a
+//!    shard chosen by the [`ShardPolicy`];
+//! 5. pushes the new membership into each shard's
+//!    [`LoopDriver`](medvt_runtime::LoopDriver) (which re-runs
+//!    `sched::place_threads` for that shard at the boundary) and
+//!    advances every shard one GOP in lockstep.
+//!
+//! Decisions read only the analytical accounting, so replaying one
+//! trace on `SimBackend` and `ThreadPoolBackend` shards produces
+//! identical admission/eviction event streams.
+
+use crate::request::{AdmitDecision, RequestQueue, UserRequest};
+use crate::shard::{ShardPolicy, Sharder};
+use medvt_mpsoc::DvfsPolicy;
+use medvt_runtime::{DemandSource, ExecutionBackend, LoopDriver, ReplanPolicy, ServerLoopConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A user-facing workload the admission controller can reason about —
+/// implemented by `medvt_core::VideoProfile` (and by the synthetic
+/// models in tests).
+pub trait Workload {
+    /// Steady-state per-tile f_max-second demand per slot (what the
+    /// LUT reports to Algorithm 2 line 1 at admission time).
+    fn steady_demand(&self) -> Vec<f64>;
+
+    /// Per-tile demand of the frame shown at `slot`.
+    fn demand_at(&self, slot: usize) -> Vec<f64>;
+
+    /// Content (texture/body-part) class — the affinity key of
+    /// [`ShardPolicy::ContentAffinity`].
+    fn content_class(&self) -> &str;
+}
+
+/// Online serving configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineConfig {
+    /// Target frames per second per user.
+    pub fps: f64,
+    /// Slots per GOP — the admit/evict and re-placement period.
+    pub gop_slots: usize,
+    /// Serving horizon in slots.
+    pub horizon_slots: usize,
+    /// Admission safety factor on estimated demands (> 1 keeps slack).
+    pub headroom: f64,
+    /// DVFS policy for the shard backends.
+    pub policy: DvfsPolicy,
+    /// How admitted users are assigned to sockets.
+    pub shard_policy: ShardPolicy,
+    /// Base eviction threshold in consecutive missed windows; each
+    /// user's class tolerance multiplies it.
+    pub evict_miss_windows: usize,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            fps: 24.0,
+            gop_slots: 8,
+            horizon_slots: 240,
+            headroom: 1.15,
+            policy: DvfsPolicy::StretchToDeadline,
+            shard_policy: ShardPolicy::LeastLoaded,
+            evict_miss_windows: 1,
+        }
+    }
+}
+
+/// What happened to a user, when, and where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Queued user admitted onto a shard.
+    Admit,
+    /// Active user removed for sustained deadline misses.
+    Evict,
+    /// Active user left at its requested departure slot.
+    Depart,
+    /// Queued user departed before ever being admitted.
+    Abandon,
+    /// Request can never fit any shard — dropped at the door.
+    Reject,
+}
+
+/// One entry of the admission log — the decision stream compared
+/// across backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionEvent {
+    /// GOP-boundary slot the decision was taken at.
+    pub slot: usize,
+    /// The user concerned.
+    pub user: usize,
+    /// Shard involved (`None` for queue-side events).
+    pub shard: Option<usize>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Per-shard aggregate of an online run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Shard (socket) index.
+    pub shard: usize,
+    /// Users ever admitted here.
+    pub admitted: usize,
+    /// Peak simultaneous users.
+    pub peak_users: usize,
+    /// Energy, joules.
+    pub energy_j: f64,
+    /// Deadline windows evaluated (per active core).
+    pub windows: usize,
+    /// Windows ending with unfinished work.
+    pub window_misses: usize,
+    /// Mean busy cores per slot.
+    pub avg_active_cores: f64,
+}
+
+/// Aggregate outcome of an online serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineReport {
+    /// Shard policy label.
+    pub shard_policy: String,
+    /// Slots served.
+    pub horizon_slots: usize,
+    /// Requests that arrived within the horizon.
+    pub arrivals: usize,
+    /// Users admitted (each at most once).
+    pub admissions: usize,
+    /// Users evicted for sustained misses.
+    pub evictions: usize,
+    /// Users that departed voluntarily while active.
+    pub departures: usize,
+    /// Queued users that gave up before admission.
+    pub abandoned: usize,
+    /// Requests that could never fit any shard.
+    pub rejected: usize,
+    /// Requests still queued when the horizon ended.
+    pub queued_at_end: usize,
+    /// Users still active when the horizon ended.
+    pub active_at_end: usize,
+    /// Mean slots spent queued before admission.
+    pub mean_queue_wait_slots: f64,
+    /// Time-averaged simultaneously active users.
+    pub avg_concurrent_users: f64,
+    /// Peak simultaneously active users.
+    pub peak_concurrent_users: usize,
+    /// Deadline windows across all shards.
+    pub windows: usize,
+    /// Missed windows across all shards.
+    pub window_misses: usize,
+    /// Total energy, joules.
+    pub energy_j: f64,
+    /// Per-shard aggregates.
+    pub shards: Vec<ShardReport>,
+    /// The full decision log, in decision order.
+    pub events: Vec<AdmissionEvent>,
+}
+
+impl OnlineReport {
+    /// Fraction of deadline windows met across all shards; 0.0 when no
+    /// window was ever evaluated.
+    pub fn on_time_rate(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            1.0 - self.window_misses as f64 / self.windows as f64
+        }
+    }
+}
+
+/// Replays `workloads` demands for admitted users, staggered 3 slots
+/// per user so IDR frames decorrelate (mirrors `core`'s profile
+/// replay).
+struct TraceSource<'a, W> {
+    workloads: &'a [W],
+    profile_of: BTreeMap<usize, usize>,
+}
+
+impl<W: Workload> DemandSource for TraceSource<'_, W> {
+    fn demand_at(&self, user: usize, slot: usize) -> Vec<f64> {
+        self.workloads[self.profile_of[&user]].demand_at(slot + user * 3)
+    }
+}
+
+/// An admitted user's controller-side state.
+#[derive(Debug, Clone, Copy)]
+struct ActiveUser {
+    shard: usize,
+    demand_cores: f64,
+    departure_slot: Option<usize>,
+    miss_tolerance: usize,
+}
+
+/// Serves `trace` online across per-socket `shards` (one backend per
+/// socket, each covering that socket's cores).
+///
+/// Decisions depend only on the backends' analytical accounting, so
+/// any [`ExecutionBackend`] mix with identical platforms replays the
+/// same decision stream.
+///
+/// # Panics
+///
+/// Panics when `workloads` or `shards` is empty, shards disagree on
+/// core count, `trace` is not sorted by arrival slot, a trace user id
+/// repeats, or a request's profile index is out of range.
+pub fn serve_online<W: Workload, B: ExecutionBackend>(
+    cfg: &OnlineConfig,
+    workloads: &[W],
+    trace: &[UserRequest],
+    shards: Vec<B>,
+) -> OnlineReport {
+    assert!(!workloads.is_empty(), "need at least one workload");
+    assert!(!shards.is_empty(), "need at least one shard");
+    let cores_per_shard = shards[0].cores();
+    assert!(
+        shards.iter().all(|b| b.cores() == cores_per_shard),
+        "shards must be homogeneous"
+    );
+    assert!(
+        trace
+            .windows(2)
+            .all(|w| w[0].arrival_slot <= w[1].arrival_slot),
+        "trace must be sorted by arrival slot"
+    );
+    let capacity = cores_per_shard as f64;
+
+    // user id → workload index (and uniqueness/range checks).
+    let mut profile_of: BTreeMap<usize, usize> = BTreeMap::new();
+    for r in trace {
+        assert!(
+            r.profile < workloads.len(),
+            "request for user {} names profile {} but only {} workloads given",
+            r.user,
+            r.profile,
+            workloads.len()
+        );
+        assert!(
+            profile_of.insert(r.user, r.profile).is_none(),
+            "duplicate user id {}",
+            r.user
+        );
+    }
+    let source = TraceSource {
+        workloads,
+        profile_of: profile_of.clone(),
+    };
+    // Fractional-core demand per workload index (line 1, padded).
+    let demand_of: Vec<f64> = workloads
+        .iter()
+        .map(|w| w.steady_demand().iter().sum::<f64>() * cfg.fps * cfg.headroom)
+        .collect();
+
+    let loop_cfg = ServerLoopConfig {
+        fps: cfg.fps,
+        slots: cfg.horizon_slots,
+        policy: cfg.policy,
+        replan: ReplanPolicy::PerGop {
+            headroom: cfg.headroom,
+        },
+        gop_slots: cfg.gop_slots,
+        window_slots: None,
+    };
+    let mut drivers: Vec<LoopDriver<B>> = shards
+        .into_iter()
+        .map(|b| LoopDriver::new(b, loop_cfg, Vec::new(), Vec::new()))
+        .collect();
+    let n_shards = drivers.len();
+
+    let mut queue = RequestQueue::new();
+    let mut sharder = Sharder::new(cfg.shard_policy);
+    let mut active: BTreeMap<usize, ActiveUser> = BTreeMap::new();
+    let mut shard_loads = vec![0.0f64; n_shards];
+    let mut shard_admitted = vec![0usize; n_shards];
+    let mut shard_peak = vec![0usize; n_shards];
+    let mut events: Vec<AdmissionEvent> = Vec::new();
+    let (mut arrivals, mut admissions, mut evictions) = (0usize, 0usize, 0usize);
+    let (mut departures, mut abandoned, mut rejected) = (0usize, 0usize, 0usize);
+    let mut wait_slots_sum = 0usize;
+    let mut concurrent_slot_sum = 0usize;
+    let mut peak_concurrent = 0usize;
+
+    let mut next_arrival = 0usize;
+    let mut slot = 0usize;
+    while slot < cfg.horizon_slots {
+        // 1. Arrivals up to this boundary.
+        while next_arrival < trace.len() && trace[next_arrival].arrival_slot <= slot {
+            queue.push(trace[next_arrival].clone());
+            arrivals += 1;
+            next_arrival += 1;
+        }
+        // 2. Voluntary departures — active users first, then queued
+        // requests whose user gave up waiting.
+        let departing: Vec<usize> = active
+            .iter()
+            .filter(|(_, a)| a.departure_slot.is_some_and(|d| d <= slot))
+            .map(|(&u, _)| u)
+            .collect();
+        for user in departing {
+            let a = active.remove(&user).expect("departing user is active");
+            shard_loads[a.shard] -= a.demand_cores;
+            departures += 1;
+            events.push(AdmissionEvent {
+                slot,
+                user,
+                shard: Some(a.shard),
+                kind: EventKind::Depart,
+            });
+        }
+        for request in queue.drain_departed(slot) {
+            abandoned += 1;
+            events.push(AdmissionEvent {
+                slot,
+                user: request.user,
+                shard: None,
+                kind: EventKind::Abandon,
+            });
+        }
+        // 3. Evictions under sustained deadline misses.
+        let evicting: Vec<usize> = active
+            .iter()
+            .filter(|(&u, a)| {
+                drivers[a.shard]
+                    .user_stats(u)
+                    .is_some_and(|s| s.consecutive_window_misses >= a.miss_tolerance)
+            })
+            .map(|(&u, _)| u)
+            .collect();
+        for user in evicting {
+            let a = active.remove(&user).expect("evicted user is active");
+            shard_loads[a.shard] -= a.demand_cores;
+            evictions += 1;
+            events.push(AdmissionEvent {
+                slot,
+                user,
+                shard: Some(a.shard),
+                kind: EventKind::Evict,
+            });
+        }
+        // 4. Admissions from the FIFO queue.
+        let (admitted_now, rejected_now) = queue.try_admit(|request| {
+            let demand = demand_of[profile_of[&request.user]];
+            if demand > capacity + 1e-9 {
+                return AdmitDecision::Reject;
+            }
+            match sharder.pick(
+                &shard_loads,
+                capacity,
+                demand,
+                workloads[profile_of[&request.user]].content_class(),
+            ) {
+                Some(shard) => {
+                    // Reserve immediately so later queue entries see
+                    // the updated load.
+                    shard_loads[shard] += demand;
+                    AdmitDecision::Admit(shard)
+                }
+                None => AdmitDecision::Wait,
+            }
+        });
+        for request in rejected_now {
+            rejected += 1;
+            events.push(AdmissionEvent {
+                slot,
+                user: request.user,
+                shard: None,
+                kind: EventKind::Reject,
+            });
+        }
+        for (request, shard) in admitted_now {
+            let demand = demand_of[profile_of[&request.user]];
+            active.insert(
+                request.user,
+                ActiveUser {
+                    shard,
+                    demand_cores: demand,
+                    departure_slot: request.departure_slot,
+                    miss_tolerance: request.class.miss_tolerance() * cfg.evict_miss_windows.max(1),
+                },
+            );
+            admissions += 1;
+            shard_admitted[shard] += 1;
+            wait_slots_sum += slot - request.arrival_slot;
+            events.push(AdmissionEvent {
+                slot,
+                user: request.user,
+                shard: Some(shard),
+                kind: EventKind::Admit,
+            });
+        }
+        // 5. Membership → shards, then advance one GOP in lockstep.
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_shards];
+        for (&u, a) in &active {
+            members[a.shard].push(u);
+        }
+        for (s, users) in members.into_iter().enumerate() {
+            shard_peak[s] = shard_peak[s].max(users.len());
+            drivers[s].set_membership(users);
+        }
+        let n_slots = cfg.gop_slots.min(cfg.horizon_slots - slot);
+        for d in &mut drivers {
+            d.advance(&source, n_slots);
+        }
+        concurrent_slot_sum += active.len() * n_slots;
+        peak_concurrent = peak_concurrent.max(active.len());
+        slot += n_slots;
+    }
+
+    // Requests arriving after the last GOP boundary still arrived
+    // within the horizon: ingest them so `arrivals`/`queued_at_end`
+    // reconcile with the trace (they could not have been admitted —
+    // no boundary remained to act on).
+    while next_arrival < trace.len() && trace[next_arrival].arrival_slot < cfg.horizon_slots {
+        queue.push(trace[next_arrival].clone());
+        arrivals += 1;
+        next_arrival += 1;
+    }
+
+    let mut shard_reports = Vec::with_capacity(n_shards);
+    let (mut windows, mut window_misses, mut energy) = (0usize, 0usize, 0.0f64);
+    for (s, driver) in drivers.into_iter().enumerate() {
+        let r = driver.into_report();
+        windows += r.windows;
+        window_misses += r.window_misses;
+        energy += r.energy_j;
+        shard_reports.push(ShardReport {
+            shard: s,
+            admitted: shard_admitted[s],
+            peak_users: shard_peak[s],
+            energy_j: r.energy_j,
+            windows: r.windows,
+            window_misses: r.window_misses,
+            avg_active_cores: r.avg_active_cores(),
+        });
+    }
+    OnlineReport {
+        shard_policy: cfg.shard_policy.label().to_string(),
+        horizon_slots: cfg.horizon_slots,
+        arrivals,
+        admissions,
+        evictions,
+        departures,
+        abandoned,
+        rejected,
+        queued_at_end: queue.len(),
+        active_at_end: active.len(),
+        mean_queue_wait_slots: if admissions == 0 {
+            0.0
+        } else {
+            wait_slots_sum as f64 / admissions as f64
+        },
+        avg_concurrent_users: if cfg.horizon_slots == 0 {
+            0.0
+        } else {
+            concurrent_slot_sum as f64 / cfg.horizon_slots as f64
+        },
+        peak_concurrent_users: peak_concurrent,
+        windows,
+        window_misses,
+        energy_j: energy,
+        shards: shard_reports,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{DeadlineClass, UserRequest};
+    use medvt_mpsoc::{Platform, PowerModel};
+    use medvt_runtime::SimBackend;
+
+    const SLOT: f64 = 1.0 / 24.0;
+
+    /// Flat synthetic workload: `tiles` tiles of `secs` each.
+    struct Flat {
+        tiles: usize,
+        secs: f64,
+        class: &'static str,
+    }
+
+    impl Workload for Flat {
+        fn steady_demand(&self) -> Vec<f64> {
+            vec![self.secs; self.tiles]
+        }
+        fn demand_at(&self, _slot: usize) -> Vec<f64> {
+            vec![self.secs; self.tiles]
+        }
+        fn content_class(&self) -> &str {
+            self.class
+        }
+    }
+
+    fn quad_shards(n: usize) -> Vec<SimBackend> {
+        (0..n)
+            .map(|_| SimBackend::new(Platform::quad_core(), PowerModel::default()))
+            .collect()
+    }
+
+    fn request(user: usize, arrival: usize, departure: Option<usize>) -> UserRequest {
+        UserRequest {
+            user,
+            arrival_slot: arrival,
+            profile: 0,
+            class: DeadlineClass::Standard,
+            departure_slot: departure,
+        }
+    }
+
+    fn cfg(horizon: usize) -> OnlineConfig {
+        OnlineConfig {
+            horizon_slots: horizon,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn admits_arrivals_and_honours_departures() {
+        // One light user per core-quarter: everything fits shard 0.
+        let workloads = [Flat {
+            tiles: 2,
+            secs: SLOT / 8.0,
+            class: "brain",
+        }];
+        let trace = vec![request(0, 0, Some(48)), request(1, 10, None)];
+        let report = serve_online(&cfg(96), &workloads, &trace, quad_shards(2));
+        assert_eq!(report.arrivals, 2);
+        assert_eq!(report.admissions, 2);
+        assert_eq!(report.departures, 1);
+        assert_eq!(report.evictions, 0);
+        assert_eq!(report.active_at_end, 1);
+        // User 1 arrived at slot 10 → admitted at boundary 16.
+        let admit1 = report
+            .events
+            .iter()
+            .find(|e| e.user == 1 && e.kind == EventKind::Admit)
+            .expect("user 1 admitted");
+        assert_eq!(admit1.slot, 16);
+        assert!(report.mean_queue_wait_slots > 0.0);
+        assert!(report.on_time_rate() > 0.99);
+    }
+
+    #[test]
+    fn overloaded_strict_user_gets_evicted() {
+        // A user demanding 6 core-slots on a 4-core shard: permanently
+        // over capacity once forced in. Force it by setting headroom
+        // low and capacity check off via a demand just under capacity
+        // but real per-slot demand far above it.
+        struct Lying;
+        impl Workload for Lying {
+            fn steady_demand(&self) -> Vec<f64> {
+                vec![SLOT / 4.0; 4] // claims 1 core
+            }
+            fn demand_at(&self, _slot: usize) -> Vec<f64> {
+                vec![SLOT * 1.5; 4] // actually needs 6 cores
+            }
+            fn content_class(&self) -> &str {
+                "chaos"
+            }
+        }
+        let trace = vec![UserRequest {
+            user: 0,
+            arrival_slot: 0,
+            profile: 0,
+            class: DeadlineClass::Strict,
+            departure_slot: None,
+        }];
+        let report = serve_online(&cfg(240), &[Lying], &trace, quad_shards(1));
+        assert_eq!(report.admissions, 1);
+        assert_eq!(report.evictions, 1, "sustained misses must evict");
+        assert_eq!(report.active_at_end, 0);
+        let evict = report
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Evict)
+            .expect("evicted");
+        // The first window's miss (evaluated at the end of slot 23) is
+        // visible at the very next GOP boundary.
+        assert_eq!(evict.slot, 24);
+    }
+
+    #[test]
+    fn impossible_demand_is_rejected_not_queued_forever() {
+        let workloads = [Flat {
+            tiles: 8,
+            secs: SLOT,
+            class: "huge",
+        }]; // 8 cores × headroom — can never fit a 4-core shard.
+        let trace = vec![request(0, 0, None)];
+        let report = serve_online(&cfg(48), &workloads, &trace, quad_shards(2));
+        assert_eq!(report.admissions, 0);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.queued_at_end, 0);
+    }
+
+    #[test]
+    fn full_shards_keep_requests_queued() {
+        // Each user needs ~2.3 cores (2 tiles × SLOT × 1.15 headroom
+        // × 24 fps / 24): two per 4-core shard. 5 users, 1 shard → 2
+        // admitted, 3 queued (none reject: individually they fit).
+        let workloads = [Flat {
+            tiles: 2,
+            secs: SLOT / 24.0 * 20.0,
+            class: "busy",
+        }];
+        let trace: Vec<UserRequest> = (0..5).map(|u| request(u, 0, None)).collect();
+        let report = serve_online(&cfg(48), &workloads, &trace, quad_shards(1));
+        assert_eq!(report.admissions, 2);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.queued_at_end, 3);
+        assert_eq!(report.peak_concurrent_users, 2);
+    }
+
+    #[test]
+    fn freed_capacity_is_reused() {
+        // Shard fits two; a third waits until user 0 departs.
+        let workloads = [Flat {
+            tiles: 2,
+            secs: SLOT / 24.0 * 20.0,
+            class: "busy",
+        }];
+        let trace = vec![
+            request(0, 0, Some(24)),
+            request(1, 0, None),
+            request(2, 0, None),
+        ];
+        let report = serve_online(&cfg(96), &workloads, &trace, quad_shards(1));
+        assert_eq!(report.admissions, 3);
+        let admit2 = report
+            .events
+            .iter()
+            .find(|e| e.user == 2 && e.kind == EventKind::Admit)
+            .expect("eventually admitted");
+        assert_eq!(admit2.slot, 24, "admitted right at the departure boundary");
+        assert!(report.mean_queue_wait_slots > 0.0);
+    }
+
+    #[test]
+    fn least_loaded_spreads_round_robin_blocks() {
+        // 4 heavy users (≈2.3 cores each) on two 4-core shards: least-
+        // loaded fits two per shard; blind rotation repeatedly offers
+        // a full shard while the other has room.
+        let workloads = [Flat {
+            tiles: 2,
+            secs: SLOT / 24.0 * 20.0,
+            class: "busy",
+        }];
+        let trace: Vec<UserRequest> = (0..4).map(|u| request(u, 0, None)).collect();
+        let ll = serve_online(
+            &OnlineConfig {
+                shard_policy: ShardPolicy::LeastLoaded,
+                ..cfg(48)
+            },
+            &workloads,
+            &trace,
+            quad_shards(2),
+        );
+        assert_eq!(ll.admissions, 4);
+        assert_eq!(ll.shards[0].peak_users, 2);
+        assert_eq!(ll.shards[1].peak_users, 2);
+    }
+
+    #[test]
+    fn tail_arrivals_after_last_boundary_still_counted() {
+        let workloads = [Flat {
+            tiles: 1,
+            secs: SLOT / 8.0,
+            class: "x",
+        }];
+        // Boundaries at 0 and 8 only: slot 15 arrives after the last
+        // one (still within the horizon), slot 16 is outside it.
+        let trace = vec![request(0, 15, None), request(1, 16, None)];
+        let report = serve_online(&cfg(16), &workloads, &trace, quad_shards(1));
+        assert_eq!(report.arrivals, 1);
+        assert_eq!(report.admissions, 0);
+        assert_eq!(report.queued_at_end, 1);
+    }
+
+    #[test]
+    fn zero_horizon_is_a_clean_noop() {
+        let workloads = [Flat {
+            tiles: 1,
+            secs: SLOT / 8.0,
+            class: "x",
+        }];
+        let report = serve_online(&cfg(0), &workloads, &[], quad_shards(2));
+        assert_eq!(report.admissions, 0);
+        assert_eq!(report.avg_concurrent_users, 0.0);
+        assert_eq!(report.on_time_rate(), 0.0);
+        assert!(report.events.is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Shard selection: which socket a newly admitted user lands on.
+//!
+//! Shards are per-socket serving domains (one `LoopDriver` + backend
+//! each); loads are tracked in fractional cores — the sum of admitted
+//! users' Algorithm 2 line 1 demands, headroom included.
+
+use serde::{Deserialize, Serialize};
+
+/// Pluggable placement policy for admitted users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ShardPolicy {
+    /// Place on the least-loaded shard with room (best-fit balance;
+    /// the default).
+    #[default]
+    LeastLoaded,
+    /// Blind rotation: each considered request is offered exactly one
+    /// shard — the next in rotation — and stays queued when that shard
+    /// is full, even if others have room. The classic cheap dispatcher
+    /// the related cloud-transcoding work benchmarks against.
+    RoundRobin,
+    /// Texture-class affinity: users of one content class gravitate to
+    /// one socket (warm per-class LUTs and caches), falling back to
+    /// least-loaded when the preferred socket is full.
+    ContentAffinity,
+}
+
+impl ShardPolicy {
+    /// Display label.
+    pub const fn label(&self) -> &'static str {
+        match self {
+            ShardPolicy::LeastLoaded => "least-loaded",
+            ShardPolicy::RoundRobin => "round-robin",
+            ShardPolicy::ContentAffinity => "content-affinity",
+        }
+    }
+}
+
+/// FNV-1a — stable across runs and platforms, so affinity decisions
+/// replay identically.
+fn class_hash(class: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in class.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stateful shard chooser (rotation pointer for round-robin).
+#[derive(Debug, Clone)]
+pub struct Sharder {
+    policy: ShardPolicy,
+    rotation: usize,
+}
+
+impl Sharder {
+    /// A chooser for `policy`.
+    pub fn new(policy: ShardPolicy) -> Self {
+        Self {
+            policy,
+            rotation: 0,
+        }
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> ShardPolicy {
+        self.policy
+    }
+
+    /// Least-loaded shard where `demand` still fits under `capacity`.
+    fn least_loaded(loads: &[f64], capacity: f64, demand: f64) -> Option<usize> {
+        loads
+            .iter()
+            .enumerate()
+            .filter(|(_, &load)| load + demand <= capacity + 1e-9)
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(k, _)| k)
+    }
+
+    /// Picks a shard for a user of fractional-core `demand` and
+    /// content `class`, given current per-shard `loads` and the
+    /// per-shard core `capacity`. `None`: no shard (under this
+    /// policy's rules) has room right now.
+    pub fn pick(
+        &mut self,
+        loads: &[f64],
+        capacity: f64,
+        demand: f64,
+        class: &str,
+    ) -> Option<usize> {
+        assert!(!loads.is_empty(), "need at least one shard");
+        match self.policy {
+            ShardPolicy::LeastLoaded => Self::least_loaded(loads, capacity, demand),
+            ShardPolicy::RoundRobin => {
+                let shard = self.rotation % loads.len();
+                self.rotation = self.rotation.wrapping_add(1);
+                (loads[shard] + demand <= capacity + 1e-9).then_some(shard)
+            }
+            ShardPolicy::ContentAffinity => {
+                let preferred = (class_hash(class) % loads.len() as u64) as usize;
+                if loads[preferred] + demand <= capacity + 1e-9 {
+                    Some(preferred)
+                } else {
+                    Self::least_loaded(loads, capacity, demand)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn least_loaded_picks_minimum_that_fits() {
+        let mut s = Sharder::new(ShardPolicy::LeastLoaded);
+        let loads = [6.0, 2.0, 7.5, 4.0];
+        assert_eq!(s.pick(&loads, 8.0, 1.0, "brain"), Some(1));
+        // Demand of 5 only fits shard 1.
+        assert_eq!(s.pick(&loads, 8.0, 5.5, "brain"), Some(1));
+        // Nothing fits a 7-core user.
+        assert_eq!(s.pick(&loads, 8.0, 7.0, "brain"), None);
+    }
+
+    #[test]
+    fn round_robin_is_blind_to_load() {
+        let mut s = Sharder::new(ShardPolicy::RoundRobin);
+        let loads = [7.9, 0.0, 0.0];
+        // First offer goes to shard 0 even though it is nearly full —
+        // the request waits rather than spilling elsewhere.
+        assert_eq!(s.pick(&loads, 8.0, 1.0, "x"), None);
+        // Rotation advanced: the next offers land on empty shards.
+        assert_eq!(s.pick(&loads, 8.0, 1.0, "x"), Some(1));
+        assert_eq!(s.pick(&loads, 8.0, 1.0, "x"), Some(2));
+        assert_eq!(s.pick(&loads, 8.0, 1.0, "x"), None);
+    }
+
+    #[test]
+    fn content_affinity_is_sticky_then_falls_back() {
+        let mut s = Sharder::new(ShardPolicy::ContentAffinity);
+        let empty = [0.0, 0.0, 0.0, 0.0];
+        let home = s.pick(&empty, 8.0, 1.0, "cardiac").expect("fits");
+        // Same class → same socket, deterministically.
+        for _ in 0..4 {
+            assert_eq!(s.pick(&empty, 8.0, 1.0, "cardiac"), Some(home));
+        }
+        // Preferred socket full → least-loaded fallback.
+        let mut loads = [0.0; 4];
+        loads[home] = 8.0;
+        let fallback = s.pick(&loads, 8.0, 1.0, "cardiac").expect("fallback");
+        assert_ne!(fallback, home);
+    }
+}

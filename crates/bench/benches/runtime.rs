@@ -119,8 +119,26 @@ fn bench_frame_slot_throughput(c: &mut Criterion) {
     }
     let speedup = serial_secs / pool4_secs;
     println!("runtime/frame_slot_16tiles speedup at 4 workers: {speedup:.2}x");
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Acceptance threshold: a 4-worker pool must clear 2x serial
+    // throughput — but only where the host can physically deliver it.
+    // On fewer than 4 hardware threads the pool can only exhibit
+    // queueing overhead, so the check is skipped instead of spuriously
+    // failing (e.g. the 1-core CI container).
+    if host_parallelism >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "4-worker pool reached only {speedup:.2}x on a \
+             {host_parallelism}-thread host (threshold 2.0x)"
+        );
+    } else {
+        println!(
+            "skipping 2x-at-4-workers acceptance check: host has only \
+             {host_parallelism} hardware thread(s)"
+        );
+    }
     let artifact = RuntimeBench {
-        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_parallelism,
         frame_width: 320,
         frame_height: 240,
         tiles: plan.tile_count(),

@@ -123,6 +123,7 @@ fn bench_server_loop(c: &mut Criterion) {
                     policy: DvfsPolicy::StretchToDeadline,
                     replan: ReplanPolicy::PerGop { headroom: 1.15 },
                     gop_slots: 8,
+                    window_slots: None,
                 },
             );
             lp.run(&Flat, &admitted, &[])

@@ -1,0 +1,247 @@
+//! Online serving experiment: replays synthetic arrival traces
+//! (Poisson arrivals, heavy-tailed Pareto session lengths) through the
+//! sharded admission-control subsystem on the paper's 4-socket Xeon
+//! model.
+//!
+//! Two sections, one artifact (`online_serving.json`):
+//!
+//! * **policy comparison** — a calibrated three-tier user mix (tile
+//!   costs sized so headroom-padded tiles pack cores exactly) run
+//!   under every [`ShardPolicy`]. Packing never overloads, so every
+//!   policy serves at a perfect on-time rate and the comparison
+//!   isolates pure admission throughput: least-loaded must sustain
+//!   strictly more concurrent users than blind round-robin.
+//! * **suite replay** — the profiled medical suite (plus 1.8× premium
+//!   variants) under least-loaded, on both `SimBackend` and
+//!   `ThreadPoolBackend` shards: realistic admit/evict churn, and the
+//!   decision streams must match across backends bit for bit.
+//!
+//! Honours `MEDVT_SCALE` / `MEDVT_OUT` like the other experiment
+//! binaries.
+
+use medvt_admission::{synthesize_trace, OnlineReport, ShardPolicy, TraceConfig};
+use medvt_bench::{proposed_profiles, synthetic_profile, write_artifact, Scale};
+use medvt_core::{ServerConfig, ServerSim, VideoProfile};
+use medvt_runtime::ThreadPoolBackend;
+use serde::Serialize;
+
+const HORIZON: usize = 480;
+
+/// Three service tiers whose headroom-padded tiles are exactly a
+/// quarter slot: 4 pack a core with zero waste, so any admitted mix
+/// runs misses-free and the shard policies differ only in throughput.
+fn tier_profiles(headroom: f64) -> Vec<VideoProfile> {
+    let unit = (1.0 / 24.0) * 0.25 / headroom;
+    vec![
+        synthetic_profile("tier-light", "brain", 2, unit), // 0.5 cores
+        synthetic_profile("tier-standard", "spine", 6, unit), // 1.5 cores
+        synthetic_profile("tier-heavy", "cardiac", 10, unit), // 2.5 cores
+    ]
+}
+
+/// A heavier variant of `profile`: the same video at a premium tier
+/// costing `factor`× the CPU time.
+fn scaled(profile: &VideoProfile, factor: f64, suffix: &str) -> VideoProfile {
+    let mut p = profile.clone();
+    p.name = format!("{}-{suffix}", p.name);
+    for frame in &mut p.frames {
+        for tile in &mut frame.tiles {
+            tile.fmax_secs *= factor;
+            tile.cycles = (tile.cycles as f64 * factor) as u64;
+        }
+    }
+    p
+}
+
+#[derive(Debug, Serialize)]
+struct PolicyResult {
+    policy: String,
+    admissions: usize,
+    evictions: usize,
+    departures: usize,
+    abandoned: usize,
+    rejected: usize,
+    queued_at_end: usize,
+    mean_queue_wait_slots: f64,
+    avg_concurrent_users: f64,
+    peak_concurrent_users: usize,
+    on_time_rate: f64,
+    energy_j: f64,
+    avg_active_cores_per_shard: Vec<f64>,
+    peak_users_per_shard: Vec<usize>,
+}
+
+impl From<&OnlineReport> for PolicyResult {
+    fn from(report: &OnlineReport) -> Self {
+        PolicyResult {
+            policy: report.shard_policy.clone(),
+            admissions: report.admissions,
+            evictions: report.evictions,
+            departures: report.departures,
+            abandoned: report.abandoned,
+            rejected: report.rejected,
+            queued_at_end: report.queued_at_end,
+            mean_queue_wait_slots: report.mean_queue_wait_slots,
+            avg_concurrent_users: report.avg_concurrent_users,
+            peak_concurrent_users: report.peak_concurrent_users,
+            on_time_rate: report.on_time_rate(),
+            energy_j: report.energy_j,
+            avg_active_cores_per_shard: report.shards.iter().map(|s| s.avg_active_cores).collect(),
+            peak_users_per_shard: report.shards.iter().map(|s| s.peak_users).collect(),
+        }
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct PolicyComparison {
+    workload: String,
+    horizon_slots: usize,
+    arrivals: usize,
+    policies: Vec<PolicyResult>,
+    least_loaded_vs_round_robin_concurrency_gain: f64,
+    on_time_rates_equal: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct SuiteReplay {
+    profiles: usize,
+    horizon_slots: usize,
+    arrivals: usize,
+    result: PolicyResult,
+    pool_backend_decisions_match_sim: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct OnlineArtifact {
+    scale: String,
+    platform: String,
+    sockets: usize,
+    cores_per_socket: usize,
+    policy_comparison: PolicyComparison,
+    suite_replay: SuiteReplay,
+}
+
+fn print_result(r: &PolicyResult) {
+    println!(
+        "{:<16} admitted {:>3}  evicted {:>2}  queue-wait {:>5.1}  \
+         avg-concurrent {:>5.2}  on-time {:>5.1}%",
+        r.policy,
+        r.admissions,
+        r.evictions,
+        r.mean_queue_wait_slots,
+        r.avg_concurrent_users,
+        r.on_time_rate * 100.0
+    );
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = ServerConfig::default();
+    let sim = ServerSim::new(cfg.clone());
+
+    // ── Policy comparison on the calibrated tier mix ────────────────
+    let tiers = tier_profiles(cfg.admission_headroom);
+    let tier_trace = synthesize_trace(&TraceConfig {
+        horizon_slots: HORIZON,
+        arrivals_per_slot: 0.5,
+        min_session_slots: 72,
+        tail_alpha: 1.4,
+        profiles: tiers.len(),
+        seed: 2018,
+    });
+    println!(
+        "tier trace: {} arrivals over {HORIZON} slots, {} tiers",
+        tier_trace.len(),
+        tiers.len()
+    );
+    let mut policies = Vec::new();
+    for policy in [
+        ShardPolicy::LeastLoaded,
+        ShardPolicy::RoundRobin,
+        ShardPolicy::ContentAffinity,
+    ] {
+        let online = sim.online_config(HORIZON, policy);
+        let report = sim.serve_online(&tiers, &tier_trace, &online);
+        let result = PolicyResult::from(&report);
+        print_result(&result);
+        policies.push(result);
+    }
+    let (ll, rr) = (&policies[0], &policies[1]);
+    let gain = ll.avg_concurrent_users / rr.avg_concurrent_users.max(1e-9);
+    let equal_on_time = (ll.on_time_rate - rr.on_time_rate).abs() < 1e-12;
+    println!(
+        "least-loaded sustains {gain:.3}x round-robin's concurrent users \
+         ({:.2} vs {:.2}); on-time rates equal: {equal_on_time}",
+        ll.avg_concurrent_users, rr.avg_concurrent_users
+    );
+    assert!(
+        ll.avg_concurrent_users > rr.avg_concurrent_users,
+        "least-loaded must sustain strictly more concurrent users than round-robin"
+    );
+    assert!(
+        equal_on_time,
+        "tier mix must keep both policies at the same on-time rate"
+    );
+
+    // ── Suite replay: realism + backend parity ──────────────────────
+    let mut profiles = proposed_profiles(scale);
+    let heavy: Vec<VideoProfile> = profiles
+        .iter()
+        .step_by(2)
+        .map(|p| scaled(p, 1.8, "premium"))
+        .collect();
+    profiles.extend(heavy);
+    let suite_trace = synthesize_trace(&TraceConfig {
+        horizon_slots: HORIZON,
+        arrivals_per_slot: 0.6,
+        min_session_slots: 72,
+        tail_alpha: 1.4,
+        profiles: profiles.len(),
+        seed: 7,
+    });
+    println!(
+        "suite trace: {} arrivals over {HORIZON} slots, {} profiles",
+        suite_trace.len(),
+        profiles.len()
+    );
+    let online = sim.online_config(HORIZON, ShardPolicy::LeastLoaded);
+    let analytical = sim.serve_online(&profiles, &suite_trace, &online);
+    let shards: Vec<ThreadPoolBackend> = (0..cfg.platform.sockets)
+        .map(|_| ThreadPoolBackend::with_workers(cfg.platform.socket_view(), cfg.power, 2))
+        .collect();
+    let pool = sim.serve_online_on(shards, &profiles, &suite_trace, &online);
+    let decisions_match = pool.events == analytical.events
+        && pool.windows == analytical.windows
+        && pool.window_misses == analytical.window_misses;
+    let suite_result = PolicyResult::from(&analytical);
+    print_result(&suite_result);
+    println!("pool backend decisions match sim: {decisions_match}");
+    assert!(
+        decisions_match,
+        "thread-pool shards diverged from the analytical decision stream"
+    );
+
+    let artifact = OnlineArtifact {
+        scale: format!("{scale:?}"),
+        platform: cfg.platform.name.clone(),
+        sockets: cfg.platform.sockets,
+        cores_per_socket: cfg.platform.cores_per_socket,
+        policy_comparison: PolicyComparison {
+            workload: "calibrated three-tier mix (0.5/1.5/2.5 cores per user)".into(),
+            horizon_slots: HORIZON,
+            arrivals: tier_trace.len(),
+            policies,
+            least_loaded_vs_round_robin_concurrency_gain: gain,
+            on_time_rates_equal: equal_on_time,
+        },
+        suite_replay: SuiteReplay {
+            profiles: profiles.len(),
+            horizon_slots: HORIZON,
+            arrivals: suite_trace.len(),
+            result: suite_result,
+            pool_backend_decisions_match_sim: decisions_match,
+        },
+    };
+    let path = write_artifact("online_serving", &artifact);
+    println!("artifact: {}", path.display());
+}

@@ -19,11 +19,12 @@
 
 use medvt_analyze::AnalyzerConfig;
 use medvt_core::{
-    profile_video, Baseline19Controller, BaselineConfig, ContentAwareController, PipelineConfig,
-    ServerConfig, VideoProfile,
+    profile_video, Baseline19Controller, BaselineConfig, ContentAwareController, FrameReport,
+    PipelineConfig, ServerConfig, TileReport, VideoProfile,
 };
 use medvt_encoder::EncoderConfig;
 use medvt_frame::synth::{medical_suite, PhantomConfig, PhantomVideo};
+use medvt_frame::Rect;
 use medvt_frame::{Resolution, VideoClip};
 use medvt_runtime::{ExecutionBackend, SimBackend, ThreadPoolBackend};
 use medvt_sched::{LutBank, WorkloadLut};
@@ -186,6 +187,36 @@ pub fn baseline_profiles(scale: Scale) -> Vec<VideoProfile> {
             )
         })
         .collect()
+}
+
+/// Synthetic profile for controlled scheduling/admission experiments:
+/// 8 frames of `tiles` uniform tiles costing `tile_secs` f_max-seconds
+/// each, under body-part `class` (the content-affinity key).
+pub fn synthetic_profile(name: &str, class: &str, tiles: usize, tile_secs: f64) -> VideoProfile {
+    let tile_reports: Vec<TileReport> = (0..tiles)
+        .map(|i| TileReport {
+            rect: Rect::new(i * 64, 0, 64, 64),
+            cycles: (tile_secs * 3.6e9) as u64,
+            fmax_secs: tile_secs,
+            bits: 10_000,
+            psnr_db: 40.0,
+        })
+        .collect();
+    let frames = (0..8)
+        .map(|poc| FrameReport {
+            poc,
+            kind: 'B',
+            tiles: tile_reports.clone(),
+        })
+        .collect();
+    VideoProfile {
+        name: name.into(),
+        class: class.into(),
+        fps: 24.0,
+        frames,
+        mean_psnr_db: 40.0,
+        bitrate_mbps: 2.0,
+    }
 }
 
 /// The execution backend selected by `MEDVT_BACKEND` (default `sim`),

@@ -16,7 +16,10 @@
 //!   records of a transcoded video (the deterministic substitute for
 //!   live multi-user runs);
 //! * [`ServerSim`] — the multi-user serving simulation behind Table II
-//!   (users served) and Fig. 4 (power savings at equal throughput).
+//!   (users served) and Fig. 4 (power savings at equal throughput),
+//!   plus the [`ServerSim::serve_online`] entry point replaying live
+//!   arrival traces through the `medvt-admission` sharded
+//!   admission-control subsystem.
 //!
 //! # Examples
 //!

@@ -13,6 +13,7 @@
 //! with identical energy/deadline accounting either way.
 
 use crate::profile::VideoProfile;
+use medvt_admission::{OnlineConfig, OnlineReport, ShardPolicy, UserRequest, Workload};
 use medvt_mpsoc::{DvfsPolicy, Platform, PowerModel};
 use medvt_runtime::{
     DemandSource, ExecutionBackend, ReplanPolicy, ServerLoop, ServerLoopConfig, SimBackend,
@@ -34,6 +35,23 @@ struct ProfileSource<'a> {
 impl DemandSource for ProfileSource<'_> {
     fn demand_at(&self, user: usize, slot: usize) -> Vec<f64> {
         self.profiles[user % self.profiles.len()].demand_at(slot + user * 3)
+    }
+}
+
+/// A profiled video is an admissible online workload: the steady
+/// demand is what the LUT reports to Algorithm 2 at admission time,
+/// and the body-part class is the content-affinity shard key.
+impl Workload for VideoProfile {
+    fn steady_demand(&self) -> Vec<f64> {
+        VideoProfile::steady_demand(self)
+    }
+
+    fn demand_at(&self, slot: usize) -> Vec<f64> {
+        VideoProfile::demand_at(self, slot)
+    }
+
+    fn content_class(&self) -> &str {
+        &self.class
     }
 }
 
@@ -150,10 +168,12 @@ pub struct ServerReport {
 
 impl ServerReport {
     /// Fraction of one-second windows meeting the framerate — the
-    /// paper's deadline criterion.
+    /// paper's deadline criterion. 0.0 (not a vacuous 1.0) when the
+    /// run was too short to evaluate any window, matching
+    /// [`medvt_runtime::LoopReport::on_time_rate`].
     pub fn on_time_rate(&self) -> f64 {
         if self.windows == 0 {
-            1.0
+            0.0
         } else {
             1.0 - self.window_misses as f64 / self.windows as f64
         }
@@ -256,6 +276,70 @@ impl ServerSim {
         Some((base.avg_power_w - prop.avg_power_w) / base.avg_power_w * 100.0)
     }
 
+    /// An [`OnlineConfig`] matching this server's fps/DVFS/headroom
+    /// settings, serving `horizon_slots` under `shard_policy`.
+    pub fn online_config(&self, horizon_slots: usize, shard_policy: ShardPolicy) -> OnlineConfig {
+        OnlineConfig {
+            fps: self.cfg.fps,
+            gop_slots: GOP_SLOTS,
+            horizon_slots,
+            headroom: self.cfg.admission_headroom,
+            policy: self.cfg.policy,
+            shard_policy,
+            evict_miss_windows: 1,
+        }
+    }
+
+    /// Serves a live arrival `trace` online — one serving shard per
+    /// platform socket, admission/eviction at GOP boundaries — on
+    /// analytical per-socket backends.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `profiles` is empty.
+    pub fn serve_online(
+        &self,
+        profiles: &[VideoProfile],
+        trace: &[UserRequest],
+        online: &OnlineConfig,
+    ) -> OnlineReport {
+        let shards: Vec<SimBackend> = (0..self.cfg.platform.sockets)
+            .map(|_| SimBackend::new(self.cfg.platform.socket_view(), self.cfg.power))
+            .collect();
+        self.serve_online_on(shards, profiles, trace, online)
+    }
+
+    /// Serves a live arrival `trace` online on caller-provided shard
+    /// backends (e.g. [`medvt_runtime::ThreadPoolBackend`]s), one per
+    /// platform socket. Admission decisions depend only on the
+    /// analytical model, so any backend replays the same decisions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `profiles` is empty, or the shard count/core counts
+    /// do not match the platform's socket topology.
+    pub fn serve_online_on<B: ExecutionBackend>(
+        &self,
+        shards: Vec<B>,
+        profiles: &[VideoProfile],
+        trace: &[UserRequest],
+        online: &OnlineConfig,
+    ) -> OnlineReport {
+        assert!(!profiles.is_empty(), "need at least one profiled video");
+        assert_eq!(
+            shards.len(),
+            self.cfg.platform.sockets,
+            "one shard per socket"
+        );
+        assert!(
+            shards
+                .iter()
+                .all(|b| b.cores() == self.cfg.platform.cores_per_socket),
+            "each shard must cover one socket's cores"
+        );
+        medvt_admission::serve_online(online, profiles, trace, shards)
+    }
+
     fn allocate_for(&self, approach: Approach, users: &[UserDemand]) -> Allocation {
         let cores = self.cfg.platform.total_cores();
         match approach {
@@ -318,6 +402,7 @@ impl ServerSim {
                 policy,
                 replan,
                 gop_slots: GOP_SLOTS,
+                window_slots: None,
             },
         )
         .run(&source, &alloc.admitted, &alloc.placements);
@@ -382,7 +467,10 @@ mod tests {
     fn sim() -> ServerSim {
         ServerSim::new(ServerConfig {
             queue_len: 40,
-            sim_slots: 16,
+            // Two full one-second windows at 24 fps, so on_time_rate
+            // is evaluated on real windows rather than returning the
+            // empty-run 0.0.
+            sim_slots: 48,
             ..Default::default()
         })
     }

@@ -81,6 +81,40 @@ impl Platform {
         self.sockets * self.cores_per_socket
     }
 
+    /// Core ids belonging to socket `socket` (cores are numbered
+    /// socket-major: socket 0 owns `0..cores_per_socket`, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `socket` is out of range.
+    pub fn socket_cores(&self, socket: usize) -> std::ops::Range<usize> {
+        assert!(socket < self.sockets, "socket {socket} out of range");
+        socket * self.cores_per_socket..(socket + 1) * self.cores_per_socket
+    }
+
+    /// The socket a core id belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `core` is out of range.
+    pub fn socket_of(&self, core: usize) -> usize {
+        assert!(core < self.total_cores(), "core {core} out of range");
+        core / self.cores_per_socket
+    }
+
+    /// A single-socket view of this platform — the shard a per-socket
+    /// server loop schedules against. Same frequency ladder, power
+    /// behaviour and transition latency; one socket's worth of cores.
+    pub fn socket_view(&self) -> Platform {
+        Platform::new(
+            format!("{} (one socket)", self.name),
+            1,
+            self.cores_per_socket,
+            self.freqs.clone(),
+            self.dvfs_transition_secs,
+        )
+    }
+
     /// The DVFS ladder.
     pub fn freqs(&self) -> &FrequencySet {
         &self.freqs
@@ -116,6 +150,28 @@ mod tests {
         let p = Platform::quad_core();
         assert!((p.fmax().ghz() - 3.6).abs() < 1e-12);
         assert!((p.fmin().ghz() - 2.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn socket_topology_accessors() {
+        let p = Platform::xeon_e5_2667_quad();
+        assert_eq!(p.socket_cores(0), 0..8);
+        assert_eq!(p.socket_cores(3), 24..32);
+        assert_eq!(p.socket_of(0), 0);
+        assert_eq!(p.socket_of(7), 0);
+        assert_eq!(p.socket_of(8), 1);
+        assert_eq!(p.socket_of(31), 3);
+        let shard = p.socket_view();
+        assert_eq!(shard.sockets, 1);
+        assert_eq!(shard.total_cores(), 8);
+        assert_eq!(shard.freqs(), p.freqs());
+        assert!((shard.dvfs_transition_secs - p.dvfs_transition_secs).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn socket_cores_out_of_range_rejected() {
+        Platform::quad_core().socket_cores(1);
     }
 
     #[test]

@@ -149,6 +149,9 @@ pub struct SlotReport {
     pub slot_secs: f64,
     /// Total energy over the slot, joules.
     pub energy_j: f64,
+    /// Per-core energy over the slot, joules (sums to `energy_j`) —
+    /// what per-user energy attribution in the server loop splits up.
+    pub core_energy_j: Vec<f64>,
     /// Cores that failed to finish their load.
     pub deadline_misses: usize,
 }
@@ -197,11 +200,14 @@ pub fn simulate_slot(
         "one previous frequency per core required"
     );
     let mut cores = Vec::with_capacity(loads.len());
+    let mut core_energy = Vec::with_capacity(loads.len());
     let mut energy = 0.0;
     let mut misses = 0;
     for (k, &load) in loads.iter().enumerate() {
         let plan = plan_core(platform, policy, load, slot_secs, prev_freqs[k]);
-        energy += plan.energy_j(power, slot_secs);
+        let e = plan.energy_j(power, slot_secs);
+        core_energy.push(e);
+        energy += e;
         if !plan.met_deadline() {
             misses += 1;
         }
@@ -211,6 +217,7 @@ pub fn simulate_slot(
         cores,
         slot_secs,
         energy_j: energy,
+        core_energy_j: core_energy,
         deadline_misses: misses,
     }
 }
@@ -339,6 +346,9 @@ mod tests {
         assert_eq!(report.active_cores(), 3);
         assert!(report.total_carry() > 0.0);
         assert!(report.power_w() > 0.0);
+        assert_eq!(report.core_energy_j.len(), 4);
+        let sum: f64 = report.core_energy_j.iter().sum();
+        assert!((sum - report.energy_j).abs() < 1e-12);
     }
 
     #[test]

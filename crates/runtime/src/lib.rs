@@ -23,7 +23,11 @@
 //!   analytical accounting (also an `encoder::TileExecutor`, so
 //!   `VideoEncoder::encode_clip_with` transparently encodes on it);
 //! * [`ServerLoop`] — the backend-generic multi-user frame-slot loop
-//!   behind `core::ServerSim`.
+//!   behind `core::ServerSim`;
+//! * [`LoopDriver`] — the same engine as an explicitly-stepped loop
+//!   with per-user accounting and GOP-boundary membership changes, the
+//!   per-socket shard loop under the `medvt-admission` online serving
+//!   subsystem.
 //!
 //! # Mapping to the paper's Algorithm 2
 //!
@@ -77,6 +81,8 @@ mod threadpool;
 
 pub use backend::{ExecutionBackend, SlotOutcome, WorkUnit};
 pub use pool::{ExecRecord, PoolScope, WorkerPool};
-pub use server::{DemandSource, LoopReport, ReplanPolicy, ServerLoop, ServerLoopConfig};
+pub use server::{
+    DemandSource, LoopDriver, LoopReport, ReplanPolicy, ServerLoop, ServerLoopConfig, UserLoopStats,
+};
 pub use sim::SimBackend;
 pub use threadpool::ThreadPoolBackend;

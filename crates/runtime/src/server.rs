@@ -6,6 +6,18 @@
 //! dispatch, deadline-miss carry-over (lines 21–22, owned by the
 //! backend) and the paper's one-second framerate windows.
 //!
+//! Two entry points share one engine:
+//!
+//! * [`ServerLoop::run`] — the closed-membership batch run used by
+//!   `core::ServerSim` (admission settled up front);
+//! * [`LoopDriver`] — the explicit stepping interface behind online
+//!   serving: an admission controller advances the loop GOP by GOP,
+//!   reads the per-user accounting ([`UserLoopStats`]) and swaps the
+//!   admitted set at GOP boundaries with
+//!   [`LoopDriver::set_membership`]. [`ServerLoop::run_with_hook`]
+//!   packages the same contract as a per-boundary callback for
+//!   single-shard use.
+//!
 //! `core::ServerSim` wraps this loop with profile-driven admission and
 //! Table II reporting; real-execution servers feed it closures through
 //! [`DemandSource::work_for`].
@@ -13,6 +25,7 @@
 use crate::backend::{ExecutionBackend, WorkUnit};
 use medvt_mpsoc::DvfsPolicy;
 use medvt_sched::{place_threads, Placement, UserDemand};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-user, per-slot demand (and optionally real work) for the loop.
 pub trait DemandSource {
@@ -35,7 +48,9 @@ pub trait DemandSource {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ReplanPolicy {
     /// Keep the initial placements for the whole run (baseline [19]'s
-    /// static binding).
+    /// static binding). Membership changes still force a one-off
+    /// re-placement — stale placements would keep running departed
+    /// users.
     Static,
     /// Re-run Algorithm 2's placement at every GOP boundary on the
     /// upcoming GOP's mean demand, padded by `headroom` (§III-D2).
@@ -43,6 +58,15 @@ pub enum ReplanPolicy {
         /// Multiplier on estimated demands (> 1 keeps admission slack).
         headroom: f64,
     },
+}
+
+impl ReplanPolicy {
+    fn headroom(&self) -> f64 {
+        match self {
+            ReplanPolicy::Static => 1.0,
+            ReplanPolicy::PerGop { headroom } => *headroom,
+        }
+    }
 }
 
 /// Server-loop configuration.
@@ -56,12 +80,53 @@ pub struct ServerLoopConfig {
     pub policy: DvfsPolicy,
     /// Placement refresh policy.
     pub replan: ReplanPolicy,
-    /// Slots per GOP (re-placement period).
+    /// Slots per GOP (re-placement period, and the boundary at which
+    /// online membership changes take effect).
     pub gop_slots: usize,
+    /// Deadline-window length in slots; `None` derives the paper's
+    /// one-second window from `fps`. Deadline classes with tighter
+    /// service-level checks can shorten it.
+    pub window_slots: Option<usize>,
+}
+
+impl ServerLoopConfig {
+    /// The deadline-window length in slots.
+    pub fn window_len(&self) -> usize {
+        self.window_slots
+            .unwrap_or(self.fps.round().max(1.0) as usize)
+            .max(1)
+    }
+}
+
+/// Per-user accounting over a run — what an admission controller
+/// observes to evict under sustained deadline misses.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct UserLoopStats {
+    /// User identifier.
+    pub user: usize,
+    /// Energy attributed to this user, joules: each core's slot energy
+    /// split across that core's users proportional to submitted cost.
+    /// The split is approximate at carry boundaries — work carried
+    /// from an earlier slot is charged to whoever submits on that core
+    /// in the slot that drains it (shared-core fate, like window
+    /// misses), and stays unattributed only when nothing is submitted
+    /// there at all.
+    pub energy_j: f64,
+    /// Deadline windows in which the user had work scheduled.
+    pub windows: usize,
+    /// Of those, windows where a core running this user's threads
+    /// ended with unfinished work (shared-core fate: co-located users
+    /// miss together).
+    pub window_misses: usize,
+    /// Current run of consecutively missed windows (reset by an
+    /// on-time window) — the sustained-miss signal eviction keys on.
+    pub consecutive_window_misses: usize,
+    /// Slots in which the user had positive demand.
+    pub active_slots: usize,
 }
 
 /// Aggregate outcome of a server-loop run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoopReport {
     /// Total energy, joules.
     pub energy_j: f64,
@@ -77,10 +142,25 @@ pub struct LoopReport {
     pub slots: usize,
     /// Wall-clock seconds spent executing real work (pool backends).
     pub wall_secs: f64,
+    /// Per-user accounting, sorted by user id.
+    pub users: Vec<UserLoopStats>,
 }
 
 impl LoopReport {
-    /// Mean busy cores per slot.
+    fn empty() -> Self {
+        Self {
+            energy_j: 0.0,
+            miss_slots: 0,
+            windows: 0,
+            window_misses: 0,
+            active_core_slots: 0,
+            slots: 0,
+            wall_secs: 0.0,
+            users: Vec::new(),
+        }
+    }
+
+    /// Mean busy cores per slot; 0.0 (not NaN) on an empty run.
     pub fn avg_active_cores(&self) -> f64 {
         if self.slots == 0 {
             0.0
@@ -89,33 +169,146 @@ impl LoopReport {
         }
     }
 
-    /// Fraction of one-second windows meeting the framerate.
+    /// Fraction of one-second windows meeting the framerate; 0.0 (not
+    /// NaN, and not a vacuous 1.0) on a run that evaluated no windows.
     pub fn on_time_rate(&self) -> f64 {
         if self.windows == 0 {
-            1.0
+            0.0
         } else {
             1.0 - self.window_misses as f64 / self.windows as f64
         }
     }
+
+    /// The accounting row for `user`, if it ever had work.
+    pub fn user(&self, user: usize) -> Option<&UserLoopStats> {
+        self.users
+            .binary_search_by_key(&user, |u| u.user)
+            .ok()
+            .map(|i| &self.users[i])
+    }
 }
 
-/// Runs admitted users' slots through an execution backend.
+/// An in-flight server-loop run with explicit stepping — the engine
+/// under [`ServerLoop`] and the per-socket shard loop the admission
+/// subsystem drives in lockstep.
+///
+/// The driver owns its backend (`&mut B` also implements
+/// [`ExecutionBackend`], so borrowing callers pass a reborrow) and
+/// carries all cross-slot state: placements, the deadline-window
+/// bookkeeping and the per-user accounting.
 #[derive(Debug)]
-pub struct ServerLoop<'b, B: ExecutionBackend> {
-    backend: &'b mut B,
+pub struct LoopDriver<B: ExecutionBackend> {
+    backend: B,
     cfg: ServerLoopConfig,
+    admitted: Vec<usize>,
+    placements: Vec<Placement>,
+    replan_pending: bool,
+    slot: usize,
+    window_len: usize,
+    active_in_window: Vec<bool>,
+    window_user_cores: BTreeMap<usize, BTreeSet<usize>>,
+    users: BTreeMap<usize, UserLoopStats>,
+    energy_j: f64,
+    miss_slots: usize,
+    windows: usize,
+    window_misses: usize,
+    active_core_slots: usize,
+    wall_secs: f64,
+    debug: bool,
 }
 
-impl<'b, B: ExecutionBackend> ServerLoop<'b, B> {
-    /// Creates a loop over `backend`.
+impl<B: ExecutionBackend> LoopDriver<B> {
+    /// Starts a run: resets `backend` and installs the initial
+    /// membership and placements.
     ///
     /// # Panics
     ///
     /// Panics when `fps` or `gop_slots` is not positive.
-    pub fn new(backend: &'b mut B, cfg: ServerLoopConfig) -> Self {
+    pub fn new(
+        mut backend: B,
+        cfg: ServerLoopConfig,
+        admitted: Vec<usize>,
+        initial: Vec<Placement>,
+    ) -> Self {
         assert!(cfg.fps > 0.0, "fps must be positive");
         assert!(cfg.gop_slots > 0, "gop must have slots");
-        Self { backend, cfg }
+        backend.reset();
+        let cores = backend.cores();
+        Self {
+            backend,
+            cfg,
+            admitted,
+            placements: initial,
+            replan_pending: false,
+            slot: 0,
+            window_len: cfg.window_len(),
+            active_in_window: vec![false; cores],
+            window_user_cores: BTreeMap::new(),
+            users: BTreeMap::new(),
+            energy_j: 0.0,
+            miss_slots: 0,
+            windows: 0,
+            window_misses: 0,
+            active_core_slots: 0,
+            wall_secs: 0.0,
+            debug: std::env::var_os("MEDVT_DEBUG_SLOTS").is_some(),
+        }
+    }
+
+    /// The next slot to execute.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Currently admitted users.
+    pub fn admitted(&self) -> &[usize] {
+        &self.admitted
+    }
+
+    /// The loop configuration.
+    pub fn config(&self) -> &ServerLoopConfig {
+        &self.cfg
+    }
+
+    /// Running per-user accounting for `user` (None before its first
+    /// scheduled slot).
+    pub fn user_stats(&self, user: usize) -> Option<&UserLoopStats> {
+        self.users.get(&user)
+    }
+
+    /// Replaces the admitted set. Placements are recomputed on the
+    /// next executed slot (under any [`ReplanPolicy`] — stale
+    /// placements would keep running departed users). Intended for GOP
+    /// boundaries, the paper's re-allocation points.
+    pub fn set_membership(&mut self, admitted: Vec<usize>) {
+        self.admitted = admitted;
+        self.replan_pending = true;
+    }
+
+    /// Runs `n` slots.
+    pub fn advance(&mut self, source: &impl DemandSource, n: usize) {
+        for _ in 0..n {
+            self.step(source);
+        }
+    }
+
+    /// Snapshot of the aggregate report so far.
+    pub fn report(&self) -> LoopReport {
+        LoopReport {
+            energy_j: self.energy_j,
+            miss_slots: self.miss_slots,
+            windows: self.windows,
+            window_misses: self.window_misses,
+            active_core_slots: self.active_core_slots,
+            slots: self.slot,
+            wall_secs: self.wall_secs,
+            users: self.users.values().copied().collect(),
+        }
+    }
+
+    /// Finishes the run, returning the report.
+    pub fn into_report(self) -> LoopReport {
+        self.report()
     }
 
     /// Mean per-tile demand of `user` over the GOP starting at
@@ -140,6 +333,176 @@ impl<'b, B: ExecutionBackend> ServerLoop<'b, B> {
             .collect()
     }
 
+    fn replan(&mut self, source: &impl DemandSource, slot_secs: f64) {
+        let headroom = self.cfg.replan.headroom();
+        let demands: Vec<UserDemand> = self
+            .admitted
+            .iter()
+            .map(|&u| {
+                UserDemand::new(
+                    u,
+                    self.gop_demand(source, u, self.slot)
+                        .iter()
+                        .map(|s| s * headroom)
+                        .collect(),
+                )
+            })
+            .collect();
+        let placed = place_threads(self.backend.cores(), slot_secs, &demands);
+        if self.debug {
+            let mut sorted = placed.core_loads.clone();
+            sorted.sort_by(|a, b| b.total_cmp(a));
+            eprintln!(
+                "gop@{}: padded loads top {:?} used {} threads {}",
+                self.slot,
+                &sorted[..4.min(sorted.len())]
+                    .iter()
+                    .map(|l| (l / slot_secs * 100.0).round() / 100.0)
+                    .collect::<Vec<_>>(),
+                placed.used_cores(),
+                placed.placements.len(),
+            );
+        }
+        self.placements = placed.placements;
+    }
+
+    /// Executes one slot: thread allocation once per GOP (paper
+    /// §III-D2) or on a pending membership change, work-unit dispatch
+    /// through the backend, then deadline/energy accounting.
+    pub fn step(&mut self, source: &impl DemandSource) {
+        let slot_secs = 1.0 / self.cfg.fps;
+        let gop_boundary = self.slot.is_multiple_of(self.cfg.gop_slots);
+        let periodic = matches!(self.cfg.replan, ReplanPolicy::PerGop { .. }) && gop_boundary;
+        if periodic || self.replan_pending {
+            self.replan(source, slot_secs);
+            self.replan_pending = false;
+        }
+        // Placement vectors cover the maximum tile count of the
+        // window; frames with fewer tiles simply have no work for
+        // the higher thread indices.
+        let mut work: Vec<WorkUnit<'_>> = Vec::with_capacity(self.placements.len());
+        // (core → submitted (user, cost)) for energy attribution.
+        let mut submitted: BTreeMap<usize, Vec<(usize, f64)>> = BTreeMap::new();
+        let mut active_users: BTreeSet<usize> = BTreeSet::new();
+        for p in &self.placements {
+            let demand = source.demand_at(p.user, self.slot);
+            let cost = demand.get(p.thread).copied().unwrap_or(0.0);
+            if cost > 0.0 {
+                submitted.entry(p.core).or_default().push((p.user, cost));
+                active_users.insert(p.user);
+                self.window_user_cores
+                    .entry(p.user)
+                    .or_default()
+                    .insert(p.core);
+            }
+            work.push(WorkUnit {
+                user: p.user,
+                thread: p.thread,
+                core: p.core,
+                cost_fmax_secs: cost,
+                job: source.work_for(p.user, self.slot, p.thread),
+            });
+        }
+        let outcome = self.backend.execute_slot(self.cfg.policy, slot_secs, work);
+        self.energy_j += outcome.report.energy_j;
+        self.wall_secs += outcome.wall_secs;
+        if outcome.report.deadline_misses > 0 {
+            self.miss_slots += 1;
+        }
+        if self.debug {
+            let carrying = outcome
+                .report
+                .cores
+                .iter()
+                .filter(|c| c.carry_fmax_secs > 1e-9)
+                .count();
+            eprintln!(
+                "slot {:>3}: {} cores carrying, total carry {:.3} slots",
+                self.slot,
+                carrying,
+                outcome.report.total_carry() / slot_secs
+            );
+        }
+        self.active_core_slots += outcome.report.active_cores();
+        for (k, plan) in outcome.report.cores.iter().enumerate() {
+            if plan.busy_secs > 0.0 {
+                self.active_in_window[k] = true;
+            }
+        }
+        // Per-user accounting: active slots, and each core's slot
+        // energy split proportional to the users' submitted cost.
+        for &u in &active_users {
+            let stats = self.users.entry(u).or_insert(UserLoopStats {
+                user: u,
+                ..Default::default()
+            });
+            stats.active_slots += 1;
+        }
+        for (&core, costs) in &submitted {
+            let total: f64 = costs.iter().map(|(_, c)| c).sum();
+            if total <= 0.0 {
+                continue;
+            }
+            let core_energy = outcome.report.core_energy_j[core];
+            for &(u, cost) in costs {
+                if let Some(stats) = self.users.get_mut(&u) {
+                    stats.energy_j += core_energy * cost / total;
+                }
+            }
+        }
+        // One-second framerate check (paper §III-D2): a core misses
+        // its window when work remains unfinished at the boundary;
+        // users sharing the core share its fate.
+        if (self.slot + 1).is_multiple_of(self.window_len) {
+            for (k, active) in self.active_in_window.iter_mut().enumerate() {
+                if *active {
+                    self.windows += 1;
+                    if outcome.report.cores[k].carry_fmax_secs > 1e-9 {
+                        self.window_misses += 1;
+                    }
+                }
+                *active = false;
+            }
+            for (&u, cores) in &self.window_user_cores {
+                let Some(stats) = self.users.get_mut(&u) else {
+                    continue;
+                };
+                stats.windows += 1;
+                let missed = cores
+                    .iter()
+                    .any(|&k| outcome.report.cores[k].carry_fmax_secs > 1e-9);
+                if missed {
+                    stats.window_misses += 1;
+                    stats.consecutive_window_misses += 1;
+                } else {
+                    stats.consecutive_window_misses = 0;
+                }
+            }
+            self.window_user_cores.clear();
+        }
+        self.slot += 1;
+    }
+}
+
+/// Runs admitted users' slots through an execution backend.
+#[derive(Debug)]
+pub struct ServerLoop<'b, B: ExecutionBackend> {
+    backend: &'b mut B,
+    cfg: ServerLoopConfig,
+}
+
+impl<'b, B: ExecutionBackend> ServerLoop<'b, B> {
+    /// Creates a loop over `backend`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fps` or `gop_slots` is not positive.
+    pub fn new(backend: &'b mut B, cfg: ServerLoopConfig) -> Self {
+        assert!(cfg.fps > 0.0, "fps must be positive");
+        assert!(cfg.gop_slots > 0, "gop must have slots");
+        Self { backend, cfg }
+    }
+
     /// Runs `cfg.slots` slots for `admitted` users, starting from
     /// `initial` placements, and aggregates deadline/energy statistics.
     ///
@@ -150,112 +513,43 @@ impl<'b, B: ExecutionBackend> ServerLoop<'b, B> {
         admitted: &[usize],
         initial: &[Placement],
     ) -> LoopReport {
-        let cores = self.backend.cores();
-        let slot_secs = 1.0 / self.cfg.fps;
-        let debug = std::env::var_os("MEDVT_DEBUG_SLOTS").is_some();
-        self.backend.reset();
-        let mut placements: Vec<Placement> = initial.to_vec();
-        let mut report = LoopReport {
-            energy_j: 0.0,
-            miss_slots: 0,
-            windows: 0,
-            window_misses: 0,
-            active_core_slots: 0,
-            slots: self.cfg.slots,
-            wall_secs: 0.0,
-        };
-        let window_len = self.cfg.fps.round().max(1.0) as usize;
-        let mut active_in_window = vec![false; cores];
-        for slot in 0..self.cfg.slots {
-            // Thread allocation happens once per GOP (paper §III-D2),
-            // using that GOP's estimated per-tile demand; the static
-            // policy keeps tiles bound to their initial cores.
-            if let ReplanPolicy::PerGop { headroom } = self.cfg.replan {
-                if slot % self.cfg.gop_slots == 0 {
-                    let demands: Vec<UserDemand> = admitted
-                        .iter()
-                        .map(|&u| {
-                            UserDemand::new(
-                                u,
-                                self.gop_demand(source, u, slot)
-                                    .iter()
-                                    .map(|s| s * headroom)
-                                    .collect(),
-                            )
-                        })
-                        .collect();
-                    let placed = place_threads(cores, slot_secs, &demands);
-                    if debug {
-                        let mut sorted = placed.core_loads.clone();
-                        sorted.sort_by(|a, b| b.total_cmp(a));
-                        eprintln!(
-                            "gop@{slot}: padded loads top {:?} used {} threads {}",
-                            &sorted[..4.min(sorted.len())]
-                                .iter()
-                                .map(|l| (l / slot_secs * 100.0).round() / 100.0)
-                                .collect::<Vec<_>>(),
-                            placed.used_cores(),
-                            placed.placements.len(),
-                        );
-                    }
-                    placements = placed.placements;
-                }
-            }
-            // Placement vectors cover the maximum tile count of the
-            // window; frames with fewer tiles simply have no work for
-            // the higher thread indices.
-            let mut work: Vec<WorkUnit<'_>> = Vec::with_capacity(placements.len());
-            for p in &placements {
-                let demand = source.demand_at(p.user, slot);
-                let cost = demand.get(p.thread).copied().unwrap_or(0.0);
-                work.push(WorkUnit {
-                    user: p.user,
-                    thread: p.thread,
-                    core: p.core,
-                    cost_fmax_secs: cost,
-                    job: source.work_for(p.user, slot, p.thread),
-                });
-            }
-            let outcome = self.backend.execute_slot(self.cfg.policy, slot_secs, work);
-            report.energy_j += outcome.report.energy_j;
-            report.wall_secs += outcome.wall_secs;
-            if outcome.report.deadline_misses > 0 {
-                report.miss_slots += 1;
-            }
-            if debug {
-                let carrying = outcome
-                    .report
-                    .cores
-                    .iter()
-                    .filter(|c| c.carry_fmax_secs > 1e-9)
-                    .count();
-                eprintln!(
-                    "slot {slot:>3}: {} cores carrying, total carry {:.3} slots",
-                    carrying,
-                    outcome.report.total_carry() / slot_secs
-                );
-            }
-            report.active_core_slots += outcome.report.active_cores();
-            for (k, plan) in outcome.report.cores.iter().enumerate() {
-                if plan.busy_secs > 0.0 {
-                    active_in_window[k] = true;
-                }
-            }
-            // One-second framerate check (paper §III-D2): a core misses
-            // its window when work remains unfinished at the boundary.
-            if (slot + 1) % window_len == 0 {
-                for (k, active) in active_in_window.iter_mut().enumerate() {
-                    if *active {
-                        report.windows += 1;
-                        if outcome.report.cores[k].carry_fmax_secs > 1e-9 {
-                            report.window_misses += 1;
-                        }
-                    }
-                    *active = false;
-                }
-            }
+        self.run_with_hook(source, admitted, initial, |_| None)
+    }
+
+    /// Like [`ServerLoop::run`], calling `hook` at every GOP boundary
+    /// before placement. Returning `Some(users)` replaces the admitted
+    /// membership from that GOP on — the single-shard form of the
+    /// admission subsystem's admit/evict contract (the sharded
+    /// controller drives [`LoopDriver`]s directly, in lockstep).
+    ///
+    /// The hook observes the in-flight [`LoopDriver`] — current slot,
+    /// membership, and per-user on-time/energy accounting.
+    pub fn run_with_hook<F>(
+        &mut self,
+        source: &impl DemandSource,
+        admitted: &[usize],
+        initial: &[Placement],
+        mut hook: F,
+    ) -> LoopReport
+    where
+        F: FnMut(&LoopDriver<&mut B>) -> Option<Vec<usize>>,
+    {
+        let cfg = self.cfg;
+        if cfg.slots == 0 {
+            return LoopReport::empty();
         }
-        report
+        let mut driver =
+            LoopDriver::new(&mut *self.backend, cfg, admitted.to_vec(), initial.to_vec());
+        let mut done = 0;
+        while done < cfg.slots {
+            if let Some(next) = hook(&driver) {
+                driver.set_membership(next);
+            }
+            let n = cfg.gop_slots.min(cfg.slots - done);
+            driver.advance(source, n);
+            done += n;
+        }
+        driver.into_report()
     }
 }
 
@@ -285,6 +579,7 @@ mod tests {
             policy: DvfsPolicy::StretchToDeadline,
             replan,
             gop_slots: 8,
+            window_slots: None,
         }
     }
 
@@ -305,6 +600,15 @@ mod tests {
         assert!(report.windows > 0);
         assert!(report.energy_j > 0.0);
         assert!((report.on_time_rate() - 1.0).abs() < 1e-12);
+        // Per-user accounting: the single user owns every attributed
+        // joule and meets every one of its windows.
+        let u = report.user(0).expect("user 0 accounted");
+        assert_eq!(u.windows, 2);
+        assert_eq!(u.window_misses, 0);
+        assert_eq!(u.consecutive_window_misses, 0);
+        assert_eq!(u.active_slots, 48);
+        assert!(u.energy_j > 0.0);
+        assert!(u.energy_j <= report.energy_j + 1e-12);
     }
 
     #[test]
@@ -353,5 +657,134 @@ mod tests {
         assert!(report.miss_slots > 0);
         assert!(report.window_misses > 0);
         assert!(report.on_time_rate() < 1.0);
+        // Sustained overload: every user accumulates consecutive
+        // missed windows — the signal eviction keys on.
+        for u in 0..4 {
+            let stats = report.user(u).expect("accounted");
+            assert!(stats.window_misses > 0, "user {u} should miss");
+            assert_eq!(stats.consecutive_window_misses, stats.window_misses);
+        }
+    }
+
+    #[test]
+    fn empty_run_reports_zero_not_nan() {
+        // Zero-window case: rates must come back 0.0, never NaN.
+        let report = LoopReport::empty();
+        assert_eq!(report.windows, 0);
+        assert_eq!(report.slots, 0);
+        assert!(report.on_time_rate() == 0.0);
+        assert!(report.avg_active_cores() == 0.0);
+        assert!(!report.on_time_rate().is_nan());
+        assert!(!report.avg_active_cores().is_nan());
+        // A zero-slot configured run takes the same path.
+        let mut backend = SimBackend::new(Platform::quad_core(), PowerModel::default());
+        let source = FlatSource {
+            tiles: 1,
+            secs: 0.0,
+        };
+        let mut sl = ServerLoop::new(&mut backend, cfg(0, ReplanPolicy::Static));
+        let r = sl.run(&source, &[0], &[]);
+        assert_eq!(r.on_time_rate(), 0.0);
+        assert_eq!(r.avg_active_cores(), 0.0);
+    }
+
+    /// A source with demand only at one slot.
+    struct SpikeSource {
+        at: usize,
+        secs: f64,
+    }
+
+    impl DemandSource for SpikeSource {
+        fn demand_at(&self, _user: usize, slot: usize) -> Vec<f64> {
+            if slot == self.at {
+                vec![self.secs]
+            } else {
+                vec![0.0]
+            }
+        }
+    }
+
+    #[test]
+    fn missed_gop_carries_overrun_into_next_window() {
+        // A user's frame at slot 23 (last slot of window 1) costs 3
+        // slots of f_max time: the overrun must carry into window 2's
+        // slots 24/25 and drain there — not be dropped at the window
+        // boundary.
+        let mut backend = SimBackend::new(Platform::quad_core(), PowerModel::default());
+        let source = SpikeSource {
+            at: 23,
+            secs: SLOT * 3.0,
+        };
+        let mut sl = ServerLoop::new(&mut backend, cfg(48, ReplanPolicy::Static));
+        let initial = vec![Placement {
+            user: 0,
+            thread: 0,
+            core: 0,
+            secs: SLOT * 3.0,
+        }];
+        let report = sl.run(&source, &[0], &initial);
+        // 3 slots of work at f_max → busy in slots 23, 24, 25 (plus at
+        // most one sliver slot from DVFS-transition latency): the
+        // carry crossed the window boundary and kept executing.
+        assert!(
+            (3..=4).contains(&report.active_core_slots),
+            "carry must keep draining: {} active slots",
+            report.active_core_slots
+        );
+        // Slots 23 and 24 (at least) end with work remaining.
+        assert!(report.miss_slots >= 2);
+        // Window 1 (slots 0–23) misses; window 2 (24–47) has drained
+        // the carry long before its boundary and is on time.
+        assert_eq!(report.windows, 2);
+        assert_eq!(report.window_misses, 1);
+        // All three slots' worth of work was executed (energy ≫ idle):
+        // nothing was dropped at the boundary.
+        let idle_only = PowerModel::default().idle_power_w() * SLOT * 48.0 * 4.0;
+        assert!(report.energy_j > idle_only);
+    }
+
+    #[test]
+    fn window_slots_override_shortens_the_deadline_window() {
+        let mut backend = SimBackend::new(Platform::quad_core(), PowerModel::default());
+        let source = FlatSource {
+            tiles: 1,
+            secs: SLOT / 4.0,
+        };
+        let mut c = cfg(16, ReplanPolicy::PerGop { headroom: 1.0 });
+        c.window_slots = Some(4);
+        assert_eq!(c.window_len(), 4);
+        let mut sl = ServerLoop::new(&mut backend, c);
+        let report = sl.run(&source, &[0], &[]);
+        // 16 slots in 4-slot windows: four evaluated windows on the
+        // single active core (the fps-derived default would give none).
+        assert_eq!(report.windows, 4);
+        assert_eq!(report.window_misses, 0);
+        assert_eq!(report.user(0).expect("accounted").windows, 4);
+    }
+
+    #[test]
+    fn membership_hook_admits_and_evicts_at_gop_boundaries() {
+        let mut backend = SimBackend::new(Platform::quad_core(), PowerModel::default());
+        let source = FlatSource {
+            tiles: 1,
+            secs: SLOT / 4.0,
+        };
+        // Start with user 0; admit user 1 from GOP 1; evict both from
+        // GOP 4.
+        let mut sl = ServerLoop::new(
+            &mut backend,
+            cfg(48, ReplanPolicy::PerGop { headroom: 1.0 }),
+        );
+        let report = sl.run_with_hook(&source, &[0], &[], |driver| match driver.slot() {
+            8 => Some(vec![0, 1]),
+            32 => Some(vec![]),
+            _ => None,
+        });
+        let u0 = report.user(0).expect("user 0 ran");
+        let u1 = report.user(1).expect("user 1 ran");
+        // User 0: GOPs 0–3 → 32 slots; user 1: GOPs 1–3 → 24 slots.
+        assert_eq!(u0.active_slots, 32);
+        assert_eq!(u1.active_slots, 24);
+        assert!(u0.energy_j > u1.energy_j);
     }
 }

@@ -383,5 +383,108 @@ mod tests {
                 user_count
             );
         }
+
+        /// `place_threads` invariants over irregular demand shapes:
+        /// every thread placed exactly once on a valid core, core
+        /// loads consistent with placements, overload bounded by one
+        /// spilled thread, and a single-core-sized total never
+        /// overloads at all.
+        #[test]
+        fn prop_place_threads_places_each_thread_once_with_bounded_load(
+            thread_ms in proptest::collection::vec(
+                proptest::collection::vec(1u32..40, 1..6),
+                1..6,
+            ),
+        ) {
+            let users: Vec<UserDemand> = thread_ms
+                .iter()
+                .enumerate()
+                .map(|(u, ms)| {
+                    demand(u, &ms.iter().map(|&m| m as f64 * 1e-3).collect::<Vec<_>>())
+                })
+                .collect();
+            let cores = 16;
+            let alloc = place_threads(cores, SLOT, &users);
+            // Every thread placed exactly once, on a real core.
+            let expect: usize = users.iter().map(|u| u.thread_secs.len()).sum();
+            prop_assert_eq!(alloc.placements.len(), expect);
+            let mut seen = std::collections::HashSet::new();
+            for p in &alloc.placements {
+                prop_assert!(p.core < cores);
+                prop_assert!(seen.insert((p.user, p.thread)), "thread placed twice");
+            }
+            // Core loads equal the sum of their placements.
+            let mut check = vec![0.0f64; cores];
+            for p in &alloc.placements {
+                check[p.core] += p.secs;
+            }
+            for (a, b) in check.iter().zip(&alloc.core_loads) {
+                prop_assert!((a - b).abs() < 1e-12);
+            }
+            // No core overloads beyond the slot capacity by more than
+            // one spilled thread (spill targets the least-loaded core,
+            // which is provably under the slot when any work remains).
+            let largest = users
+                .iter()
+                .flat_map(|u| u.thread_secs.iter())
+                .fold(0.0f64, |a, &b| a.max(b));
+            prop_assert!(alloc.max_load() <= SLOT + largest + 1e-12);
+            // A total that fits one core never overloads anything.
+            let total: f64 = users.iter().map(UserDemand::total_secs).sum();
+            if total <= SLOT + 1e-12 {
+                prop_assert!(alloc.max_load() <= SLOT + 1e-12);
+            }
+        }
+
+        /// Equal-sized tiles divide slots exactly: the cap-seeking
+        /// placement must never overload any core beyond the slot.
+        #[test]
+        fn prop_place_threads_equal_tiles_never_overload(
+            tiles_per_slot in 2usize..16,
+            threads in 1usize..40,
+        ) {
+            let secs = SLOT / tiles_per_slot as f64;
+            let users = vec![demand(0, &vec![secs; threads])];
+            let alloc = place_threads(32, SLOT, &users);
+            prop_assert!(
+                alloc.max_load() <= SLOT + 1e-12,
+                "equal tiles overloaded a core: {} > slot",
+                alloc.max_load()
+            );
+            prop_assert_eq!(alloc.placements.len(), threads);
+        }
+
+        /// Permuting the user list must not change the resulting
+        /// per-core load vector: placement is order-stable.
+        #[test]
+        fn prop_place_threads_stable_under_user_permutation(
+            thread_ms in proptest::collection::vec(
+                proptest::collection::vec(1u32..40, 1..6),
+                2..6,
+            ),
+            rotation in 1usize..5,
+        ) {
+            let users: Vec<UserDemand> = thread_ms
+                .iter()
+                .enumerate()
+                .map(|(u, ms)| {
+                    demand(u, &ms.iter().map(|&m| m as f64 * 1e-3).collect::<Vec<_>>())
+                })
+                .collect();
+            let mut permuted = users.clone();
+            let k = rotation % permuted.len();
+            permuted.rotate_left(k);
+            let a = place_threads(16, SLOT, &users);
+            let b = place_threads(16, SLOT, &permuted);
+            for (x, y) in a.core_loads.iter().zip(&b.core_loads) {
+                prop_assert!(
+                    (x - y).abs() < 1e-12,
+                    "permutation changed core loads: {:?} vs {:?}",
+                    a.core_loads,
+                    b.core_loads
+                );
+            }
+            prop_assert_eq!(a.placements.len(), b.placements.len());
+        }
     }
 }

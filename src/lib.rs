@@ -16,7 +16,8 @@
 //! | [`mpsoc`] | `medvt-mpsoc` | 32-core Xeon platform model, DVFS, power/energy |
 //! | [`sched`] | `medvt-sched` | workload LUT, Algorithm 2 allocator, deadline feedback |
 //! | [`runtime`] | `medvt-runtime` | placement-aware execution: per-core worker pool, sim/thread-pool backends, server loop |
-//! | [`core`] | `medvt-core` | the full pipeline, baseline [19], multi-user server on either backend |
+//! | [`admission`] | `medvt-admission` | live admission control: request queue, shard policies, GOP-boundary admit/evict |
+//! | [`core`] | `medvt-core` | the full pipeline, baseline [19], multi-user server (batch and online) on either backend |
 //!
 //! # Examples
 //!
@@ -49,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+pub use medvt_admission as admission;
 pub use medvt_analyze as analyze;
 pub use medvt_core as core;
 pub use medvt_encoder as encoder;
