@@ -21,7 +21,7 @@
 //! | queued user requests (§III-D2) | [`RequestQueue`] of timestamped [`UserRequest`]s |
 //! | Algorithm 2 line 1 per-user core demand | [`Workload::steady_demand`] × FPS × headroom, the admission unit |
 //! | lines 2–3 maximize admitted users under `N_c` | GOP-boundary FIFO admission against per-socket capacity ([`serve_online`] step 4) |
-//! | §III-D2 re-allocation at each GOP | shard membership pushed into `runtime::LoopDriver`, which re-runs `sched::place_threads` per socket |
+//! | §III-D2 re-allocation at each GOP | shard membership pushed into `runtime::LoopDriver`, which re-runs the speed-aware `sched::place_threads_on` per socket |
 //! | "framerate … checked every second" | per-user window accounting (`runtime::UserLoopStats`); sustained misses trigger eviction by [`DeadlineClass`] tolerance |
 //! | 4-socket Xeon evaluation server (§IV-A) | one shard per socket (`Platform::socket_view`), placed by a pluggable [`ShardPolicy`] |
 //! | always-full queue of §IV-B2 | a special case of [`TraceConfig`] (arrival rate ≫ service rate) |
@@ -60,7 +60,7 @@
 //!
 //! let platform = Platform::xeon_e5_2667_quad();
 //! let shards: Vec<SimBackend> = (0..platform.sockets)
-//!     .map(|_| SimBackend::new(platform.socket_view(), PowerModel::default()))
+//!     .map(|s| SimBackend::new(platform.socket_view(s), PowerModel::default()))
 //!     .collect();
 //! let trace = synthesize_trace(&TraceConfig::default());
 //! let report = serve_online(&OnlineConfig::default(), &[Flat], &trace, shards);

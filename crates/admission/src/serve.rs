@@ -110,6 +110,12 @@ pub struct AdmissionEvent {
 pub struct ShardReport {
     /// Shard (socket) index.
     pub shard: usize,
+    /// The backend's label — the socket-tagged platform name for
+    /// platform shards, so reports stay attributable to a socket.
+    pub label: String,
+    /// Effective capacity in reference cores (sum of core speed
+    /// factors); shards may differ on heterogeneous platforms.
+    pub capacity_cores: f64,
     /// Users ever admitted here.
     pub admitted: usize,
     /// Peak simultaneous users.
@@ -201,7 +207,10 @@ struct ActiveUser {
 }
 
 /// Serves `trace` online across per-socket `shards` (one backend per
-/// socket, each covering that socket's cores).
+/// socket, each covering that socket's cores). Shards may be
+/// heterogeneous — different core counts and speed factors — in which
+/// case each is admitted against its own effective capacity (the sum
+/// of its cores' speed factors).
 ///
 /// Decisions depend only on the backends' analytical accounting, so
 /// any [`ExecutionBackend`] mix with identical platforms replays the
@@ -209,9 +218,9 @@ struct ActiveUser {
 ///
 /// # Panics
 ///
-/// Panics when `workloads` or `shards` is empty, shards disagree on
-/// core count, `trace` is not sorted by arrival slot, a trace user id
-/// repeats, or a request's profile index is out of range.
+/// Panics when `workloads` or `shards` is empty, `trace` is not sorted
+/// by arrival slot, a trace user id repeats, or a request's profile
+/// index is out of range.
 pub fn serve_online<W: Workload, B: ExecutionBackend>(
     cfg: &OnlineConfig,
     workloads: &[W],
@@ -220,18 +229,20 @@ pub fn serve_online<W: Workload, B: ExecutionBackend>(
 ) -> OnlineReport {
     assert!(!workloads.is_empty(), "need at least one workload");
     assert!(!shards.is_empty(), "need at least one shard");
-    let cores_per_shard = shards[0].cores();
-    assert!(
-        shards.iter().all(|b| b.cores() == cores_per_shard),
-        "shards must be homogeneous"
-    );
     assert!(
         trace
             .windows(2)
             .all(|w| w[0].arrival_slot <= w[1].arrival_slot),
         "trace must be sorted by arrival slot"
     );
-    let capacity = cores_per_shard as f64;
+    // Per-shard effective capacity in reference cores, and the labels
+    // surfaced in the shard reports.
+    let capacities: Vec<f64> = shards
+        .iter()
+        .map(|b| b.core_speeds().iter().sum())
+        .collect();
+    let labels: Vec<String> = shards.iter().map(ExecutionBackend::label).collect();
+    let max_capacity = capacities.iter().copied().fold(0.0f64, f64::max);
 
     // user id → workload index (and uniqueness/range checks).
     let mut profile_of: BTreeMap<usize, usize> = BTreeMap::new();
@@ -348,12 +359,12 @@ pub fn serve_online<W: Workload, B: ExecutionBackend>(
         // 4. Admissions from the FIFO queue.
         let (admitted_now, rejected_now) = queue.try_admit(|request| {
             let demand = demand_of[profile_of[&request.user]];
-            if demand > capacity + 1e-9 {
+            if demand > max_capacity + 1e-9 {
                 return AdmitDecision::Reject;
             }
             match sharder.pick(
                 &shard_loads,
-                capacity,
+                &capacities,
                 demand,
                 workloads[profile_of[&request.user]].content_class(),
             ) {
@@ -433,6 +444,8 @@ pub fn serve_online<W: Workload, B: ExecutionBackend>(
         energy += r.energy_j;
         shard_reports.push(ShardReport {
             shard: s,
+            label: labels[s].clone(),
+            capacity_cores: capacities[s],
             admitted: shard_admitted[s],
             peak_users: shard_peak[s],
             energy_j: r.energy_j,
@@ -682,6 +695,76 @@ mod tests {
         assert_eq!(report.arrivals, 1);
         assert_eq!(report.admissions, 0);
         assert_eq!(report.queued_at_end, 1);
+    }
+
+    #[test]
+    fn heterogeneous_shards_admit_against_their_own_capacity() {
+        use medvt_mpsoc::{CoreClass, FrequencySet};
+        // Shard 0: a big.LITTLE socket (4×1.0 + 4×0.45 = 5.8 effective
+        // cores); shard 1: a LITTLE-only socket (4×0.45 = 1.8).
+        let bl = Platform::big_little();
+        let little_only = Platform::with_classes(
+            "LITTLE-only socket",
+            1,
+            vec![CoreClass::new(
+                "LITTLE",
+                4,
+                FrequencySet::little_cluster(),
+                0.45,
+            )],
+            50e-6,
+        );
+        let shards = vec![
+            SimBackend::new(bl.socket_view(0), PowerModel::default()),
+            SimBackend::new(little_only, PowerModel::default()),
+        ];
+        // Each user demands ~1.92 effective cores (headroom included):
+        // beyond the little shard's 1.8, comfortably inside the big one.
+        let workloads = [Flat {
+            tiles: 2,
+            secs: SLOT / 24.0 * 20.0,
+            class: "busy",
+        }];
+        let trace: Vec<UserRequest> = (0..4).map(|u| request(u, 0, None)).collect();
+        let report = serve_online(&cfg(48), &workloads, &trace, shards);
+        // The 5.8-capacity shard fits three 1.92-core users; the
+        // 1.8-capacity shard fits none — nothing may be admitted there.
+        assert_eq!(report.admissions, 3);
+        assert_eq!(report.shards[0].admitted, 3);
+        assert_eq!(report.shards[1].admitted, 0);
+        assert_eq!(report.rejected, 0, "demand fits the big shard");
+        assert_eq!(report.queued_at_end, 1);
+        // Capacities and socket labels are surfaced per shard.
+        assert!((report.shards[0].capacity_cores - 5.8).abs() < 1e-9);
+        assert!((report.shards[1].capacity_cores - 1.8).abs() < 1e-9);
+        assert_eq!(report.shards[0].label, "big.LITTLE MPSoC (socket 0)");
+        assert_eq!(report.shards[1].label, "LITTLE-only socket");
+    }
+
+    #[test]
+    fn shard_reports_carry_socket_labels() {
+        let workloads = [Flat {
+            tiles: 2,
+            secs: SLOT / 8.0,
+            class: "brain",
+        }];
+        let platform = Platform::xeon_e5_2667_quad();
+        let shards: Vec<SimBackend> = (0..platform.sockets)
+            .map(|s| SimBackend::new(platform.socket_view(s), PowerModel::default()))
+            .collect();
+        let trace = vec![request(0, 0, None)];
+        let report = serve_online(&cfg(48), &workloads, &trace, shards);
+        let labels: Vec<&str> = report.shards.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "4x Intel Xeon E5-2667 (socket 0)",
+                "4x Intel Xeon E5-2667 (socket 1)",
+                "4x Intel Xeon E5-2667 (socket 2)",
+                "4x Intel Xeon E5-2667 (socket 3)",
+            ],
+            "every shard report names its socket"
+        );
     }
 
     #[test]

@@ -67,41 +67,57 @@ impl Sharder {
         self.policy
     }
 
-    /// Least-loaded shard where `demand` still fits under `capacity`.
-    fn least_loaded(loads: &[f64], capacity: f64, demand: f64) -> Option<usize> {
+    /// Least-*utilized* shard where `demand` still fits under that
+    /// shard's capacity. Utilization (`load / capacity`) and absolute
+    /// load order identically when shards are homogeneous; on
+    /// heterogeneous shards of different capacity it keeps big and
+    /// small sockets proportionally filled.
+    fn least_loaded(loads: &[f64], capacities: &[f64], demand: f64) -> Option<usize> {
         loads
             .iter()
+            .zip(capacities)
             .enumerate()
-            .filter(|(_, &load)| load + demand <= capacity + 1e-9)
-            .min_by(|(_, a), (_, b)| a.total_cmp(b))
+            .filter(|(_, (&load, &cap))| load + demand <= cap + 1e-9)
+            .min_by(|(_, (a, ca)), (_, (b, cb))| (*a / *ca).total_cmp(&(*b / *cb)))
             .map(|(k, _)| k)
     }
 
     /// Picks a shard for a user of fractional-core `demand` and
-    /// content `class`, given current per-shard `loads` and the
-    /// per-shard core `capacity`. `None`: no shard (under this
-    /// policy's rules) has room right now.
+    /// content `class`, given current per-shard `loads` and per-shard
+    /// effective core `capacities` (sum of core speed factors — shards
+    /// may differ on heterogeneous platforms). `None`: no shard (under
+    /// this policy's rules) has room right now.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `loads` is empty or `capacities` has a different
+    /// length.
     pub fn pick(
         &mut self,
         loads: &[f64],
-        capacity: f64,
+        capacities: &[f64],
         demand: f64,
         class: &str,
     ) -> Option<usize> {
         assert!(!loads.is_empty(), "need at least one shard");
+        assert_eq!(
+            loads.len(),
+            capacities.len(),
+            "one capacity per shard required"
+        );
         match self.policy {
-            ShardPolicy::LeastLoaded => Self::least_loaded(loads, capacity, demand),
+            ShardPolicy::LeastLoaded => Self::least_loaded(loads, capacities, demand),
             ShardPolicy::RoundRobin => {
                 let shard = self.rotation % loads.len();
                 self.rotation = self.rotation.wrapping_add(1);
-                (loads[shard] + demand <= capacity + 1e-9).then_some(shard)
+                (loads[shard] + demand <= capacities[shard] + 1e-9).then_some(shard)
             }
             ShardPolicy::ContentAffinity => {
                 let preferred = (class_hash(class) % loads.len() as u64) as usize;
-                if loads[preferred] + demand <= capacity + 1e-9 {
+                if loads[preferred] + demand <= capacities[preferred] + 1e-9 {
                     Some(preferred)
                 } else {
-                    Self::least_loaded(loads, capacity, demand)
+                    Self::least_loaded(loads, capacities, demand)
                 }
             }
         }
@@ -112,43 +128,65 @@ impl Sharder {
 mod tests {
     use super::*;
 
+    const CAP8: [f64; 4] = [8.0; 4];
+
     #[test]
     fn least_loaded_picks_minimum_that_fits() {
         let mut s = Sharder::new(ShardPolicy::LeastLoaded);
         let loads = [6.0, 2.0, 7.5, 4.0];
-        assert_eq!(s.pick(&loads, 8.0, 1.0, "brain"), Some(1));
+        assert_eq!(s.pick(&loads, &CAP8, 1.0, "brain"), Some(1));
         // Demand of 5 only fits shard 1.
-        assert_eq!(s.pick(&loads, 8.0, 5.5, "brain"), Some(1));
+        assert_eq!(s.pick(&loads, &CAP8, 5.5, "brain"), Some(1));
         // Nothing fits a 7-core user.
-        assert_eq!(s.pick(&loads, 8.0, 7.0, "brain"), None);
+        assert_eq!(s.pick(&loads, &CAP8, 7.0, "brain"), None);
     }
 
     #[test]
     fn round_robin_is_blind_to_load() {
         let mut s = Sharder::new(ShardPolicy::RoundRobin);
         let loads = [7.9, 0.0, 0.0];
+        let caps = [8.0; 3];
         // First offer goes to shard 0 even though it is nearly full —
         // the request waits rather than spilling elsewhere.
-        assert_eq!(s.pick(&loads, 8.0, 1.0, "x"), None);
+        assert_eq!(s.pick(&loads, &caps, 1.0, "x"), None);
         // Rotation advanced: the next offers land on empty shards.
-        assert_eq!(s.pick(&loads, 8.0, 1.0, "x"), Some(1));
-        assert_eq!(s.pick(&loads, 8.0, 1.0, "x"), Some(2));
-        assert_eq!(s.pick(&loads, 8.0, 1.0, "x"), None);
+        assert_eq!(s.pick(&loads, &caps, 1.0, "x"), Some(1));
+        assert_eq!(s.pick(&loads, &caps, 1.0, "x"), Some(2));
+        assert_eq!(s.pick(&loads, &caps, 1.0, "x"), None);
     }
 
     #[test]
     fn content_affinity_is_sticky_then_falls_back() {
         let mut s = Sharder::new(ShardPolicy::ContentAffinity);
         let empty = [0.0, 0.0, 0.0, 0.0];
-        let home = s.pick(&empty, 8.0, 1.0, "cardiac").expect("fits");
+        let home = s.pick(&empty, &CAP8, 1.0, "cardiac").expect("fits");
         // Same class → same socket, deterministically.
         for _ in 0..4 {
-            assert_eq!(s.pick(&empty, 8.0, 1.0, "cardiac"), Some(home));
+            assert_eq!(s.pick(&empty, &CAP8, 1.0, "cardiac"), Some(home));
         }
         // Preferred socket full → least-loaded fallback.
         let mut loads = [0.0; 4];
         loads[home] = 8.0;
-        let fallback = s.pick(&loads, 8.0, 1.0, "cardiac").expect("fallback");
+        let fallback = s.pick(&loads, &CAP8, 1.0, "cardiac").expect("fallback");
         assert_ne!(fallback, home);
+    }
+
+    #[test]
+    fn heterogeneous_capacities_fill_proportionally() {
+        // A big shard (8 effective cores) and a little one (2): least-
+        // loaded balances *utilization*, so the empty little shard wins
+        // over a lightly-used big one, but a demand exceeding its
+        // remaining capacity lands on the big shard.
+        let mut s = Sharder::new(ShardPolicy::LeastLoaded);
+        let caps = [8.0, 2.0];
+        assert_eq!(s.pick(&[1.0, 0.0], &caps, 1.0, "x"), Some(1));
+        // Both at 50% utilization: tie resolves to the first shard.
+        assert_eq!(s.pick(&[4.0, 1.0], &caps, 1.0, "x"), Some(0));
+        // 3-core demand cannot fit the little shard at all.
+        assert_eq!(s.pick(&[0.0, 0.0], &caps, 3.0, "x"), Some(0));
+        // Round-robin still respects per-shard capacity.
+        let mut rr = Sharder::new(ShardPolicy::RoundRobin);
+        assert_eq!(rr.pick(&[0.0, 0.0], &caps, 3.0, "x"), Some(0));
+        assert_eq!(rr.pick(&[0.0, 0.0], &caps, 3.0, "x"), None);
     }
 }

@@ -3,7 +3,7 @@
 //! sharded admission-control subsystem on the paper's 4-socket Xeon
 //! model.
 //!
-//! Two sections, one artifact (`online_serving.json`):
+//! Three sections, one artifact (`online_serving.json`):
 //!
 //! * **policy comparison** — a calibrated three-tier user mix (tile
 //!   costs sized so headroom-padded tiles pack cores exactly) run
@@ -15,6 +15,12 @@
 //!   variants) under least-loaded, on both `SimBackend` and
 //!   `ThreadPoolBackend` shards: realistic admit/evict churn, and the
 //!   decision streams must match across backends bit for bit.
+//! * **heterogeneous shards** — big.LITTLE sockets plus big-only and
+//!   LITTLE-only clusters (effective capacities 5.8/5.8/4.0/1.8
+//!   reference cores): speed-aware placement must strictly beat
+//!   speed-blind placement on worst-core finish time, admission runs
+//!   against per-shard speed-weighted capacity, and sim/pool decision
+//!   parity holds on asymmetric cores too.
 //!
 //! Honours `MEDVT_SCALE` / `MEDVT_OUT` like the other experiment
 //! binaries.
@@ -22,7 +28,9 @@
 use medvt_admission::{synthesize_trace, OnlineReport, ShardPolicy, TraceConfig};
 use medvt_bench::{proposed_profiles, synthetic_profile, write_artifact, Scale};
 use medvt_core::{ServerConfig, ServerSim, VideoProfile};
-use medvt_runtime::ThreadPoolBackend;
+use medvt_mpsoc::Platform;
+use medvt_runtime::{SimBackend, ThreadPoolBackend};
+use medvt_sched::{place_threads, place_threads_on, UserDemand};
 use serde::Serialize;
 
 const HORIZON: usize = 480;
@@ -67,8 +75,11 @@ struct PolicyResult {
     peak_concurrent_users: usize,
     on_time_rate: f64,
     energy_j: f64,
+    shard_labels: Vec<String>,
+    shard_capacity_cores: Vec<f64>,
     avg_active_cores_per_shard: Vec<f64>,
     peak_users_per_shard: Vec<usize>,
+    admitted_per_shard: Vec<usize>,
 }
 
 impl From<&OnlineReport> for PolicyResult {
@@ -86,8 +97,11 @@ impl From<&OnlineReport> for PolicyResult {
             peak_concurrent_users: report.peak_concurrent_users,
             on_time_rate: report.on_time_rate(),
             energy_j: report.energy_j,
+            shard_labels: report.shards.iter().map(|s| s.label.clone()).collect(),
+            shard_capacity_cores: report.shards.iter().map(|s| s.capacity_cores).collect(),
             avg_active_cores_per_shard: report.shards.iter().map(|s| s.avg_active_cores).collect(),
             peak_users_per_shard: report.shards.iter().map(|s| s.peak_users).collect(),
+            admitted_per_shard: report.shards.iter().map(|s| s.admitted).collect(),
         }
     }
 }
@@ -112,6 +126,22 @@ struct SuiteReplay {
 }
 
 #[derive(Debug, Serialize)]
+struct HeterogeneousScenario {
+    /// Shard backends: two big.LITTLE sockets, one big-only cluster,
+    /// one LITTLE-only cluster — four shards of three capacities.
+    shard_labels: Vec<String>,
+    shard_capacity_cores: Vec<f64>,
+    /// Worst-core finish time (in slots) of speed-aware vs speed-blind
+    /// placement for the same mixed-demand workload on one big.LITTLE
+    /// socket.
+    speed_aware_worst_finish_slots: f64,
+    speed_blind_worst_finish_slots: f64,
+    policies: Vec<PolicyResult>,
+    least_loaded_vs_round_robin_concurrency_gain: f64,
+    pool_backend_decisions_match_sim: bool,
+}
+
+#[derive(Debug, Serialize)]
 struct OnlineArtifact {
     scale: String,
     platform: String,
@@ -119,6 +149,140 @@ struct OnlineArtifact {
     cores_per_socket: usize,
     policy_comparison: PolicyComparison,
     suite_replay: SuiteReplay,
+    heterogeneous: HeterogeneousScenario,
+}
+
+/// The shard platforms of the heterogeneous scenario: two big.LITTLE
+/// sockets plus a big-only and a LITTLE-only cluster — four shards
+/// spanning three different effective capacities (5.8 / 4.0 / 1.8
+/// reference cores).
+fn hetero_shard_platforms() -> Vec<Platform> {
+    let bl = Platform::big_little();
+    let big_only = Platform::with_classes(
+        "big-only cluster",
+        1,
+        vec![bl.classes()[0].clone()],
+        bl.dvfs_transition_secs,
+    );
+    let little_only = Platform::with_classes(
+        "LITTLE-only cluster",
+        1,
+        vec![bl.classes()[1].clone()],
+        bl.dvfs_transition_secs,
+    );
+    vec![bl.socket_view(0), bl.socket_view(1), big_only, little_only]
+}
+
+/// Serves the tier mix across heterogeneous shards and demonstrates
+/// speed-aware placement on a big.LITTLE socket.
+fn heterogeneous_scenario(sim: &ServerSim) -> HeterogeneousScenario {
+    let headroom = sim.config().admission_headroom;
+    let power = sim.config().power;
+    let slot = 1.0 / sim.config().fps;
+    let platforms = hetero_shard_platforms();
+    let capacities: Vec<f64> = platforms.iter().map(Platform::speed_capacity).collect();
+    let labels: Vec<String> = platforms.iter().map(|p| p.name.clone()).collect();
+    println!("heterogeneous shards: {labels:?} capacities {capacities:?}");
+
+    // Speed-aware vs speed-blind placement on one big.LITTLE socket:
+    // a mixed-demand frame (four large tiles, four mid tiles) whose
+    // worst-core finish time only balances when loads are normalized
+    // by core speed.
+    let speeds = platforms[0].core_speeds();
+    let mixed = UserDemand::new(
+        0,
+        vec![
+            slot * 0.9,
+            slot * 0.9,
+            slot * 0.9,
+            slot * 0.9,
+            slot * 0.5,
+            slot * 0.5,
+            slot * 0.5,
+            slot * 0.5,
+        ],
+    );
+    let aware = place_threads_on(&speeds, slot, std::slice::from_ref(&mixed));
+    let blind = place_threads(speeds.len(), slot, &[mixed]);
+    let aware_worst = aware.worst_finish_secs(&speeds) / slot;
+    let blind_worst = blind.worst_finish_secs(&speeds) / slot;
+    println!(
+        "speed-aware worst-core finish {aware_worst:.3} slots vs speed-blind {blind_worst:.3}"
+    );
+    assert!(
+        aware_worst < blind_worst,
+        "speed-aware placement must strictly lower the worst-core finish time \
+         ({aware_worst:.3} vs {blind_worst:.3} slots)"
+    );
+
+    // Tier mix over the unequal shards, every policy.
+    let tiers = tier_profiles(headroom);
+    let trace = synthesize_trace(&TraceConfig {
+        horizon_slots: HORIZON,
+        arrivals_per_slot: 0.4,
+        min_session_slots: 72,
+        tail_alpha: 1.4,
+        profiles: tiers.len(),
+        seed: 4242,
+    });
+    let mut policies = Vec::new();
+    for policy in [
+        ShardPolicy::LeastLoaded,
+        ShardPolicy::RoundRobin,
+        ShardPolicy::ContentAffinity,
+    ] {
+        let shards: Vec<SimBackend> = platforms
+            .iter()
+            .map(|p| SimBackend::new(p.clone(), power))
+            .collect();
+        let report = medvt_admission::serve_online(
+            &sim.online_config(HORIZON, policy),
+            &tiers,
+            &trace,
+            shards,
+        );
+        let result = PolicyResult::from(&report);
+        print_result(&result);
+        policies.push(result);
+    }
+    let gain = policies[0].avg_concurrent_users / policies[1].avg_concurrent_users.max(1e-9);
+    println!("heterogeneous: least-loaded sustains {gain:.3}x round-robin's concurrent users");
+    assert!(
+        gain >= 1.0 - 1e-9,
+        "least-loaded must not trail round-robin on unequal shards"
+    );
+
+    // Backend parity holds on heterogeneous shards too: thread-pool
+    // shards replay the analytical decision stream bit for bit.
+    let sim_shards: Vec<SimBackend> = platforms
+        .iter()
+        .map(|p| SimBackend::new(p.clone(), power))
+        .collect();
+    let pool_shards: Vec<ThreadPoolBackend> = platforms
+        .iter()
+        .map(|p| ThreadPoolBackend::with_workers(p.clone(), power, 2))
+        .collect();
+    let online = sim.online_config(HORIZON, ShardPolicy::LeastLoaded);
+    let analytical = medvt_admission::serve_online(&online, &tiers, &trace, sim_shards);
+    let pool = medvt_admission::serve_online(&online, &tiers, &trace, pool_shards);
+    let decisions_match = pool.events == analytical.events
+        && pool.windows == analytical.windows
+        && pool.window_misses == analytical.window_misses;
+    println!("heterogeneous pool decisions match sim: {decisions_match}");
+    assert!(
+        decisions_match,
+        "heterogeneous thread-pool shards diverged from the analytical stream"
+    );
+
+    HeterogeneousScenario {
+        shard_labels: labels,
+        shard_capacity_cores: capacities,
+        speed_aware_worst_finish_slots: aware_worst,
+        speed_blind_worst_finish_slots: blind_worst,
+        policies,
+        least_loaded_vs_round_robin_concurrency_gain: gain,
+        pool_backend_decisions_match_sim: decisions_match,
+    }
 }
 
 fn print_result(r: &PolicyResult) {
@@ -207,7 +371,7 @@ fn main() {
     let online = sim.online_config(HORIZON, ShardPolicy::LeastLoaded);
     let analytical = sim.serve_online(&profiles, &suite_trace, &online);
     let shards: Vec<ThreadPoolBackend> = (0..cfg.platform.sockets)
-        .map(|_| ThreadPoolBackend::with_workers(cfg.platform.socket_view(), cfg.power, 2))
+        .map(|s| ThreadPoolBackend::with_workers(cfg.platform.socket_view(s), cfg.power, 2))
         .collect();
     let pool = sim.serve_online_on(shards, &profiles, &suite_trace, &online);
     let decisions_match = pool.events == analytical.events
@@ -221,11 +385,14 @@ fn main() {
         "thread-pool shards diverged from the analytical decision stream"
     );
 
+    // ── Heterogeneous shards: big.LITTLE sockets of unequal capacity ─
+    let hetero = heterogeneous_scenario(&sim);
+
     let artifact = OnlineArtifact {
         scale: format!("{scale:?}"),
         platform: cfg.platform.name.clone(),
         sockets: cfg.platform.sockets,
-        cores_per_socket: cfg.platform.cores_per_socket,
+        cores_per_socket: cfg.platform.cores_per_socket(),
         policy_comparison: PolicyComparison {
             workload: "calibrated three-tier mix (0.5/1.5/2.5 cores per user)".into(),
             horizon_slots: HORIZON,
@@ -241,6 +408,7 @@ fn main() {
             result: suite_result,
             pool_backend_decisions_match_sim: decisions_match,
         },
+        heterogeneous: hetero,
     };
     let path = write_artifact("online_serving", &artifact);
     println!("artifact: {}", path.display());

@@ -304,7 +304,7 @@ impl ServerSim {
         online: &OnlineConfig,
     ) -> OnlineReport {
         let shards: Vec<SimBackend> = (0..self.cfg.platform.sockets)
-            .map(|_| SimBackend::new(self.cfg.platform.socket_view(), self.cfg.power))
+            .map(|s| SimBackend::new(self.cfg.platform.socket_view(s), self.cfg.power))
             .collect();
         self.serve_online_on(shards, profiles, trace, online)
     }
@@ -334,7 +334,7 @@ impl ServerSim {
         assert!(
             shards
                 .iter()
-                .all(|b| b.cores() == self.cfg.platform.cores_per_socket),
+                .all(|b| b.cores() == self.cfg.platform.cores_per_socket()),
             "each shard must cover one socket's cores"
         );
         medvt_admission::serve_online(online, profiles, trace, shards)

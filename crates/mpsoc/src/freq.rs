@@ -96,6 +96,24 @@ impl FrequencySet {
         ])
     }
 
+    /// An Arm-style "big" cluster ladder: 1.4, 1.8 and 2.0 GHz.
+    pub fn big_cluster() -> Self {
+        Self::new(vec![
+            FreqLevel::from_ghz(1.4),
+            FreqLevel::from_ghz(1.8),
+            FreqLevel::from_ghz(2.0),
+        ])
+    }
+
+    /// An Arm-style "LITTLE" cluster ladder: 0.6, 1.0 and 1.4 GHz.
+    pub fn little_cluster() -> Self {
+        Self::new(vec![
+            FreqLevel::from_ghz(0.6),
+            FreqLevel::from_ghz(1.0),
+            FreqLevel::from_ghz(1.4),
+        ])
+    }
+
     /// Lowest level.
     pub fn min(&self) -> FreqLevel {
         self.levels[0]

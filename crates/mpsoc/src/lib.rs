@@ -9,18 +9,31 @@
 //! measured power. This crate substitutes that hardware with a
 //! deterministic model:
 //!
-//! * [`Platform`] — socket/core/frequency geometry
-//!   ([`Platform::xeon_e5_2667_quad`] matches §IV-A);
+//! * [`Platform`] — socket/core/frequency geometry as a set of
+//!   [`CoreClass`]es replicated per socket
+//!   ([`Platform::xeon_e5_2667_quad`] matches §IV-A's homogeneous
+//!   server; [`Platform::big_little`] models an Arm-style asymmetric
+//!   MPSoC with per-class ladders, power envelopes and speed factors);
 //! * [`FreqLevel`] / [`FrequencySet`] — the DVFS ladder with a V/f map;
 //! * [`PowerModel`] — `P = P_static + C_eff·V²·f` per core, calibrated
-//!   to the E5-2667 envelope;
+//!   to the E5-2667 envelope, overridable per core class;
 //! * [`simulate_slot`] — executes one 1/FPS scheduling interval across
 //!   all cores under a [`DvfsPolicy`], producing per-core plans,
-//!   deadline slack/misses and energy.
+//!   deadline slack/misses, DVFS transition-bound flags and energy,
+//!   each core planned against its own class.
 //!
-//! Workload is expressed in **fmax-seconds** (CPU time at the maximum
-//! frequency), matching the `T_fmax` quantity of the paper's
-//! Algorithm 2.
+//! # The core-class model
+//!
+//! Workload is expressed in **reference fmax-seconds** — CPU time on a
+//! speed-1.0 core running at its maximum frequency, matching the
+//! `T_fmax` quantity of the paper's Algorithm 2. A [`CoreClass`] with
+//! `speed_factor` `s` retires `s` reference fmax-seconds per wall
+//! second at its own f_max, so the same tile takes `secs / s` seconds
+//! there; frequencies below the class f_max stretch it further along
+//! the class's own ladder. Schedulers normalize per-core loads by
+//! [`Platform::core_speeds`] so the dynamic-cap placement balances
+//! *finish times*, not raw seconds, and admission checks fractional
+//! core demand against [`Platform::speed_capacity`].
 //!
 //! # Examples
 //!
@@ -53,6 +66,6 @@ mod power;
 mod slot;
 
 pub use freq::{FreqLevel, FrequencySet};
-pub use platform::Platform;
+pub use platform::{CoreClass, Platform};
 pub use power::PowerModel;
-pub use slot::{plan_core, simulate_slot, CorePlan, DvfsPolicy, SlotReport};
+pub use slot::{plan_core, plan_core_on, simulate_slot, CorePlan, DvfsPolicy, SlotReport};

@@ -5,9 +5,15 @@
 //! cores whose load fits the slot run and then idle (or run slower but
 //! still on time), cores that cannot finish stay at f_max and carry the
 //! remainder into the next slot.
+//!
+//! Loads are given in **reference fmax-seconds** (CPU time on a
+//! speed-1.0 core at its maximum frequency). On a heterogeneous
+//! [`Platform`] every core plans against its own class: the class
+//! ladder picks the operating point, the class speed factor stretches
+//! the work, and the class power model (when attached) prices it.
 
 use crate::freq::FreqLevel;
-use crate::platform::Platform;
+use crate::platform::{CoreClass, Platform};
 use crate::power::PowerModel;
 use serde::{Deserialize, Serialize};
 
@@ -39,14 +45,20 @@ pub struct CorePlan {
     pub busy_secs: f64,
     /// Seconds idling at the end of the slot.
     pub slack_secs: f64,
-    /// Load (in fmax-seconds) that did not fit and carries into the
-    /// next slot.
+    /// Load (in reference fmax-seconds) that did not fit and carries
+    /// into the next slot.
     pub carry_fmax_secs: f64,
     /// DVFS transitions performed this slot.
     pub transitions: u32,
     /// `true` when the slack period keeps the clock running at `freq`
     /// (pinned-rail operation) instead of gating down to idle.
     pub slack_clock_running: bool,
+    /// `true` when DVFS transition overhead consumed the entire slot:
+    /// zero executable seconds remained and the whole load carried
+    /// over. Only possible when the transition latency rivals the slot
+    /// length; reported explicitly so the silent clamp to zero progress
+    /// is observable.
+    pub transition_bound: bool,
 }
 
 impl CorePlan {
@@ -68,14 +80,17 @@ impl CorePlan {
     }
 }
 
-/// Plans one core's slot given its assigned load in fmax-seconds.
+/// Plans one core's slot given its assigned load in reference
+/// fmax-seconds, for a core of `class` with `dvfs_transition_secs`
+/// switch latency.
 ///
 /// `prev_freq` is the core's operating point from the previous slot,
-/// used to count DVFS transitions (each costs
-/// [`Platform::dvfs_transition_secs`] of the busy budget — 10 µs on
-/// the paper's platform, negligible but modelled).
-pub fn plan_core(
-    platform: &Platform,
+/// used to count DVFS transitions (each costs `dvfs_transition_secs`
+/// of the busy budget — 10 µs on the paper's platform, negligible but
+/// modelled).
+pub fn plan_core_on(
+    class: &CoreClass,
+    dvfs_transition_secs: f64,
     policy: DvfsPolicy,
     load_fmax_secs: f64,
     slot_secs: f64,
@@ -83,10 +98,12 @@ pub fn plan_core(
 ) -> CorePlan {
     assert!(load_fmax_secs >= 0.0, "load cannot be negative");
     assert!(slot_secs > 0.0, "slot must be positive");
-    let fmax = platform.fmax();
-    if load_fmax_secs <= 1e-15 {
+    // Reference work stretched to this class's own f_max seconds.
+    let local_load = load_fmax_secs / class.speed_factor;
+    let fmax = class.fmax();
+    if local_load <= 1e-15 {
         // Fully idle core.
-        let fmin = platform.fmin();
+        let fmin = class.fmin();
         return CorePlan {
             freq: fmin,
             busy_secs: 0.0,
@@ -94,25 +111,25 @@ pub fn plan_core(
             carry_fmax_secs: 0.0,
             transitions: u32::from(prev_freq != fmin),
             slack_clock_running: false,
+            transition_bound: false,
         };
     }
     let freq = match policy {
         DvfsPolicy::RaceToIdle | DvfsPolicy::PinnedMax => fmax,
-        DvfsPolicy::StretchToDeadline => platform
+        DvfsPolicy::StretchToDeadline => class
             .freqs()
-            .lowest_meeting(load_fmax_secs, slot_secs)
+            .lowest_meeting(local_load, slot_secs)
             .unwrap_or(fmax),
     };
     let pinned = policy == DvfsPolicy::PinnedMax;
     let mut transitions = u32::from(prev_freq != freq);
-    let run_secs =
-        freq.stretch(load_fmax_secs, fmax) + platform.dvfs_transition_secs * transitions as f64;
+    let run_secs = freq.stretch(local_load, fmax) + dvfs_transition_secs * transitions as f64;
     if run_secs <= slot_secs {
         // Fits: idle the remainder (drop to fmin per Algorithm 2 line
         // 18 — except under pinned-rail operation, which keeps the
         // clock running at the rail through the slack).
         let slack = slot_secs - run_secs;
-        if !pinned && slack > platform.dvfs_transition_secs && freq != platform.fmin() {
+        if !pinned && slack > dvfs_transition_secs && freq != class.fmin() {
             transitions += 1; // drop to fmin for the slack period
         }
         CorePlan {
@@ -122,22 +139,47 @@ pub fn plan_core(
             carry_fmax_secs: 0.0,
             transitions,
             slack_clock_running: pinned,
+            transition_bound: false,
         }
     } else {
         // Does not fit even at the chosen point: run flat out at fmax
         // for the whole slot and carry the remainder (lines 21–22).
-        // The DVFS switch eats into the executable time.
+        // The DVFS switch eats into the executable time; when it eats
+        // the *whole* slot the core makes zero progress — flagged as
+        // transition-bound rather than silently clamped.
         let transitions = u32::from(prev_freq != fmax);
-        let done_fmax = (slot_secs - platform.dvfs_transition_secs * transitions as f64).max(0.0);
+        let done_local = (slot_secs - dvfs_transition_secs * transitions as f64).max(0.0);
         CorePlan {
             freq: fmax,
             busy_secs: slot_secs,
             slack_secs: 0.0,
-            carry_fmax_secs: (load_fmax_secs - done_fmax).max(0.0),
+            carry_fmax_secs: (load_fmax_secs - done_local * class.speed_factor).max(0.0),
             transitions,
             slack_clock_running: pinned,
+            transition_bound: done_local <= 0.0,
         }
     }
+}
+
+/// Plans one core's slot on `platform`'s *reference class* (class 0) —
+/// exactly the whole platform on the paper's homogeneous servers.
+/// Heterogeneous callers should use [`plan_core_on`] with the class of
+/// the core in question; [`simulate_slot`] does so per core.
+pub fn plan_core(
+    platform: &Platform,
+    policy: DvfsPolicy,
+    load_fmax_secs: f64,
+    slot_secs: f64,
+    prev_freq: FreqLevel,
+) -> CorePlan {
+    plan_core_on(
+        &platform.classes()[0],
+        platform.dvfs_transition_secs,
+        policy,
+        load_fmax_secs,
+        slot_secs,
+        prev_freq,
+    )
 }
 
 /// Aggregate outcome of simulating one slot across all cores.
@@ -154,6 +196,10 @@ pub struct SlotReport {
     pub core_energy_j: Vec<f64>,
     /// Cores that failed to finish their load.
     pub deadline_misses: usize,
+    /// Cores whose slot was entirely consumed by DVFS transition
+    /// overhead (zero executable seconds; full load carried). Nonzero
+    /// only when the transition latency rivals the slot length.
+    pub transition_bound_cores: usize,
 }
 
 impl SlotReport {
@@ -162,7 +208,7 @@ impl SlotReport {
         self.energy_j / self.slot_secs
     }
 
-    /// Total load carried into the next slot, fmax-seconds.
+    /// Total load carried into the next slot, reference fmax-seconds.
     pub fn total_carry(&self) -> f64 {
         self.cores.iter().map(|c| c.carry_fmax_secs).sum()
     }
@@ -174,8 +220,13 @@ impl SlotReport {
 }
 
 /// Simulates one slot: `loads[k]` is core `k`'s assigned load in
-/// fmax-seconds; `prev_freqs` the operating points left from the last
-/// slot (pass fmin for a cold start).
+/// reference fmax-seconds; `prev_freqs` the operating points left from
+/// the last slot (pass each core's class fmin for a cold start —
+/// [`Platform::core_fmins`]).
+///
+/// Each core plans against its own [`CoreClass`]: ladder, speed factor
+/// and (when attached) class power model. `power` prices the cores of
+/// classes without their own model.
 ///
 /// # Panics
 ///
@@ -203,13 +254,25 @@ pub fn simulate_slot(
     let mut core_energy = Vec::with_capacity(loads.len());
     let mut energy = 0.0;
     let mut misses = 0;
+    let mut transition_bound = 0;
     for (k, &load) in loads.iter().enumerate() {
-        let plan = plan_core(platform, policy, load, slot_secs, prev_freqs[k]);
-        let e = plan.energy_j(power, slot_secs);
+        let class = platform.class_of(k);
+        let plan = plan_core_on(
+            class,
+            platform.dvfs_transition_secs,
+            policy,
+            load,
+            slot_secs,
+            prev_freqs[k],
+        );
+        let e = plan.energy_j(class.power().unwrap_or(power), slot_secs);
         core_energy.push(e);
         energy += e;
         if !plan.met_deadline() {
             misses += 1;
+        }
+        if plan.transition_bound {
+            transition_bound += 1;
         }
         cores.push(plan);
     }
@@ -219,19 +282,21 @@ pub fn simulate_slot(
         energy_j: energy,
         core_energy_j: core_energy,
         deadline_misses: misses,
+        transition_bound_cores: transition_bound,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::freq::FrequencySet;
 
     fn setup() -> (Platform, PowerModel) {
         (Platform::quad_core(), PowerModel::default())
     }
 
     fn fmin_vec(p: &Platform) -> Vec<FreqLevel> {
-        vec![p.fmin(); p.total_cores()]
+        p.core_fmins()
     }
 
     const SLOT: f64 = 1.0 / 24.0;
@@ -327,6 +392,54 @@ mod tests {
         assert!(!plan.met_deadline());
         assert!((plan.carry_fmax_secs - SLOT * 0.4).abs() < 1e-9);
         assert_eq!(plan.slack_secs, 0.0);
+        assert!(!plan.transition_bound);
+    }
+
+    #[test]
+    fn transition_longer_than_slot_is_flagged_not_negative() {
+        // A pathological platform whose DVFS switch outlasts the slot:
+        // the core makes zero progress, which must be reported as
+        // transition-bound with every quantity still non-negative.
+        let p = Platform::new(
+            "slow-switch",
+            1,
+            1,
+            FrequencySet::xeon_e5_2667(),
+            SLOT * 2.0,
+        );
+        let m = PowerModel::default();
+        let load = SLOT * 0.5;
+        let plan = plan_core(&p, DvfsPolicy::StretchToDeadline, load, SLOT, p.fmax());
+        // Coming from fmax at a fitting frequency there may be no
+        // transition; force one by starting from fmin with an overload.
+        let plan2 = plan_core(
+            &p,
+            DvfsPolicy::StretchToDeadline,
+            SLOT * 1.5,
+            SLOT,
+            p.fmin(),
+        );
+        assert!(plan2.transition_bound, "transition ate the whole slot");
+        assert!(
+            (plan2.carry_fmax_secs - SLOT * 1.5).abs() < 1e-12,
+            "full load carries"
+        );
+        assert!(plan2.busy_secs >= 0.0 && plan2.slack_secs >= 0.0);
+        assert!(plan2.energy_j(&m, SLOT) >= 0.0);
+        // The fitting case stays unflagged.
+        assert!(!plan.transition_bound);
+        // And the aggregate surfaces the count.
+        let report = simulate_slot(
+            &p,
+            &m,
+            DvfsPolicy::StretchToDeadline,
+            &[SLOT * 1.5],
+            &[p.fmin()],
+            SLOT,
+        );
+        assert_eq!(report.transition_bound_cores, 1);
+        assert!(report.energy_j >= 0.0);
+        assert!(report.total_carry() >= 0.0);
     }
 
     #[test]
@@ -343,6 +456,7 @@ mod tests {
         );
         assert_eq!(report.cores.len(), 4);
         assert_eq!(report.deadline_misses, 1);
+        assert_eq!(report.transition_bound_cores, 0);
         assert_eq!(report.active_cores(), 3);
         assert!(report.total_carry() > 0.0);
         assert!(report.power_w() > 0.0);
@@ -390,6 +504,50 @@ mod tests {
         );
         assert!(plan.transitions >= 1);
         assert!(plan.busy_secs > SLOT * 0.95);
+    }
+
+    #[test]
+    fn slow_class_stretches_reference_work() {
+        // A 0.5-speed class needs twice the seconds for the same
+        // reference load, even at its own fmax.
+        let half = CoreClass::new("half", 1, FrequencySet::xeon_e5_2667(), 0.5);
+        let full = CoreClass::new("full", 1, FrequencySet::xeon_e5_2667(), 1.0);
+        let load = SLOT * 0.4;
+        let on_half = plan_core_on(&half, 0.0, DvfsPolicy::RaceToIdle, load, SLOT, half.fmax());
+        let on_full = plan_core_on(&full, 0.0, DvfsPolicy::RaceToIdle, load, SLOT, full.fmax());
+        assert!((on_half.busy_secs - 2.0 * on_full.busy_secs).abs() < 1e-12);
+        assert!(on_half.met_deadline());
+        // Overload on the slow class carries in *reference* units.
+        let big = plan_core_on(&half, 0.0, DvfsPolicy::RaceToIdle, SLOT, SLOT, half.fmax());
+        // One slot of reference work = two slots local: half executes,
+        // half (in reference units: SLOT*0.5) carries.
+        assert!((big.carry_fmax_secs - SLOT * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn big_little_slot_uses_class_ladders_and_power() {
+        let p = Platform::big_little();
+        let m = PowerModel::default();
+        let mut loads = vec![0.0; p.total_cores()];
+        loads[0] = SLOT * 0.5; // big core
+        loads[4] = SLOT * 0.2; // LITTLE core (0.44 slots local)
+        let report = simulate_slot(
+            &p,
+            &m,
+            DvfsPolicy::StretchToDeadline,
+            &loads,
+            &p.core_fmins(),
+            SLOT,
+        );
+        assert_eq!(report.deadline_misses, 0);
+        // Frequencies come from each core's own ladder.
+        let big_ladder = p.class_of(0).freqs().levels().to_vec();
+        let little_ladder = p.class_of(4).freqs().levels().to_vec();
+        assert!(big_ladder.contains(&report.cores[0].freq));
+        assert!(little_ladder.contains(&report.cores[4].freq));
+        // The LITTLE class's lighter power model prices its idle cores
+        // below the big class's idle cores.
+        assert!(report.core_energy_j[5] < report.core_energy_j[1]);
     }
 
     #[test]

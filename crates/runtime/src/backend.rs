@@ -78,6 +78,20 @@ pub trait ExecutionBackend {
     /// Number of schedulable cores (what placements index against).
     fn cores(&self) -> usize;
 
+    /// Per-core speed factors relative to the reference class (the
+    /// normalizer speed-aware placement divides loads by). Homogeneous
+    /// backends — the default — are 1.0 everywhere; platform-modelling
+    /// backends report `Platform::core_speeds`.
+    fn core_speeds(&self) -> Vec<f64> {
+        vec![1.0; self.cores()]
+    }
+
+    /// Human-readable label for shard/aggregate reports (e.g. the
+    /// modelled platform's socket-tagged name).
+    fn label(&self) -> String {
+        format!("{}-core backend", self.cores())
+    }
+
     /// Clears carried load and DVFS state (start of a fresh run).
     fn reset(&mut self);
 
@@ -93,6 +107,14 @@ pub trait ExecutionBackend {
 impl<B: ExecutionBackend + ?Sized> ExecutionBackend for Box<B> {
     fn cores(&self) -> usize {
         (**self).cores()
+    }
+
+    fn core_speeds(&self) -> Vec<f64> {
+        (**self).core_speeds()
+    }
+
+    fn label(&self) -> String {
+        (**self).label()
     }
 
     fn reset(&mut self) {
@@ -112,6 +134,14 @@ impl<B: ExecutionBackend + ?Sized> ExecutionBackend for Box<B> {
 impl<B: ExecutionBackend + ?Sized> ExecutionBackend for &mut B {
     fn cores(&self) -> usize {
         (**self).cores()
+    }
+
+    fn core_speeds(&self) -> Vec<f64> {
+        (**self).core_speeds()
+    }
+
+    fn label(&self) -> String {
+        (**self).label()
     }
 
     fn reset(&mut self) {

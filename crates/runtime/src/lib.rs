@@ -34,8 +34,8 @@
 //! | Algorithm 2 lines | concept | here |
 //! |---|---|---|
 //! | 1–2 | per-user core demand, ascending-demand admission | `sched::allocate` (unchanged), driven by `core::ServerSim` |
-//! | 3–15 | cap-seeking thread→core placement | `sched::place_threads`, re-run per GOP by [`ServerLoop`] (`ReplanPolicy::PerGop`) and per frame by [`ThreadPoolBackend::place_for_costs`] |
-//! | 16–20 | per-core DVFS for the slot | `mpsoc::plan_core` via the backend's analytical accounting |
+//! | 3–15 | cap-seeking thread→core placement | the speed-aware `sched::place_threads_on` over [`ExecutionBackend::core_speeds`], re-run per GOP by [`ServerLoop`] (`ReplanPolicy::PerGop`) and per frame by [`ThreadPoolBackend::place_for_costs`] |
+//! | 16–20 | per-core DVFS for the slot | `mpsoc::plan_core_on` (per core class) via the backend's analytical accounting |
 //! | 21–22 | deadline-miss carry into the next slot | backend state: [`SimBackend`]/[`ThreadPoolBackend`] carry vectors |
 //! | §III-D2 | once-per-GOP re-placement, one-second framerate windows | [`ServerLoop::run`] |
 //!

@@ -24,7 +24,7 @@
 
 use crate::backend::{ExecutionBackend, WorkUnit};
 use medvt_mpsoc::DvfsPolicy;
-use medvt_sched::{place_threads, Placement, UserDemand};
+use medvt_sched::{place_threads_on, Placement, UserDemand};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-user, per-slot demand (and optionally real work) for the loop.
@@ -200,6 +200,9 @@ impl LoopReport {
 pub struct LoopDriver<B: ExecutionBackend> {
     backend: B,
     cfg: ServerLoopConfig,
+    /// Per-core speed factors from the backend — placement normalizes
+    /// loads with these so heterogeneous cores balance finish times.
+    speeds: Vec<f64>,
     admitted: Vec<usize>,
     placements: Vec<Placement>,
     replan_pending: bool,
@@ -234,9 +237,12 @@ impl<B: ExecutionBackend> LoopDriver<B> {
         assert!(cfg.gop_slots > 0, "gop must have slots");
         backend.reset();
         let cores = backend.cores();
+        let speeds = backend.core_speeds();
+        assert_eq!(speeds.len(), cores, "one speed factor per backend core");
         Self {
             backend,
             cfg,
+            speeds,
             admitted,
             placements: initial,
             replan_pending: false,
@@ -348,7 +354,7 @@ impl<B: ExecutionBackend> LoopDriver<B> {
                 )
             })
             .collect();
-        let placed = place_threads(self.backend.cores(), slot_secs, &demands);
+        let placed = place_threads_on(&self.speeds, slot_secs, &demands);
         if self.debug {
             let mut sorted = placed.core_loads.clone();
             sorted.sort_by(|a, b| b.total_cmp(a));

@@ -15,14 +15,15 @@ pub struct SimBackend {
 }
 
 impl SimBackend {
-    /// Creates a backend over `platform` with `power` pricing.
+    /// Creates a backend over `platform` with `power` pricing (core
+    /// classes with their own power model override it per core).
     pub fn new(platform: Platform, power: PowerModel) -> Self {
         let cores = platform.total_cores();
-        let fmin = platform.fmin();
+        let prev_freqs = platform.core_fmins();
         Self {
             platform,
             power,
-            prev_freqs: vec![fmin; cores],
+            prev_freqs,
             carry: vec![0.0; cores],
         }
     }
@@ -43,8 +44,16 @@ impl ExecutionBackend for SimBackend {
         self.platform.total_cores()
     }
 
+    fn core_speeds(&self) -> Vec<f64> {
+        self.platform.core_speeds()
+    }
+
+    fn label(&self) -> String {
+        self.platform.name.clone()
+    }
+
     fn reset(&mut self) {
-        self.prev_freqs = vec![self.platform.fmin(); self.cores()];
+        self.prev_freqs = self.platform.core_fmins();
         self.carry = vec![0.0; self.cores()];
     }
 

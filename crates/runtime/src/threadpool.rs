@@ -82,6 +82,14 @@ impl ExecutionBackend for ThreadPoolBackend {
         self.accounting.cores()
     }
 
+    fn core_speeds(&self) -> Vec<f64> {
+        self.accounting.core_speeds()
+    }
+
+    fn label(&self) -> String {
+        self.accounting.label()
+    }
+
     fn reset(&mut self) {
         self.accounting.reset();
     }

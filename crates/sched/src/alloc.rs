@@ -1,6 +1,6 @@
 //! Thread (tile) allocation — paper Algorithm 2, lines 1–15.
 //!
-//! Given each admitted user's per-tile CPU-time demands (in
+//! Given each admitted user's per-tile CPU-time demands (in reference
 //! fmax-seconds per 1/FPS slot), the allocator:
 //!
 //! 1. computes each user's core demand `N_core = ceil(Σ T_fmax · FPS)`;
@@ -10,12 +10,50 @@
 //!    closest to a dynamic cap (the current maximum core load, clipped
 //!    to the slot), i.e. `argmin_k |Cap − (Load_k + T_j)|`.
 //!
+//! On heterogeneous platforms ([`place_threads_on`]) loads are
+//! normalized to *effective* fmax-seconds — `secs / speed_factor` —
+//! so the cap-seeking argmin balances per-core **finish times**, not
+//! raw seconds, and candidate cores are recruited fastest-first.
+//!
 //! The DVFS stage (lines 16–24) is `medvt_mpsoc::simulate_slot`.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a [`UserDemand`] was rejected at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DemandError {
+    /// A per-tile estimate was NaN or infinite.
+    NonFinite {
+        /// Thread (tile) index of the offending entry.
+        thread: usize,
+    },
+    /// A per-tile estimate was negative.
+    Negative {
+        /// Thread (tile) index of the offending entry.
+        thread: usize,
+        /// The rejected value.
+        secs: f64,
+    },
+}
+
+impl fmt::Display for DemandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DemandError::NonFinite { thread } => {
+                write!(f, "thread {thread} demand is not finite")
+            }
+            DemandError::Negative { thread, secs } => {
+                write!(f, "thread {thread} demand is negative ({secs} s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DemandError {}
 
 /// One user's demand for a scheduling slot: the estimated CPU time of
-/// each of its tiles at f_max.
+/// each of its tiles at the reference f_max.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UserDemand {
     /// Caller-meaningful user identifier.
@@ -25,9 +63,30 @@ pub struct UserDemand {
 }
 
 impl UserDemand {
+    /// Creates a demand, validating every per-tile estimate: NaN,
+    /// infinite or negative entries would otherwise propagate through
+    /// `core_demand` and placement into nonsense allocations.
+    pub fn try_new(user: usize, thread_secs: Vec<f64>) -> Result<Self, DemandError> {
+        for (thread, &secs) in thread_secs.iter().enumerate() {
+            if !secs.is_finite() {
+                return Err(DemandError::NonFinite { thread });
+            }
+            if secs < 0.0 {
+                return Err(DemandError::Negative { thread, secs });
+            }
+        }
+        Ok(Self { user, thread_secs })
+    }
+
     /// Creates a demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any per-tile estimate is NaN, infinite or negative
+    /// (see [`UserDemand::try_new`] for the fallible form).
     pub fn new(user: usize, thread_secs: Vec<f64>) -> Self {
-        Self { user, thread_secs }
+        Self::try_new(user, thread_secs)
+            .unwrap_or_else(|e| panic!("invalid demand for user {user}: {e}"))
     }
 
     /// Total fmax-seconds per slot.
@@ -71,12 +130,12 @@ pub struct Allocation {
     pub rejected: Vec<usize>,
     /// Thread placements.
     pub placements: Vec<Placement>,
-    /// Resulting per-core load in fmax-seconds.
+    /// Resulting per-core load in reference fmax-seconds.
     pub core_loads: Vec<f64>,
 }
 
 impl Allocation {
-    /// Highest core load, fmax-seconds.
+    /// Highest core load, reference fmax-seconds.
     pub fn max_load(&self) -> f64 {
         self.core_loads.iter().copied().fold(0.0, f64::max)
     }
@@ -84,6 +143,33 @@ impl Allocation {
     /// Number of cores with any load.
     pub fn used_cores(&self) -> usize {
         self.core_loads.iter().filter(|&&l| l > 0.0).count()
+    }
+
+    /// Per-core finish times in seconds given per-core `speeds`: a
+    /// core of speed `s` retires its reference-fmax-second load at
+    /// rate `s`. On homogeneous platforms (all speeds 1.0) this equals
+    /// `core_loads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `speeds` length differs from the core count.
+    pub fn finish_times(&self, speeds: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            speeds.len(),
+            self.core_loads.len(),
+            "one speed per core required"
+        );
+        self.core_loads
+            .iter()
+            .zip(speeds)
+            .map(|(&load, &s)| load / s)
+            .collect()
+    }
+
+    /// Worst-core finish time in seconds given per-core `speeds` — the
+    /// quantity speed-aware placement minimizes.
+    pub fn worst_finish_secs(&self, speeds: &[f64]) -> f64 {
+        self.finish_times(speeds).into_iter().fold(0.0, f64::max)
     }
 
     /// Load imbalance: max/mean over used cores (1.0 = perfect).
@@ -142,7 +228,6 @@ pub fn allocate(cores: usize, slot_secs: f64, users: &[UserDemand]) -> Allocatio
             rejected.push(users[i].user);
         }
     }
-    let demanded_cores = used.ceil().max(1.0) as usize;
 
     // Gather admitted threads, largest first.
     let mut threads: Vec<Placement> = Vec::new();
@@ -158,7 +243,7 @@ pub fn allocate(cores: usize, slot_secs: f64, users: &[UserDemand]) -> Allocatio
             }
         }
     }
-    let core_loads = place(&mut threads, cores, demanded_cores, slot_secs);
+    let core_loads = place(&mut threads, &vec![1.0; cores], used, slot_secs);
     Allocation {
         admitted,
         rejected,
@@ -168,23 +253,39 @@ pub fn allocate(cores: usize, slot_secs: f64, users: &[UserDemand]) -> Allocatio
 }
 
 /// Runs only the placement stage (lines 3–15) for an already-admitted
-/// user set — what happens at the start of every GOP once admission is
-/// settled (§III-D2: "thread allocation is performed once at the
-/// beginning of each GOP").
+/// user set on identical reference-speed cores — what happens at the
+/// start of every GOP once admission is settled (§III-D2: "thread
+/// allocation is performed once at the beginning of each GOP").
 ///
 /// # Panics
 ///
 /// Panics when `cores` is zero or `slot_secs` is not positive.
 pub fn place_threads(cores: usize, slot_secs: f64, users: &[UserDemand]) -> Allocation {
     assert!(cores > 0, "need at least one core");
+    place_threads_on(&vec![1.0; cores], slot_secs, users)
+}
+
+/// Speed-aware placement (lines 3–15) over heterogeneous cores:
+/// `speeds[k]` is core `k`'s throughput relative to the reference
+/// class (`medvt_mpsoc::Platform::core_speeds`). Loads are normalized
+/// to effective fmax-seconds (`secs / speed`) so the dynamic-cap
+/// argmin balances per-core *finish times*; candidate cores are
+/// recruited fastest-first, so fast cores are never left idle while
+/// slower cores overload.
+///
+/// # Panics
+///
+/// Panics when `speeds` is empty or contains a non-positive or
+/// non-finite entry, or `slot_secs` is not positive.
+pub fn place_threads_on(speeds: &[f64], slot_secs: f64, users: &[UserDemand]) -> Allocation {
+    assert!(!speeds.is_empty(), "need at least one core");
+    assert!(
+        speeds.iter().all(|s| s.is_finite() && *s > 0.0),
+        "core speeds must be positive and finite"
+    );
     assert!(slot_secs > 0.0, "slot must be positive");
     let fps = 1.0 / slot_secs;
-    let demanded = users
-        .iter()
-        .map(|u| u.core_demand(fps))
-        .sum::<f64>()
-        .ceil()
-        .max(1.0) as usize;
+    let demanded: f64 = users.iter().map(|u| u.core_demand(fps)).sum();
     let mut threads: Vec<Placement> = users
         .iter()
         .flat_map(|u| {
@@ -199,7 +300,7 @@ pub fn place_threads(cores: usize, slot_secs: f64, users: &[UserDemand]) -> Allo
                 })
         })
         .collect();
-    let core_loads = place(&mut threads, cores, demanded, slot_secs);
+    let core_loads = place(&mut threads, speeds, demanded, slot_secs);
     Allocation {
         admitted: users.iter().map(|u| u.user).collect(),
         rejected: vec![],
@@ -208,38 +309,51 @@ pub fn place_threads(cores: usize, slot_secs: f64, users: &[UserDemand]) -> Allo
     }
 }
 
-/// Cap-seeking placement over the first `demanded_cores` cores
-/// (clamped to the platform), largest thread first.
-fn place(
-    threads: &mut [Placement],
-    cores: usize,
-    demanded_cores: usize,
-    slot_secs: f64,
-) -> Vec<f64> {
+/// Cap-seeking placement over a fastest-first candidate core set whose
+/// cumulative speed covers `demand_frac` reference cores (clamped to
+/// the platform), largest thread first. Loads and the cap are compared
+/// in *normalized* (finish-time) units so heterogeneous cores balance
+/// when they finish together.
+fn place(threads: &mut [Placement], speeds: &[f64], demand_frac: f64, slot_secs: f64) -> Vec<f64> {
     threads.sort_by(|a, b| b.secs.total_cmp(&a.secs));
-    let candidates = demanded_cores
-        .min(cores)
-        .max(usize::from(!threads.is_empty()));
-    let mut core_loads = vec![0.0f64; cores];
+    // Candidate recruitment: fastest cores first (stable by id), until
+    // their summed speed covers the demanded fractional cores — the
+    // heterogeneous generalization of "the first ceil(ΣN_core) cores".
+    let mut order: Vec<usize> = (0..speeds.len()).collect();
+    order.sort_by(|&a, &b| speeds[b].total_cmp(&speeds[a]).then(a.cmp(&b)));
+    let mut candidates = 0usize;
+    let mut cum_speed = 0.0f64;
+    while candidates < order.len() && (candidates == 0 || cum_speed < demand_frac - 1e-9) {
+        cum_speed += speeds[order[candidates]];
+        candidates += 1;
+    }
+    let candidates = &order[..candidates];
+    let mut core_loads = vec![0.0f64; speeds.len()];
     for th in threads.iter_mut() {
-        let max_load = core_loads[..candidates].iter().copied().fold(0.0, f64::max);
-        let cap = if max_load > slot_secs {
+        let max_norm = candidates
+            .iter()
+            .map(|&k| core_loads[k] / speeds[k])
+            .fold(0.0, f64::max);
+        let cap = if max_norm > slot_secs {
             slot_secs
         } else {
-            max_load
+            max_norm
         };
         // The cap is a fill ceiling (lines 5–9: "CPU time … cannot be
-        // above 1/FPS"): among cores where the thread still fits the
-        // slot, pick the one landing nearest the cap; if none fits,
-        // spill to the least-loaded core so overload spreads evenly.
+        // above 1/FPS"): among cores where the thread still finishes
+        // within the slot, pick the one landing nearest the cap; if
+        // none fits, spill to the least-loaded (soonest-finishing)
+        // core so overload spreads evenly.
         let mut best_fit: Option<(usize, f64)> = None;
-        let mut least: (usize, f64) = (0, f64::INFINITY);
-        for (k, &load) in core_loads[..candidates].iter().enumerate() {
-            if load < least.1 {
-                least = (k, load);
+        let mut least: (usize, f64) = (candidates[0], f64::INFINITY);
+        for &k in candidates {
+            let norm = core_loads[k] / speeds[k];
+            let with = (core_loads[k] + th.secs) / speeds[k];
+            if norm < least.1 {
+                least = (k, norm);
             }
-            if load + th.secs <= slot_secs + 1e-12 {
-                let dist = (cap - (load + th.secs)).abs();
+            if with <= slot_secs + 1e-12 {
+                let dist = (cap - with).abs();
                 if best_fit.is_none_or(|(_, d)| dist < d) {
                     best_fit = Some((k, dist));
                 }
@@ -270,6 +384,43 @@ mod tests {
         assert_eq!(u.cores_needed(24.0), 2);
         let light = demand(1, &[0.001]);
         assert_eq!(light.cores_needed(24.0), 1);
+    }
+
+    #[test]
+    fn nan_and_negative_demands_rejected_with_typed_error() {
+        assert_eq!(
+            UserDemand::try_new(7, vec![0.01, f64::NAN]),
+            Err(DemandError::NonFinite { thread: 1 })
+        );
+        assert_eq!(
+            UserDemand::try_new(7, vec![f64::INFINITY]),
+            Err(DemandError::NonFinite { thread: 0 })
+        );
+        assert_eq!(
+            UserDemand::try_new(7, vec![0.01, 0.02, -0.5]),
+            Err(DemandError::Negative {
+                thread: 2,
+                secs: -0.5
+            })
+        );
+        // Zero is a legal (idle-tile) estimate.
+        assert!(UserDemand::try_new(7, vec![0.0, 0.01]).is_ok());
+        assert!(UserDemand::try_new(7, vec![]).is_ok());
+        // The error explains itself.
+        let err = UserDemand::try_new(7, vec![-1.0]).unwrap_err();
+        assert!(err.to_string().contains("negative"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid demand for user 3")]
+    fn new_panics_on_nan_demand() {
+        UserDemand::new(3, vec![f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn new_panics_on_negative_demand() {
+        UserDemand::new(3, vec![-0.01]);
     }
 
     #[test]
@@ -348,6 +499,45 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn zero_cores_rejected() {
         allocate(0, SLOT, &[]);
+    }
+
+    #[test]
+    fn speed_aware_placement_prefers_fast_cores() {
+        // 4 fast cores + 4 half-speed cores; light load that fits the
+        // fast cluster: the slow cores stay empty.
+        let speeds = [1.0, 1.0, 1.0, 1.0, 0.5, 0.5, 0.5, 0.5];
+        let users = vec![demand(0, &[SLOT / 2.0; 6])]; // 3 reference cores
+        let alloc = place_threads_on(&speeds, SLOT, &users);
+        assert_eq!(alloc.placements.len(), 6);
+        for &load in &alloc.core_loads[4..] {
+            assert_eq!(load, 0.0, "slow cores must stay idle under light load");
+        }
+    }
+
+    #[test]
+    fn speed_aware_placement_normalizes_finish_times() {
+        // Threads that fit neither cluster in one piece spill to the
+        // soonest-finishing core in *normalized* time: worst-core
+        // finish is what gets balanced.
+        let speeds = [1.0, 1.0, 0.5, 0.5];
+        let users = vec![demand(0, &[SLOT * 0.6; 4])]; // 2.4 ref cores
+        let alloc = place_threads_on(&speeds, SLOT, &users);
+        let finish = alloc.finish_times(&speeds);
+        // Fast cores take one 0.6-slot thread each (finish 0.6); the
+        // remaining two can't fit anywhere (slow finish would be 1.2)
+        // so they spill — but never onto an already-loaded fast core
+        // while a sooner-finishing option exists.
+        assert!(alloc.worst_finish_secs(&speeds) <= SLOT * 1.2 + 1e-12);
+        assert_eq!(finish.len(), 4);
+    }
+
+    #[test]
+    fn finish_times_match_loads_on_homogeneous_cores() {
+        let users = vec![demand(0, &[SLOT / 3.0; 5])];
+        let alloc = place_threads(4, SLOT, &users);
+        let speeds = vec![1.0; 4];
+        assert_eq!(alloc.finish_times(&speeds), alloc.core_loads);
+        assert!((alloc.worst_finish_secs(&speeds) - alloc.max_load()).abs() < 1e-15);
     }
 
     proptest! {

@@ -10,9 +10,11 @@
 //! * [`WorkloadLut`] / [`LutBank`] — the per-(tile structure, encoding
 //!   configuration) CPU-time histograms of §III-D1, updated online and
 //!   transferable across videos of the same body-part class;
-//! * [`allocate`] / [`place_threads`] — Algorithm 2 lines 1–15:
-//!   ascending-demand admission
-//!   and cap-seeking thread placement;
+//! * [`allocate`] / [`place_threads`] / [`place_threads_on`] —
+//!   Algorithm 2 lines 1–15: ascending-demand admission and
+//!   cap-seeking thread placement; the `_on` form is speed-aware for
+//!   heterogeneous (big.LITTLE) platforms, normalizing loads by
+//!   per-core speed factors so the argmin balances finish times;
 //! * [`baseline_allocate`] / [`BaselineRetileTrigger`] — the
 //!   one-tile-per-core allocator and rail-frequency re-tile trigger of
 //!   the baseline [19];
@@ -47,7 +49,9 @@ mod baseline;
 mod feedback;
 mod lut;
 
-pub use alloc::{allocate, place_threads, Allocation, Placement, UserDemand};
+pub use alloc::{
+    allocate, place_threads, place_threads_on, Allocation, DemandError, Placement, UserDemand,
+};
 pub use baseline::{baseline_allocate, BaselineRetileTrigger};
 pub use feedback::{Adjustment, FeedbackController};
 pub use lut::{CycleHistogram, LutBank, LutKey, WorkloadLut};

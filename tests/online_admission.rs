@@ -51,9 +51,9 @@ fn sim_and_pool_backends_replay_identical_decisions() {
     let online = sim.online_config(192, ShardPolicy::LeastLoaded);
     let analytical = sim.serve_online(&profiles, &requests, &online);
     let shards: Vec<ThreadPoolBackend> = (0..sim.config().platform.sockets)
-        .map(|_| {
+        .map(|s| {
             ThreadPoolBackend::with_workers(
-                sim.config().platform.socket_view(),
+                sim.config().platform.socket_view(s),
                 PowerModel::default(),
                 2,
             )
