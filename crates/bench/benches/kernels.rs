@@ -1,0 +1,97 @@
+//! Criterion smoke bench over the optimized encode kernels: SAD fast
+//! path vs the clamped reference spec, the scratch-reuse DCT round
+//! trip, and one full inter-tile encode.
+//!
+//! The measured before/after trajectory artifact comes from the
+//! `kernels` binary (`cargo run --release -p medvt-bench --bin
+//! kernels`); this bench keeps the same kernels visible to `cargo
+//! bench` and catches gross regressions in CI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medvt_encoder::transform::{forward_into, inverse_into};
+use medvt_encoder::{encode_tile, EncoderConfig, Qp, SearchSpec, TileConfig};
+use medvt_frame::synth::{BodyPart, MotionPattern, PhantomVideo};
+use medvt_frame::{Frame, FrameKind, Rect, Resolution};
+use medvt_motion::{cost, MotionVector, SearchWindow};
+
+fn frames() -> (Frame, Frame) {
+    let video = PhantomVideo::builder(BodyPart::Cardiac)
+        .resolution(Resolution::new(320, 240))
+        .motion(MotionPattern::Pan { dx: 1.2, dy: 0.5 })
+        .seed(2026)
+        .build();
+    (video.render(1), video.render(0))
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let (cur, reference) = frames();
+    let block = Rect::new(144, 112, 16, 16);
+
+    let mut group = c.benchmark_group("sad_w16_sweep");
+    group.bench_with_input(BenchmarkId::from_parameter("fast"), &(), |b, ()| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for dy in -8i16..=8 {
+                for dx in -8i16..=8 {
+                    acc = acc.wrapping_add(cost::sad(
+                        cur.y(),
+                        reference.y(),
+                        &block,
+                        MotionVector::new(dx, dy),
+                    ));
+                }
+            }
+            acc
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("reference"), &(), |b, ()| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for dy in -8i16..=8 {
+                for dx in -8i16..=8 {
+                    acc = acc.wrapping_add(cost::reference::sad(
+                        cur.y(),
+                        reference.y(),
+                        &block,
+                        MotionVector::new(dx, dy),
+                    ));
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+
+    let input: Vec<i32> = (0..64i32).map(|i| ((i * 37) % 511) - 255).collect();
+    let (mut coeffs, mut tmp, mut res) = (Vec::new(), Vec::new(), Vec::new());
+    c.bench_function("dct8_round_trip_scratch", |b| {
+        b.iter(|| {
+            forward_into(8, &input, &mut coeffs, &mut tmp);
+            inverse_into(8, &coeffs, &mut res, &mut tmp);
+            res.first().copied()
+        })
+    });
+
+    let tcfg = TileConfig {
+        qp: Qp::new(32).expect("valid QP"),
+        search: SearchSpec::Diamond,
+        window: SearchWindow::W16,
+    };
+    let ecfg = EncoderConfig::default();
+    let refs: Vec<&Frame> = vec![&reference];
+    c.bench_function("tile_encode_inter_128x96", |b| {
+        b.iter(|| {
+            encode_tile(
+                &cur,
+                &refs,
+                FrameKind::Predicted,
+                Rect::new(64, 48, 128, 96),
+                &tcfg,
+                &ecfg,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

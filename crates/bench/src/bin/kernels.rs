@@ -1,0 +1,712 @@
+//! Kernel performance trajectory: measured before/after of the encode
+//! hot-path optimizations.
+//!
+//! The `legacy` module replicates the pre-optimization kernels
+//! verbatim — per-sample clamped SAD for every candidate, a
+//! `HashMap<MotionVector, u64>` candidate memo, a `Mutex<HashMap>`
+//! DCT basis cache and fresh `Vec` allocations per block — so each
+//! release of this repo carries a measured comparison against the
+//! same baseline instead of trusting a number in a README.
+//!
+//! Emits `kernels_bench.json` (under `MEDVT_OUT`, default
+//! `target/experiments`) with:
+//!
+//! * candidate-evaluation throughput per search window and metric,
+//!   legacy vs fast path (exhaustive sweep, exact costs);
+//! * full-search throughput with the early-termination running-best
+//!   path (decision-identical, far fewer samples per candidate);
+//! * transform+quant round-trip blocks/s per size, allocating vs
+//!   scratch-reuse `_into` kernels;
+//! * full-tile encode wall time, legacy loop vs current loop.
+//!
+//! Usage: `cargo run --release -p medvt-bench --bin kernels`.
+
+use medvt_bench::write_artifact;
+use medvt_encoder::{encode_tile, EncoderConfig, Qp, SearchSpec, TileConfig};
+use medvt_frame::synth::{BodyPart, MotionPattern, PhantomVideo};
+use medvt_frame::Resolution;
+use medvt_frame::{Frame, FrameKind, Plane, Rect};
+use medvt_motion::{cost, CostMetric, MotionVector, SearchWindow};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median seconds of `runs` timed executions (after one warmup).
+fn measure(runs: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The pre-optimization kernels, replicated verbatim from the seed
+/// sources so the "before" column stays measurable after the
+/// optimized code replaced them.
+mod legacy {
+    use medvt_encoder::bits::{code_block, se_len, BitWriter};
+    use medvt_encoder::quant::{dequantize, quantize};
+    use medvt_encoder::{IntraRefs, Qp};
+    use medvt_frame::{Frame, Plane, Rect};
+    use medvt_motion::MotionVector;
+    use std::cell::{Cell, RefCell};
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    /// Seed `cost::sad`: per-sample clamped access for every candidate.
+    pub fn sad(cur: &Plane, reference: &Plane, block: &Rect, mv: MotionVector) -> u64 {
+        let mut acc = 0u64;
+        for row in block.y..block.bottom() {
+            let cur_row = &cur.row(row)[block.x..block.right()];
+            let ref_y = row as isize + mv.y as isize;
+            for (i, &c) in cur_row.iter().enumerate() {
+                let ref_x = (block.x + i) as isize + mv.x as isize;
+                let r = reference.get_clamped(ref_x, ref_y);
+                acc += (c as i16 - r as i16).unsigned_abs() as u64;
+            }
+        }
+        acc
+    }
+
+    /// Seed `SearchContext`: hashing memo, no early termination.
+    pub struct Ctx<'a> {
+        pub cur: &'a Plane,
+        pub reference: &'a Plane,
+        pub block: Rect,
+        pub radius: i16,
+        pub evaluations: Cell<u64>,
+        cache: RefCell<HashMap<MotionVector, u64>>,
+    }
+
+    impl<'a> Ctx<'a> {
+        pub fn new(cur: &'a Plane, reference: &'a Plane, block: Rect, radius: i16) -> Self {
+            Self {
+                cur,
+                reference,
+                block,
+                radius,
+                evaluations: Cell::new(0),
+                cache: RefCell::new(HashMap::new()),
+            }
+        }
+
+        pub fn try_cost(&self, mv: MotionVector) -> Option<u64> {
+            if mv.linf_norm() > self.radius {
+                return None;
+            }
+            if let Some(&c) = self.cache.borrow().get(&mv) {
+                return Some(c);
+            }
+            let c = sad(self.cur, self.reference, &self.block, mv);
+            self.cache.borrow_mut().insert(mv, c);
+            self.evaluations.set(self.evaluations.get() + 1);
+            Some(c)
+        }
+    }
+
+    /// Seed diamond search over the legacy context.
+    pub fn diamond(ctx: &Ctx<'_>) -> (MotionVector, u64) {
+        const LDSP: [(i16, i16); 8] = [
+            (0, -2),
+            (1, -1),
+            (2, 0),
+            (1, 1),
+            (0, 2),
+            (-1, 1),
+            (-2, 0),
+            (-1, -1),
+        ];
+        const SDSP: [(i16, i16); 4] = [(0, -1), (1, 0), (0, 1), (-1, 0)];
+        let mut best_mv = MotionVector::ZERO;
+        let mut best_cost = ctx.try_cost(best_mv).expect("zero in window");
+        let try_mv = |mv: MotionVector, best_mv: &mut MotionVector, best_cost: &mut u64| match ctx
+            .try_cost(mv)
+        {
+            Some(c) if c < *best_cost => {
+                *best_mv = mv;
+                *best_cost = c;
+                true
+            }
+            _ => false,
+        };
+        let mut guard = 8 * ctx.radius as u32 + 16;
+        loop {
+            let center = best_mv;
+            let mut moved = false;
+            for (dx, dy) in LDSP {
+                moved |= try_mv(
+                    center + MotionVector::new(dx, dy),
+                    &mut best_mv,
+                    &mut best_cost,
+                );
+            }
+            guard = guard.saturating_sub(1);
+            if !moved || guard == 0 {
+                break;
+            }
+        }
+        let center = best_mv;
+        for (dx, dy) in SDSP {
+            try_mv(
+                center + MotionVector::new(dx, dy),
+                &mut best_mv,
+                &mut best_cost,
+            );
+        }
+        (best_mv, best_cost)
+    }
+
+    /// Seed `transform::basis`: a mutexed map taken on every call.
+    fn basis(n: usize) -> &'static [f64] {
+        static CACHE: OnceLock<Mutex<HashMap<usize, &'static [f64]>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut guard = cache.lock().expect("basis cache poisoned");
+        if let Some(&m) = guard.get(&n) {
+            return m;
+        }
+        let mut m = vec![0.0f64; n * n];
+        let scale0 = (1.0 / n as f64).sqrt();
+        let scale = (2.0 / n as f64).sqrt();
+        for k in 0..n {
+            for i in 0..n {
+                let s = if k == 0 { scale0 } else { scale };
+                m[k * n + i] =
+                    s * ((std::f64::consts::PI / n as f64) * (i as f64 + 0.5) * k as f64).cos();
+            }
+        }
+        let leaked: &'static [f64] = Box::leak(m.into_boxed_slice());
+        guard.insert(n, leaked);
+        leaked
+    }
+
+    /// Seed `transform::forward`: fresh buffers per call.
+    pub fn forward(n: usize, input: &[i32]) -> Vec<f64> {
+        let c = basis(n);
+        let mut tmp = vec![0.0f64; n * n];
+        for k in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for i in 0..n {
+                    acc += c[k * n + i] * input[i * n + j] as f64;
+                }
+                tmp[k * n + j] = acc;
+            }
+        }
+        let mut out = vec![0.0f64; n * n];
+        for k in 0..n {
+            for l in 0..n {
+                let mut acc = 0.0;
+                for j in 0..n {
+                    acc += tmp[k * n + j] * c[l * n + j];
+                }
+                out[k * n + l] = acc;
+            }
+        }
+        out
+    }
+
+    /// Seed `transform::inverse`.
+    pub fn inverse(n: usize, coeffs: &[f64]) -> Vec<f64> {
+        let c = basis(n);
+        let mut tmp = vec![0.0f64; n * n];
+        for i in 0..n {
+            for l in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += c[k * n + i] * coeffs[k * n + l];
+                }
+                tmp[i * n + l] = acc;
+            }
+        }
+        let mut out = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for l in 0..n {
+                    acc += tmp[i * n + l] * c[l * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Seed `code_residual`: allocating, mutex-cached DCT.
+    #[allow(clippy::too_many_arguments)]
+    pub fn code_residual(
+        original: &[u8],
+        prediction: &[u8],
+        w: usize,
+        h: usize,
+        tx_size: usize,
+        qp: Qp,
+        writer: &mut BitWriter,
+    ) -> (Vec<u8>, u64) {
+        let mut recon = prediction.to_vec();
+        let mut bits = 0u64;
+        let mut residual = vec![0i32; tx_size * tx_size];
+        let mut ty = 0;
+        while ty < h {
+            let mut tx = 0;
+            while tx < w {
+                for r in 0..tx_size {
+                    for c in 0..tx_size {
+                        let idx = (ty + r) * w + (tx + c);
+                        residual[r * tx_size + c] = original[idx] as i32 - prediction[idx] as i32;
+                    }
+                }
+                let coeffs = forward(tx_size, &residual);
+                let levels = quantize(&coeffs, qp);
+                bits += code_block(&levels, tx_size, writer);
+                let rec_coeffs = dequantize(&levels, qp);
+                let rec_res = inverse(tx_size, &rec_coeffs);
+                for r in 0..tx_size {
+                    for c in 0..tx_size {
+                        let idx = (ty + r) * w + (tx + c);
+                        let v = prediction[idx] as f64 + rec_res[r * tx_size + c];
+                        recon[idx] = v.round().clamp(0.0, 255.0) as u8;
+                    }
+                }
+                tx += tx_size;
+            }
+            ty += tx_size;
+        }
+        (recon, bits)
+    }
+
+    /// Seed `encode_tile`: the original allocating per-block loop with
+    /// diamond motion search, luma + chroma.
+    pub fn encode_tile(
+        original: &Frame,
+        reference: &Frame,
+        tile: Rect,
+        qp: Qp,
+        radius: i16,
+        ecfg_block: usize,
+    ) -> (u64, MotionVector) {
+        let mut writer = BitWriter::new();
+        let mut recon_y = Plane::new(tile.w, tile.h);
+        let mut recon_u = Plane::new(tile.w / 2, tile.h / 2);
+        let mut recon_v = Plane::new(tile.w / 2, tile.h / 2);
+        let lambda = qp.lambda();
+        let chroma_qp = qp;
+        let mut inter_mvs: Vec<MotionVector> = Vec::new();
+        let mut prev_mv = MotionVector::ZERO;
+        let tile_local = Rect::frame(tile.w, tile.h);
+        let mut by = 0;
+        while by < tile.h {
+            let bh = ecfg_block.min(tile.h - by);
+            let mut bx = 0;
+            while bx < tile.w {
+                let bw = ecfg_block.min(tile.w - bx);
+                let abs_block = Rect::new(tile.x + bx, tile.y + by, bw, bh);
+                let rel_block = Rect::new(bx, by, bw, bh);
+                let orig_block = original.y().copy_rect(&abs_block);
+
+                let intra_refs = IntraRefs::gather(&recon_y, &rel_block, &tile_local);
+                let (intra_mode, intra_pred, intra_sad) = intra_refs.best_mode(&orig_block, bw, bh);
+                let intra_cost = intra_sad as f64 + lambda * 3.0;
+
+                let ctx = Ctx::new(original.y(), reference.y(), abs_block, radius);
+                let (mv, sad_cost) = diamond(&ctx);
+                let mvd = mv - prev_mv;
+                let header = 1 + se_len(mvd.x as i32) + se_len(mvd.y as i32);
+                let inter_cost = sad_cost as f64 + lambda * header as f64;
+                let use_inter = inter_cost <= intra_cost;
+
+                let prediction: Vec<u8> = if use_inter {
+                    writer.write_bit(true);
+                    writer.write_se(mvd.x as i32);
+                    writer.write_se(mvd.y as i32);
+                    prev_mv = mv;
+                    inter_mvs.push(mv);
+                    reference.y().copy_block_clamped(
+                        abs_block.x as isize + mv.x as isize,
+                        abs_block.y as isize + mv.y as isize,
+                        bw,
+                        bh,
+                    )
+                } else {
+                    writer.write_bit(false);
+                    writer.write_bits(intra_mode.index(), 2);
+                    intra_pred
+                };
+                let (recon, _) =
+                    code_residual(&orig_block, &prediction, bw, bh, 8, qp, &mut writer);
+                recon_y.write_rect(&rel_block, &recon);
+
+                // Chroma (4:2:0).
+                let cw = bw / 2;
+                let ch = bh / 2;
+                let c_abs = Rect::new(abs_block.x / 2, abs_block.y / 2, cw, ch);
+                let c_rel = Rect::new(rel_block.x / 2, rel_block.y / 2, cw, ch);
+                for (plane_idx, (orig_c, recon_c)) in
+                    [(original.u(), &mut recon_u), (original.v(), &mut recon_v)]
+                        .into_iter()
+                        .enumerate()
+                {
+                    let orig_cb = orig_c.copy_rect(&c_abs);
+                    let pred_cb: Vec<u8> = if use_inter {
+                        let mv = *inter_mvs.last().expect("inter chosen");
+                        let plane = if plane_idx == 0 {
+                            reference.u()
+                        } else {
+                            reference.v()
+                        };
+                        plane.copy_block_clamped(
+                            c_abs.x as isize + (mv.x / 2) as isize,
+                            c_abs.y as isize + (mv.y / 2) as isize,
+                            cw,
+                            ch,
+                        )
+                    } else {
+                        let c_tile = Rect::frame(tile.w / 2, tile.h / 2);
+                        let crefs = IntraRefs::gather(recon_c, &c_rel, &c_tile);
+                        crefs.predict(medvt_encoder::IntraMode::Dc, cw, ch)
+                    };
+                    let (recon, _) =
+                        code_residual(&orig_cb, &pred_cb, cw, ch, 4, chroma_qp, &mut writer);
+                    recon_c.write_rect(&c_rel, &recon);
+                }
+                bx += bw;
+            }
+            by += bh;
+        }
+        let dominant = inter_mvs
+            .get(inter_mvs.len() / 2)
+            .copied()
+            .unwrap_or(MotionVector::ZERO);
+        (writer.bits_written(), dominant)
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct CandidateThroughput {
+    window: usize,
+    metric: String,
+    candidates_per_sweep: u64,
+    legacy_mcand_per_s: f64,
+    fast_mcand_per_s: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct FullSearchEarlyExit {
+    window: usize,
+    legacy_secs_per_search: f64,
+    fast_secs_per_search: f64,
+    speedup: f64,
+    same_mv: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct TransformThroughput {
+    size: usize,
+    legacy_blocks_per_s: f64,
+    scratch_blocks_per_s: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct TileEncodeResult {
+    label: String,
+    tile: String,
+    legacy_ms: f64,
+    current_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct KernelsArtifact {
+    host_parallelism: usize,
+    candidate_throughput: Vec<CandidateThroughput>,
+    full_search_early_exit: Vec<FullSearchEarlyExit>,
+    transform_throughput: Vec<TransformThroughput>,
+    tile_encode: Vec<TileEncodeResult>,
+    headline_w64_sad_speedup: f64,
+    headline_tile_encode_speedup: f64,
+}
+
+fn bench_planes() -> (Frame, Frame) {
+    let video = PhantomVideo::builder(BodyPart::Cardiac)
+        .resolution(Resolution::new(320, 240))
+        .motion(MotionPattern::Pan { dx: 1.2, dy: 0.5 })
+        .seed(2026)
+        .build();
+    (video.render(1), video.render(0))
+}
+
+fn candidate_sweeps(cur: &Plane, reference: &Plane) -> Vec<CandidateThroughput> {
+    let block = Rect::new(144, 112, 16, 16);
+    let mut out = Vec::new();
+    for window in [
+        SearchWindow::W64,
+        SearchWindow::W32,
+        SearchWindow::W16,
+        SearchWindow::W8,
+    ] {
+        for metric in [CostMetric::Sad, CostMetric::Ssd, CostMetric::Satd] {
+            let r = window.radius();
+            let candidates = (2 * r as u64 + 1) * (2 * r as u64 + 1);
+            let sweep_fast = || {
+                let mut acc = 0u64;
+                for dy in -r..=r {
+                    for dx in -r..=r {
+                        acc = acc.wrapping_add(cost::block_cost(
+                            metric,
+                            cur,
+                            reference,
+                            &block,
+                            MotionVector::new(dx, dy),
+                        ));
+                    }
+                }
+                black_box(acc);
+            };
+            let sweep_legacy = || {
+                let mut acc = 0u64;
+                for dy in -r..=r {
+                    for dx in -r..=r {
+                        acc = acc.wrapping_add(cost::reference::block_cost(
+                            metric,
+                            cur,
+                            reference,
+                            &block,
+                            MotionVector::new(dx, dy),
+                        ));
+                    }
+                }
+                black_box(acc);
+            };
+            let fast = measure(5, sweep_fast);
+            let legacy = measure(5, sweep_legacy);
+            out.push(CandidateThroughput {
+                window: window.size(),
+                metric: format!("{metric:?}").to_lowercase(),
+                candidates_per_sweep: candidates,
+                legacy_mcand_per_s: candidates as f64 / legacy / 1e6,
+                fast_mcand_per_s: candidates as f64 / fast / 1e6,
+                speedup: legacy / fast,
+            });
+        }
+    }
+    out
+}
+
+fn full_search_early_exit(cur: &Plane, reference: &Plane) -> Vec<FullSearchEarlyExit> {
+    use medvt_motion::{Best, SearchContext};
+    let block = Rect::new(144, 112, 16, 16);
+    let mut out = Vec::new();
+    for window in [SearchWindow::W64, SearchWindow::W32, SearchWindow::W16] {
+        let r = window.radius();
+        let mut fast_mv = MotionVector::ZERO;
+        let fast_secs = measure(5, || {
+            let ctx = SearchContext::new(
+                cur,
+                reference,
+                block,
+                window,
+                CostMetric::Sad,
+                MotionVector::ZERO,
+            );
+            let mut best = Best::seeded(&ctx, &[MotionVector::ZERO]);
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    best.try_candidate(&ctx, MotionVector::new(dx, dy));
+                }
+            }
+            fast_mv = best.mv;
+            black_box(best.cost);
+        });
+        let mut legacy_mv = MotionVector::ZERO;
+        let legacy_secs = measure(5, || {
+            let ctx = legacy::Ctx::new(cur, reference, block, r);
+            let mut best_mv = MotionVector::ZERO;
+            let mut best_cost = ctx.try_cost(best_mv).expect("zero in window");
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    let mv = MotionVector::new(dx, dy);
+                    if let Some(c) = ctx.try_cost(mv) {
+                        if c < best_cost {
+                            best_cost = c;
+                            best_mv = mv;
+                        }
+                    }
+                }
+            }
+            legacy_mv = best_mv;
+            black_box(best_cost);
+        });
+        out.push(FullSearchEarlyExit {
+            window: window.size(),
+            legacy_secs_per_search: legacy_secs,
+            fast_secs_per_search: fast_secs,
+            speedup: legacy_secs / fast_secs,
+            same_mv: fast_mv == legacy_mv,
+        });
+    }
+    out
+}
+
+fn transform_sweeps() -> Vec<TransformThroughput> {
+    use medvt_encoder::quant::{dequantize, dequantize_into, quantize, quantize_into};
+    use medvt_encoder::transform::{forward_into, inverse_into, TRANSFORM_SIZES};
+    let qp = Qp::new(32).unwrap();
+    let mut out = Vec::new();
+    for n in TRANSFORM_SIZES {
+        let input: Vec<i32> = (0..n * n).map(|i| ((i * 37) % 511) as i32 - 255).collect();
+        let reps = (4096 / (n * n)).max(1);
+        let legacy = measure(5, || {
+            for _ in 0..reps {
+                let coeffs = legacy::forward(n, &input);
+                let levels = quantize(&coeffs, qp);
+                let rec = dequantize(&levels, qp);
+                black_box(legacy::inverse(n, &rec));
+            }
+        });
+        let (mut coeffs, mut tmp, mut levels, mut rec, mut res) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let scratch = measure(5, || {
+            for _ in 0..reps {
+                forward_into(n, &input, &mut coeffs, &mut tmp);
+                quantize_into(&coeffs, qp, &mut levels);
+                dequantize_into(&levels, qp, &mut rec);
+                inverse_into(n, &rec, &mut res, &mut tmp);
+                black_box(res.first().copied());
+            }
+        });
+        out.push(TransformThroughput {
+            size: n,
+            legacy_blocks_per_s: reps as f64 / legacy,
+            scratch_blocks_per_s: reps as f64 / scratch,
+            speedup: legacy / scratch,
+        });
+    }
+    out
+}
+
+fn tile_encodes(cur: &Frame, reference: &Frame) -> Vec<TileEncodeResult> {
+    let ecfg = EncoderConfig {
+        chroma_qp_offset: 0,
+        ..Default::default()
+    };
+    let qp = Qp::new(32).unwrap();
+    let mut out = Vec::new();
+    for (label, window) in [
+        ("diamond-w16", SearchWindow::W16),
+        ("diamond-w32", SearchWindow::W32),
+        ("diamond-w64", SearchWindow::W64),
+    ] {
+        let tile = Rect::new(64, 48, 128, 96);
+        let tcfg = TileConfig {
+            qp,
+            search: SearchSpec::Diamond,
+            window,
+        };
+        let refs: Vec<&Frame> = vec![reference];
+        let current = measure(5, || {
+            black_box(encode_tile(
+                cur,
+                &refs,
+                FrameKind::Predicted,
+                tile,
+                &tcfg,
+                &ecfg,
+            ));
+        });
+        let legacy = measure(5, || {
+            black_box(legacy::encode_tile(
+                cur,
+                reference,
+                tile,
+                qp,
+                window.radius(),
+                ecfg.block_size,
+            ));
+        });
+        out.push(TileEncodeResult {
+            label: label.to_string(),
+            tile: format!("{}x{}", tile.w, tile.h),
+            legacy_ms: legacy * 1e3,
+            current_ms: current * 1e3,
+            speedup: legacy / current,
+        });
+    }
+    out
+}
+
+fn main() {
+    let (cur, reference) = bench_planes();
+
+    println!("== candidate-evaluation throughput (exhaustive sweep, exact costs) ==");
+    let candidate_throughput = candidate_sweeps(cur.y(), reference.y());
+    for c in &candidate_throughput {
+        println!(
+            "W{:<3} {:<5} {:>8.2} -> {:>8.2} Mcand/s   {:>5.2}x",
+            c.window, c.metric, c.legacy_mcand_per_s, c.fast_mcand_per_s, c.speedup
+        );
+    }
+
+    println!("== full search with early termination (decision-identical) ==");
+    let full_search = full_search_early_exit(cur.y(), reference.y());
+    for f in &full_search {
+        println!(
+            "W{:<3} {:>9.3} ms -> {:>9.3} ms   {:>5.2}x   same_mv={}",
+            f.window,
+            f.legacy_secs_per_search * 1e3,
+            f.fast_secs_per_search * 1e3,
+            f.speedup,
+            f.same_mv
+        );
+        assert!(
+            f.same_mv,
+            "early-terminated search changed the motion decision"
+        );
+    }
+
+    println!("== transform+quant round trip (blocks/s) ==");
+    let transform_throughput = transform_sweeps();
+    for t in &transform_throughput {
+        println!(
+            "{:>2}x{:<2} {:>10.0} -> {:>10.0} blocks/s   {:>5.2}x",
+            t.size, t.size, t.legacy_blocks_per_s, t.scratch_blocks_per_s, t.speedup
+        );
+    }
+
+    println!("== full-tile encode (inter, diamond search, luma+chroma) ==");
+    let tile_encode = tile_encodes(&cur, &reference);
+    for t in &tile_encode {
+        println!(
+            "{:<12} {} {:>8.2} ms -> {:>8.2} ms   {:>5.2}x",
+            t.label, t.tile, t.legacy_ms, t.current_ms, t.speedup
+        );
+    }
+
+    let headline_w64_sad = candidate_throughput
+        .iter()
+        .find(|c| c.window == 64 && c.metric == "sad")
+        .map(|c| c.speedup)
+        .unwrap_or(0.0);
+    let headline_tile = tile_encode
+        .iter()
+        .map(|t| t.speedup)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!("headline: W64/SAD candidate speedup {headline_w64_sad:.2}x, tile encode {headline_tile:.2}x");
+
+    let artifact = KernelsArtifact {
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        candidate_throughput,
+        full_search_early_exit: full_search,
+        transform_throughput,
+        tile_encode,
+        headline_w64_sad_speedup: headline_w64_sad,
+        headline_tile_encode_speedup: headline_tile,
+    };
+    let path = write_artifact("kernels_bench", &artifact);
+    println!("artifact: {}", path.display());
+}

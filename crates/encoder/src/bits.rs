@@ -43,6 +43,14 @@ impl BitWriter {
         self.bits
     }
 
+    /// Resets the writer to empty while keeping the buffer capacity,
+    /// so a reused writer appends without reallocating.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.partial = 0;
+        self.bits = 0;
+    }
+
     /// Appends a single bit.
     pub fn write_bit(&mut self, bit: bool) {
         if self.partial == 0 {

@@ -3,7 +3,7 @@
 
 use crate::bits::{code_block, BitWriter};
 use crate::config::Qp;
-use crate::quant::{dequantize, quantize};
+use crate::quant::{dequantize_into, quantize_into};
 use crate::transform;
 
 /// Outcome of coding one residual region.
@@ -18,6 +18,32 @@ pub struct CodedResidual {
     pub transform_samples: u64,
     /// Sum of squared error of `recon` against the original.
     pub ssd: u64,
+}
+
+/// Rate/distortion counters of one coded residual region (the
+/// reconstruction itself lands in a caller-owned buffer).
+#[derive(Debug, Clone, Copy)]
+pub struct ResidualOutcome {
+    /// Bits emitted for the residual coefficients.
+    pub bits: u64,
+    /// Samples pushed through the transform (fwd+inv counted once).
+    pub transform_samples: u64,
+    /// Sum of squared error of the reconstruction against the original.
+    pub ssd: u64,
+}
+
+/// Reusable buffers for [`code_residual_into`]: one residual
+/// sub-block, the coefficient/level/reconstruction intermediates and
+/// the DCT product scratch. One instance per encoding thread makes
+/// residual coding zero-allocation in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct ResidualScratch {
+    residual: Vec<i32>,
+    coeffs: Vec<f64>,
+    levels: Vec<i32>,
+    rec_coeffs: Vec<f64>,
+    rec_res: Vec<f64>,
+    dct_tmp: Vec<f64>,
 }
 
 /// Codes the residual `original - prediction` of a `w x h` region using
@@ -39,16 +65,60 @@ pub fn code_residual(
     qp: Qp,
     writer: &mut BitWriter,
 ) -> CodedResidual {
+    let mut scratch = ResidualScratch::default();
+    let mut recon = Vec::new();
+    let out = code_residual_into(
+        original,
+        prediction,
+        w,
+        h,
+        tx_size,
+        qp,
+        writer,
+        &mut scratch,
+        &mut recon,
+    );
+    CodedResidual {
+        recon,
+        bits: out.bits,
+        transform_samples: out.transform_samples,
+        ssd: out.ssd,
+    }
+}
+
+/// Allocation-free [`code_residual`]: all intermediates live in
+/// `scratch` and the reconstruction is written into `recon` (cleared
+/// first). Emitted bits, reconstruction and counters are bit-exact
+/// with [`code_residual`].
+///
+/// # Panics
+///
+/// Panics when the buffers do not match `w * h` or the dimensions are
+/// not multiples of `tx_size`.
+#[allow(clippy::too_many_arguments)]
+pub fn code_residual_into(
+    original: &[u8],
+    prediction: &[u8],
+    w: usize,
+    h: usize,
+    tx_size: usize,
+    qp: Qp,
+    writer: &mut BitWriter,
+    scratch: &mut ResidualScratch,
+    recon: &mut Vec<u8>,
+) -> ResidualOutcome {
     assert_eq!(original.len(), w * h, "original buffer mismatch");
     assert_eq!(prediction.len(), w * h, "prediction buffer mismatch");
     assert!(
         w.is_multiple_of(tx_size) && h.is_multiple_of(tx_size),
         "{w}x{h} region not divisible into {tx_size}x{tx_size} transforms"
     );
-    let mut recon = prediction.to_vec();
+    recon.clear();
+    recon.extend_from_slice(prediction);
     let mut bits = 0u64;
     let mut transform_samples = 0u64;
-    let mut residual = vec![0i32; tx_size * tx_size];
+    scratch.residual.clear();
+    scratch.residual.resize(tx_size * tx_size, 0);
     let mut ty = 0;
     while ty < h {
         let mut tx = 0;
@@ -57,19 +127,30 @@ pub fn code_residual(
             for r in 0..tx_size {
                 for c in 0..tx_size {
                     let idx = (ty + r) * w + (tx + c);
-                    residual[r * tx_size + c] = original[idx] as i32 - prediction[idx] as i32;
+                    scratch.residual[r * tx_size + c] =
+                        original[idx] as i32 - prediction[idx] as i32;
                 }
             }
-            let coeffs = transform::forward(tx_size, &residual);
-            let levels = quantize(&coeffs, qp);
-            bits += code_block(&levels, tx_size, writer);
+            transform::forward_into(
+                tx_size,
+                &scratch.residual,
+                &mut scratch.coeffs,
+                &mut scratch.dct_tmp,
+            );
+            quantize_into(&scratch.coeffs, qp, &mut scratch.levels);
+            bits += code_block(&scratch.levels, tx_size, writer);
             transform_samples += (tx_size * tx_size) as u64;
-            let rec_coeffs = dequantize(&levels, qp);
-            let rec_res = transform::inverse(tx_size, &rec_coeffs);
+            dequantize_into(&scratch.levels, qp, &mut scratch.rec_coeffs);
+            transform::inverse_into(
+                tx_size,
+                &scratch.rec_coeffs,
+                &mut scratch.rec_res,
+                &mut scratch.dct_tmp,
+            );
             for r in 0..tx_size {
                 for c in 0..tx_size {
                     let idx = (ty + r) * w + (tx + c);
-                    let v = prediction[idx] as f64 + rec_res[r * tx_size + c];
+                    let v = prediction[idx] as f64 + scratch.rec_res[r * tx_size + c];
                     recon[idx] = v.round().clamp(0.0, 255.0) as u8;
                 }
             }
@@ -79,14 +160,13 @@ pub fn code_residual(
     }
     let ssd = original
         .iter()
-        .zip(&recon)
+        .zip(recon.iter())
         .map(|(&o, &r)| {
             let d = o as i64 - r as i64;
             (d * d) as u64
         })
         .sum();
-    CodedResidual {
-        recon,
+    ResidualOutcome {
         bits,
         transform_samples,
         ssd,

@@ -290,6 +290,10 @@ pub fn encode_frame_with(
             }
         })
         .collect();
+    // Each tile job runs `encode_tile`, which draws its per-block
+    // working memory from the executing thread's scratch — persistent
+    // pool workers therefore stop allocating per block after their
+    // first tile.
     let outcomes = executor.execute(jobs);
     assert_eq!(
         outcomes.len(),
@@ -304,7 +308,7 @@ pub fn encode_frame_with(
         tiles: Vec::with_capacity(outcomes.len()),
     };
     let mut dominant_mvs = Vec::with_capacity(outcomes.len());
-    let mut bytes = Vec::new();
+    let mut bytes = Vec::with_capacity(outcomes.iter().map(|o| o.bytes.len()).sum());
     for (tile, outcome) in plan.tiles.iter().zip(outcomes) {
         recon.y_mut().write_rect(tile, outcome.recon_y.samples());
         let c_rect = Rect::new(tile.x / 2, tile.y / 2, tile.w / 2, tile.h / 2);

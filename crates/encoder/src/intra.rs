@@ -42,10 +42,16 @@ impl IntraMode {
 
 /// Reference samples for one block: the row above and column left of
 /// the block, when available inside the tile.
-#[derive(Debug, Clone)]
+///
+/// The edge buffers are reusable: [`IntraRefs::regather`] refills them
+/// in place, so a scratch-owned `IntraRefs` makes reference gathering
+/// zero-allocation in steady state.
+#[derive(Debug, Clone, Default)]
 pub struct IntraRefs {
-    top: Option<Vec<u8>>,
-    left: Option<Vec<u8>>,
+    top: Vec<u8>,
+    has_top: bool,
+    left: Vec<u8>,
+    has_left: bool,
 }
 
 impl IntraRefs {
@@ -56,36 +62,41 @@ impl IntraRefs {
     ///
     /// Panics when `block` is not inside `tile`.
     pub fn gather(recon: &Plane, block: &Rect, tile: &Rect) -> Self {
+        let mut refs = Self::default();
+        refs.regather(recon, block, tile);
+        refs
+    }
+
+    /// Refills this reference set in place (allocation-free once the
+    /// edge buffers have grown to the block size).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block` is not inside `tile`.
+    pub fn regather(&mut self, recon: &Plane, block: &Rect, tile: &Rect) {
         assert!(
             tile.contains_rect(block),
             "block {block} outside tile {tile}"
         );
-        let top = if block.y > tile.y {
+        self.top.clear();
+        self.has_top = block.y > tile.y;
+        if self.has_top {
             let row = block.y - 1;
-            Some(
-                (block.x..block.right())
-                    .map(|col| recon.get(col, row))
-                    .collect(),
-            )
-        } else {
-            None
-        };
-        let left = if block.x > tile.x {
+            self.top
+                .extend_from_slice(&recon.row(row)[block.x..block.right()]);
+        }
+        self.left.clear();
+        self.has_left = block.x > tile.x;
+        if self.has_left {
             let col = block.x - 1;
-            Some(
-                (block.y..block.bottom())
-                    .map(|row| recon.get(col, row))
-                    .collect(),
-            )
-        } else {
-            None
-        };
-        Self { top, left }
+            self.left
+                .extend((block.y..block.bottom()).map(|row| recon.get(col, row)));
+        }
     }
 
     /// `true` when neither reference edge is available (tile corner).
     pub fn is_empty(&self) -> bool {
-        self.top.is_none() && self.left.is_none()
+        !self.has_top && !self.has_left
     }
 
     /// Predicts a `w x h` block with `mode`, returning row-major samples.
@@ -93,29 +104,37 @@ impl IntraRefs {
     /// Unavailable references fall back to the HEVC default level 128,
     /// and directional modes degrade to DC when their edge is missing.
     pub fn predict(&self, mode: IntraMode, w: usize, h: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.predict_into(mode, w, h, &mut out);
+        out
+    }
+
+    /// Allocation-free [`IntraRefs::predict`]: clears `out` and writes
+    /// the prediction into it. Bit-exact with [`IntraRefs::predict`].
+    pub fn predict_into(&self, mode: IntraMode, w: usize, h: usize, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(w * h);
         match mode {
-            IntraMode::Dc => vec![self.dc_value(), 0][..1].repeat(w * h),
-            IntraMode::Planar => self.predict_planar(w, h),
-            IntraMode::Horizontal => match &self.left {
-                Some(left) => {
-                    let mut out = Vec::with_capacity(w * h);
-                    for &edge in left.iter().take(h) {
+            IntraMode::Dc => out.resize(w * h, self.dc_value()),
+            IntraMode::Planar => self.predict_planar_into(w, h, out),
+            IntraMode::Horizontal => {
+                if self.has_left {
+                    for &edge in self.left.iter().take(h) {
                         out.extend(std::iter::repeat_n(edge, w));
                     }
-                    out
+                } else {
+                    out.resize(w * h, self.dc_value());
                 }
-                None => vec![self.dc_value(); w * h],
-            },
-            IntraMode::Vertical => match &self.top {
-                Some(top) => {
-                    let mut out = Vec::with_capacity(w * h);
+            }
+            IntraMode::Vertical => {
+                if self.has_top {
                     for _ in 0..h {
-                        out.extend_from_slice(top);
+                        out.extend_from_slice(&self.top);
                     }
-                    out
+                } else {
+                    out.resize(w * h, self.dc_value());
                 }
-                None => vec![self.dc_value(); w * h],
-            },
+            }
         }
     }
 
@@ -123,62 +142,85 @@ impl IntraRefs {
     fn dc_value(&self) -> u8 {
         let mut sum = 0u32;
         let mut count = 0u32;
-        if let Some(top) = &self.top {
-            sum += top.iter().map(|&s| s as u32).sum::<u32>();
-            count += top.len() as u32;
+        if self.has_top {
+            sum += self.top.iter().map(|&s| s as u32).sum::<u32>();
+            count += self.top.len() as u32;
         }
-        if let Some(left) = &self.left {
-            sum += left.iter().map(|&s| s as u32).sum::<u32>();
-            count += left.len() as u32;
+        if self.has_left {
+            sum += self.left.iter().map(|&s| s as u32).sum::<u32>();
+            count += self.left.len() as u32;
         }
         (sum + count / 2)
             .checked_div(count)
             .map_or(128, |v| v as u8)
     }
 
-    // `x`/`y` also feed the blend arithmetic, not just the indexing.
-    #[allow(clippy::needless_range_loop)]
-    fn predict_planar(&self, w: usize, h: usize) -> Vec<u8> {
-        let dc = self.dc_value();
-        let top: Vec<u16> = match &self.top {
-            Some(t) => t.iter().map(|&s| s as u16).collect(),
-            None => vec![dc as u16; w],
+    fn predict_planar_into(&self, w: usize, h: usize, out: &mut Vec<u8>) {
+        let dc = self.dc_value() as u32;
+        // Missing edges read as a dc-filled row/column, exactly like
+        // the former temporary-vector construction.
+        let top = |x: usize| {
+            if self.has_top {
+                self.top[x] as u32
+            } else {
+                dc
+            }
         };
-        let left: Vec<u16> = match &self.left {
-            Some(l) => l.iter().map(|&s| s as u16).collect(),
-            None => vec![dc as u16; h],
+        let left = |y: usize| {
+            if self.has_left {
+                self.left[y] as u32
+            } else {
+                dc
+            }
         };
-        let top_right = *top.last().expect("top non-empty") as u32;
-        let bottom_left = *left.last().expect("left non-empty") as u32;
-        let mut out = Vec::with_capacity(w * h);
+        let top_right = top(w - 1);
+        let bottom_left = left(h - 1);
         for y in 0..h {
             for x in 0..w {
                 // HEVC-style planar: horizontal + vertical linear blends.
-                let hor = (w as u32 - 1 - x as u32) * left[y] as u32 + (x as u32 + 1) * top_right;
-                let ver = (h as u32 - 1 - y as u32) * top[x] as u32 + (y as u32 + 1) * bottom_left;
+                let hor = (w as u32 - 1 - x as u32) * left(y) + (x as u32 + 1) * top_right;
+                let ver = (h as u32 - 1 - y as u32) * top(x) + (y as u32 + 1) * bottom_left;
                 let v = (hor * h as u32 + ver * w as u32 + (w * h) as u32) / (2 * (w * h) as u32);
                 out.push(v.min(255) as u8);
             }
         }
-        out
     }
 
     /// Picks the mode with the lowest SAD against `original` (row-major
     /// `w x h` samples), returning the mode, its prediction and the SAD.
     pub fn best_mode(&self, original: &[u8], w: usize, h: usize) -> (IntraMode, Vec<u8>, u64) {
-        let mut best: Option<(IntraMode, Vec<u8>, u64)> = None;
+        let mut best = Vec::new();
+        let mut tmp = Vec::new();
+        let (mode, sad) = self.best_mode_into(original, w, h, &mut best, &mut tmp);
+        (mode, best, sad)
+    }
+
+    /// Allocation-free [`IntraRefs::best_mode`]: the winning prediction
+    /// ends up in `best` (`tmp` is trial scratch), and the mode and its
+    /// SAD are returned. Mode order and tie-breaking are identical to
+    /// [`IntraRefs::best_mode`].
+    pub fn best_mode_into(
+        &self,
+        original: &[u8],
+        w: usize,
+        h: usize,
+        best: &mut Vec<u8>,
+        tmp: &mut Vec<u8>,
+    ) -> (IntraMode, u64) {
+        let mut winner: Option<(IntraMode, u64)> = None;
         for mode in IntraMode::ALL {
-            let pred = self.predict(mode, w, h);
+            self.predict_into(mode, w, h, tmp);
             let sad: u64 = original
                 .iter()
-                .zip(&pred)
+                .zip(tmp.iter())
                 .map(|(&a, &b)| (a as i16 - b as i16).unsigned_abs() as u64)
                 .sum();
-            if best.as_ref().is_none_or(|(_, _, c)| sad < *c) {
-                best = Some((mode, pred, sad));
+            if winner.is_none_or(|(_, c)| sad < c) {
+                winner = Some((mode, sad));
+                std::mem::swap(best, tmp);
             }
         }
-        best.expect("at least one intra mode")
+        winner.expect("at least one intra mode")
     }
 }
 

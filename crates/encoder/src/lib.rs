@@ -60,12 +60,15 @@ mod frame_enc;
 mod gop;
 mod intra;
 pub mod quant;
+mod scratch;
 mod stats;
 mod tile;
 pub mod transform;
 mod video_enc;
 
-pub use block::{code_residual, CodedResidual};
+pub use block::{
+    code_residual, code_residual_into, CodedResidual, ResidualOutcome, ResidualScratch,
+};
 pub use config::{EncoderConfig, Qp, SearchSpec, TileConfig};
 pub use cost_model::CostModel;
 pub use executor::{ScopedExecutor, SerialExecutor, TileExecutor, TileJob};
@@ -74,8 +77,9 @@ pub use frame_enc::{
 };
 pub use gop::{GopEntry, GopStructure};
 pub use intra::{IntraMode, IntraRefs};
+pub use scratch::EncScratch;
 pub use stats::{FrameStats, SequenceStats, TileStats};
-pub use tile::{encode_tile, TileOutcome};
+pub use tile::{encode_tile, encode_tile_with_scratch, TileOutcome};
 pub use video_enc::{
     encode_uniform, EncodeController, FramePlanContext, UniformController, VideoEncoder,
 };

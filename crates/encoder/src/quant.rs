@@ -12,20 +12,35 @@ const DEAD_ZONE: f64 = 1.0 / 3.0;
 
 /// Quantizes coefficients to integer levels.
 pub fn quantize(coeffs: &[f64], qp: Qp) -> Vec<i32> {
+    let mut out = Vec::new();
+    quantize_into(coeffs, qp, &mut out);
+    out
+}
+
+/// Allocation-free [`quantize`]: writes the levels into `out`
+/// (cleared first). Bit-exact with [`quantize`].
+pub fn quantize_into(coeffs: &[f64], qp: Qp, out: &mut Vec<i32>) {
     let step = qp.step_size();
-    coeffs
-        .iter()
-        .map(|&c| {
-            let sign = if c < 0.0 { -1.0 } else { 1.0 };
-            (sign * (c.abs() / step + DEAD_ZONE).floor()) as i32
-        })
-        .collect()
+    out.clear();
+    out.extend(coeffs.iter().map(|&c| {
+        let sign = if c < 0.0 { -1.0 } else { 1.0 };
+        (sign * (c.abs() / step + DEAD_ZONE).floor()) as i32
+    }));
 }
 
 /// Reconstructs coefficients from levels.
 pub fn dequantize(levels: &[i32], qp: Qp) -> Vec<f64> {
+    let mut out = Vec::new();
+    dequantize_into(levels, qp, &mut out);
+    out
+}
+
+/// Allocation-free [`dequantize`]: writes the coefficients into `out`
+/// (cleared first). Bit-exact with [`dequantize`].
+pub fn dequantize_into(levels: &[i32], qp: Qp, out: &mut Vec<f64>) {
     let step = qp.step_size();
-    levels.iter().map(|&l| l as f64 * step).collect()
+    out.clear();
+    out.extend(levels.iter().map(|&l| l as f64 * step));
 }
 
 /// Counts the non-zero levels (the "significance" driver of entropy
@@ -93,6 +108,20 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn prop_into_matches_allocating(
+            coeffs in proptest::collection::vec(-500.0f64..500.0, 1..64),
+            qp_val in 0u8..=51,
+        ) {
+            let q = qp(qp_val);
+            let mut levels = vec![99i32; 7]; // dirty buffer must be cleared
+            quantize_into(&coeffs, q, &mut levels);
+            prop_assert_eq!(&levels, &quantize(&coeffs, q));
+            let mut rec = vec![4.2f64; 3];
+            dequantize_into(&levels, q, &mut rec);
+            prop_assert_eq!(&rec, &dequantize(&levels, q));
+        }
+
         #[test]
         fn prop_error_bounded(
             coeffs in proptest::collection::vec(-1000.0f64..1000.0, 1..64),

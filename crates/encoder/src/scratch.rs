@@ -1,0 +1,60 @@
+//! Reusable per-thread encode buffers.
+//!
+//! Tile encoding works block by block; before this module existed,
+//! every block heap-allocated its original samples, intra reference
+//! edges, predictions, residuals, coefficient/level vectors and the
+//! reconstruction — a dozen allocations per block, millions per
+//! second under the worker pool. [`EncScratch`] owns all of those
+//! buffers so a steady-state encode loop performs **zero per-block
+//! heap allocations** (verified by the counting-allocator test in
+//! `tests/zero_alloc.rs`).
+//!
+//! [`encode_tile`](crate::encode_tile) keeps one `EncScratch` per
+//! thread automatically; [`encode_tile_with_scratch`](crate::encode_tile_with_scratch)
+//! threads an explicit instance for callers that manage their own
+//! worker state.
+
+use crate::block::ResidualScratch;
+use crate::intra::IntraRefs;
+use medvt_motion::MotionVector;
+
+/// All reusable buffers one encoding thread needs.
+///
+/// Buffers only ever grow (to the largest block seen), so after the
+/// first block of the first tile the encode loop stops touching the
+/// allocator entirely.
+#[derive(Debug, Clone, Default)]
+pub struct EncScratch {
+    /// Residual/transform/quantization intermediates.
+    pub(crate) residual: ResidualScratch,
+    /// Original samples of the current block.
+    pub(crate) orig_block: Vec<u8>,
+    /// Winning intra prediction of the current block.
+    pub(crate) intra_pred: Vec<u8>,
+    /// Trial prediction buffer for intra mode decision.
+    pub(crate) mode_tmp: Vec<u8>,
+    /// Motion-compensated prediction of the current block.
+    pub(crate) inter_pred: Vec<u8>,
+    /// Reconstruction of the current block before stitching.
+    pub(crate) recon_block: Vec<u8>,
+    /// Luma intra reference edges.
+    pub(crate) luma_refs: IntraRefs,
+    /// Original samples of the current chroma block.
+    pub(crate) chroma_orig: Vec<u8>,
+    /// Prediction of the current chroma block.
+    pub(crate) chroma_pred: Vec<u8>,
+    /// Chroma intra reference edges.
+    pub(crate) chroma_refs: IntraRefs,
+    /// Motion vectors of the tile's inter blocks.
+    pub(crate) inter_mvs: Vec<MotionVector>,
+    /// Median-of-MVs sort buffers.
+    pub(crate) mv_xs: Vec<i16>,
+    pub(crate) mv_ys: Vec<i16>,
+}
+
+impl EncScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

@@ -7,12 +7,13 @@
 //! anywhere in the *reference* pictures, as in HEVC.
 
 use crate::bits::{se_len, BitWriter};
-use crate::block::code_residual;
+use crate::block::code_residual_into;
 use crate::config::{EncoderConfig, TileConfig};
-use crate::intra::IntraRefs;
+use crate::scratch::EncScratch;
 use crate::stats::TileStats;
 use medvt_frame::{Frame, FrameKind, Plane, Rect};
 use medvt_motion::{CostMetric, MotionVector, SearchContext};
+use std::cell::RefCell;
 
 /// Everything produced by encoding one tile.
 #[derive(Debug, Clone)]
@@ -32,11 +33,23 @@ pub struct TileOutcome {
     pub dominant_mv: MotionVector,
 }
 
+thread_local! {
+    /// Per-thread scratch backing [`encode_tile`]; persistent worker
+    /// threads (the runtime pool) reuse it across every tile they
+    /// encode.
+    static TILE_SCRATCH: RefCell<EncScratch> = RefCell::new(EncScratch::new());
+}
+
 /// Encodes one tile.
 ///
 /// `refs` holds the reconstructed reference frames (empty for intra
 /// frames; one for P, two for B). The tile rectangle must be aligned to
 /// an 8-sample grid so luma 8x8 and chroma 4x4 transforms always fit.
+///
+/// Per-block working memory comes from a thread-local [`EncScratch`],
+/// so steady-state encoding allocates only the per-tile outputs
+/// (reconstruction planes and bitstream); use
+/// [`encode_tile_with_scratch`] to manage the scratch explicitly.
 ///
 /// # Panics
 ///
@@ -49,6 +62,41 @@ pub fn encode_tile(
     tile: Rect,
     tcfg: &TileConfig,
     ecfg: &EncoderConfig,
+) -> TileOutcome {
+    TILE_SCRATCH.with(|s| match s.try_borrow_mut() {
+        Ok(mut scratch) => {
+            encode_tile_with_scratch(original, refs, kind, tile, tcfg, ecfg, &mut scratch)
+        }
+        // Unreachable in practice (tile encoding does not re-enter),
+        // but a fresh scratch is always a safe fallback.
+        Err(_) => encode_tile_with_scratch(
+            original,
+            refs,
+            kind,
+            tile,
+            tcfg,
+            ecfg,
+            &mut EncScratch::new(),
+        ),
+    })
+}
+
+/// [`encode_tile`] with caller-owned scratch buffers — bit-identical
+/// output, but the caller controls buffer reuse (e.g. one scratch per
+/// worker thread held across frames).
+///
+/// # Panics
+///
+/// Panics when the tile is unaligned, outside the frame, or `refs` is
+/// empty for an inter frame kind.
+pub fn encode_tile_with_scratch(
+    original: &Frame,
+    refs: &[&Frame],
+    kind: FrameKind,
+    tile: Rect,
+    tcfg: &TileConfig,
+    ecfg: &EncoderConfig,
+    scratch: &mut EncScratch,
 ) -> TileOutcome {
     assert!(
         tile.x.is_multiple_of(8)
@@ -75,8 +123,25 @@ pub fn encode_tile(
     let algo = tcfg.search.instantiate();
     let lambda = tcfg.qp.lambda();
     let chroma_qp = tcfg.qp.offset(ecfg.chroma_qp_offset);
-    let mut inter_mvs: Vec<MotionVector> = Vec::new();
     let mut prev_mv = MotionVector::ZERO;
+
+    // Split the scratch into independent per-buffer borrows once.
+    let EncScratch {
+        residual,
+        orig_block,
+        intra_pred,
+        mode_tmp,
+        inter_pred,
+        recon_block,
+        luma_refs,
+        chroma_orig,
+        chroma_pred,
+        chroma_refs,
+        inter_mvs,
+        mv_xs,
+        mv_ys,
+    } = scratch;
+    inter_mvs.clear();
 
     let bs = ecfg.block_size;
     let tile_local = Rect::frame(tile.w, tile.h);
@@ -88,11 +153,12 @@ pub fn encode_tile(
             let bw = bs.min(tile.w - bx);
             let abs_block = Rect::new(tile.x + bx, tile.y + by, bw, bh);
             let rel_block = Rect::new(bx, by, bw, bh);
-            let orig_block = original.y().copy_rect(&abs_block);
+            original.y().copy_rect_into(&abs_block, orig_block);
 
             // Intra candidate (always available).
-            let intra_refs = IntraRefs::gather(&recon_y, &rel_block, &tile_local);
-            let (intra_mode, intra_pred, intra_sad) = intra_refs.best_mode(&orig_block, bw, bh);
+            luma_refs.regather(&recon_y, &rel_block, &tile_local);
+            let (intra_mode, intra_sad) =
+                luma_refs.best_mode_into(orig_block, bw, bh, intra_pred, mode_tmp);
             let intra_header_bits = 1 + 2; // mode flag + intra mode index
             let intra_cost = intra_sad as f64 + lambda * intra_header_bits as f64;
 
@@ -130,15 +196,15 @@ pub fn encode_tile(
                 }
             };
 
-            let prediction: Vec<u8>;
-            if use_inter {
+            let prediction: &Vec<u8> = if use_inter {
                 let (ref_idx, mv, _, _) = inter_choice.expect("inter chosen");
                 let reference = refs[ref_idx];
-                prediction = reference.y().copy_block_clamped(
+                reference.y().copy_block_clamped_into(
                     abs_block.x as isize + mv.x as isize,
                     abs_block.y as isize + mv.y as isize,
                     bw,
                     bh,
+                    inter_pred,
                 );
                 // Header: inter flag, ref index, MV difference.
                 writer.write_bit(true);
@@ -151,19 +217,30 @@ pub fn encode_tile(
                 prev_mv = mv;
                 inter_mvs.push(mv);
                 stats.inter_blocks += 1;
+                inter_pred
             } else {
-                prediction = intra_pred;
                 writer.write_bit(false);
                 writer.write_bits(intra_mode.index(), 2);
                 stats.intra_blocks += 1;
-            }
+                intra_pred
+            };
 
             // Luma residual (8x8 transforms always fit: bw/bh are
             // multiples of 8 given grid alignment).
-            let coded = code_residual(&orig_block, &prediction, bw, bh, 8, tcfg.qp, &mut writer);
+            let coded = code_residual_into(
+                orig_block,
+                prediction,
+                bw,
+                bh,
+                8,
+                tcfg.qp,
+                &mut writer,
+                residual,
+                recon_block,
+            );
             stats.luma_ssd += coded.ssd;
             stats.transform_samples += coded.transform_samples;
-            recon_y.write_rect(&rel_block, &coded.recon);
+            recon_y.write_rect(&rel_block, recon_block);
 
             // Chroma (4:2:0): collocated block at half geometry.
             if ecfg.chroma {
@@ -176,27 +253,37 @@ pub fn encode_tile(
                         .into_iter()
                         .enumerate()
                 {
-                    let orig_cb = orig_c.copy_rect(&c_abs);
-                    let pred_cb: Vec<u8> = if use_inter {
+                    orig_c.copy_rect_into(&c_abs, chroma_orig);
+                    if use_inter {
                         let (ref_idx, mv, _, _) = inter_choice.expect("inter chosen");
                         let rf = refs[ref_idx];
                         let plane = if plane_idx == 0 { rf.u() } else { rf.v() };
-                        plane.copy_block_clamped(
+                        plane.copy_block_clamped_into(
                             c_abs.x as isize + (mv.x / 2) as isize,
                             c_abs.y as isize + (mv.y / 2) as isize,
                             cw,
                             ch,
-                        )
+                            chroma_pred,
+                        );
                     } else {
                         // Chroma intra: DC from local chroma recon refs.
                         let c_tile = Rect::frame(tile.w / 2, tile.h / 2);
-                        let crefs = IntraRefs::gather(recon_c, &c_rel, &c_tile);
-                        crefs.predict(crate::intra::IntraMode::Dc, cw, ch)
-                    };
-                    let coded_c =
-                        code_residual(&orig_cb, &pred_cb, cw, ch, 4, chroma_qp, &mut writer);
+                        chroma_refs.regather(recon_c, &c_rel, &c_tile);
+                        chroma_refs.predict_into(crate::intra::IntraMode::Dc, cw, ch, chroma_pred);
+                    }
+                    let coded_c = code_residual_into(
+                        chroma_orig,
+                        chroma_pred,
+                        cw,
+                        ch,
+                        4,
+                        chroma_qp,
+                        &mut writer,
+                        residual,
+                        recon_block,
+                    );
                     stats.transform_samples += coded_c.transform_samples;
-                    recon_c.write_rect(&c_rel, &coded_c.recon);
+                    recon_c.write_rect(&c_rel, recon_block);
                 }
             }
             bx += bw;
@@ -205,7 +292,7 @@ pub fn encode_tile(
     }
 
     stats.bits = writer.bits_written();
-    let dominant_mv = median_mv(&inter_mvs);
+    let dominant_mv = median_mv_with(inter_mvs, mv_xs, mv_ys);
     TileOutcome {
         stats,
         bytes: writer.into_bytes(),
@@ -217,12 +304,20 @@ pub fn encode_tile(
 }
 
 /// Component-wise median of the block motion vectors.
+#[cfg(test)]
 fn median_mv(mvs: &[MotionVector]) -> MotionVector {
+    median_mv_with(mvs, &mut Vec::new(), &mut Vec::new())
+}
+
+/// [`median_mv`] with caller-owned sort buffers.
+fn median_mv_with(mvs: &[MotionVector], xs: &mut Vec<i16>, ys: &mut Vec<i16>) -> MotionVector {
     if mvs.is_empty() {
         return MotionVector::ZERO;
     }
-    let mut xs: Vec<i16> = mvs.iter().map(|m| m.x).collect();
-    let mut ys: Vec<i16> = mvs.iter().map(|m| m.y).collect();
+    xs.clear();
+    xs.extend(mvs.iter().map(|m| m.x));
+    ys.clear();
+    ys.extend(mvs.iter().map(|m| m.y));
     xs.sort_unstable();
     ys.sort_unstable();
     MotionVector::new(xs[xs.len() / 2], ys[ys.len() / 2])

@@ -7,20 +7,26 @@
 //! is quantization — exactly the property the rate/distortion
 //! behaviour of the experiments depends on.
 
-use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 
 /// Supported transform sizes (HEVC core transform sizes).
 pub const TRANSFORM_SIZES: [usize; 4] = [4, 8, 16, 32];
 
-/// Orthonormal DCT-II basis matrix of size `n x n`, row-major, cached.
-fn basis(n: usize) -> &'static [f64] {
-    static CACHE: OnceLock<Mutex<HashMap<usize, &'static [f64]>>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut guard = cache.lock().expect("basis cache poisoned");
-    if let Some(&m) = guard.get(&n) {
-        return m;
-    }
+/// One lock-free lazily-initialized basis table per transform size.
+///
+/// The former `Mutex<HashMap>` serialized every DCT call across all
+/// worker threads (and could poison on panic); per-size `OnceLock`s
+/// initialize at most once each, are wait-free after initialization,
+/// and cannot poison. Concurrent first use races the (pure)
+/// computation and every thread observes the same winning table.
+static BASIS_CELLS: [OnceLock<Box<[f64]>>; 4] = [
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+];
+
+fn compute_basis(n: usize) -> Box<[f64]> {
     let mut m = vec![0.0f64; n * n];
     let scale0 = (1.0 / n as f64).sqrt();
     let scale = (2.0 / n as f64).sqrt();
@@ -31,9 +37,43 @@ fn basis(n: usize) -> &'static [f64] {
                 s * ((std::f64::consts::PI / n as f64) * (i as f64 + 0.5) * k as f64).cos();
         }
     }
-    let leaked: &'static [f64] = Box::leak(m.into_boxed_slice());
-    guard.insert(n, leaked);
-    leaked
+    m.into_boxed_slice()
+}
+
+/// Orthonormal DCT-II basis matrix of size `n x n`, row-major, cached.
+fn basis(n: usize) -> &'static [f64] {
+    let idx = TRANSFORM_SIZES
+        .iter()
+        .position(|&s| s == n)
+        .unwrap_or_else(|| panic!("unsupported transform size {n}; HEVC sizes are 4/8/16/32"));
+    BASIS_CELLS[idx].get_or_init(|| compute_basis(n))
+}
+
+/// Transposed basis (`C^T`), cached separately so multiplications by
+/// `C^T` read stride-1 rows. Element values are exact copies of
+/// [`basis`], so results are bit-identical to indexing `C` columns.
+static BASIS_T_CELLS: [OnceLock<Box<[f64]>>; 4] = [
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+];
+
+fn basis_t(n: usize) -> &'static [f64] {
+    let idx = TRANSFORM_SIZES
+        .iter()
+        .position(|&s| s == n)
+        .unwrap_or_else(|| panic!("unsupported transform size {n}; HEVC sizes are 4/8/16/32"));
+    BASIS_T_CELLS[idx].get_or_init(|| {
+        let c = basis(n);
+        let mut t = vec![0.0f64; n * n];
+        for k in 0..n {
+            for i in 0..n {
+                t[i * n + k] = c[k * n + i];
+            }
+        }
+        t.into_boxed_slice()
+    })
 }
 
 /// Validates a transform size.
@@ -55,32 +95,58 @@ fn check_size(n: usize) {
 ///
 /// Panics when `n` is unsupported or `input.len() != n * n`.
 pub fn forward(n: usize, input: &[i32]) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut tmp = Vec::new();
+    forward_into(n, input, &mut out, &mut tmp);
+    out
+}
+
+/// Allocation-free [`forward`]: writes the coefficients into `out`
+/// using `tmp` as the intermediate product buffer. Both buffers are
+/// resized to `n * n`; reusing them across blocks makes the transform
+/// zero-allocation in steady state. The arithmetic (and therefore the
+/// bit-exact result) is identical to [`forward`].
+///
+/// # Panics
+///
+/// Panics when `n` is unsupported or `input.len() != n * n`.
+pub fn forward_into(n: usize, input: &[i32], out: &mut Vec<f64>, tmp: &mut Vec<f64>) {
     check_size(n);
     assert_eq!(input.len(), n * n, "input must be {n}x{n}");
     let c = basis(n);
+    let ct = basis_t(n);
+    // Both products run with the accumulation loop *outside* the
+    // output loop (ikj order): every output element still sums its
+    // terms in exactly the original index order — bit-identical under
+    // IEEE-754 — but the innermost loop is a stride-1 axpy the
+    // autovectorizer handles, instead of a latency-bound dot product.
+    //
     // tmp = C * X
-    let mut tmp = vec![0.0f64; n * n];
+    tmp.clear();
+    tmp.resize(n * n, 0.0);
     for k in 0..n {
+        let trow = &mut tmp[k * n..(k + 1) * n];
+        for i in 0..n {
+            let cki = c[k * n + i];
+            let xrow = &input[i * n..(i + 1) * n];
+            for (t, &x) in trow.iter_mut().zip(xrow) {
+                *t += cki * x as f64;
+            }
+        }
+    }
+    // out = tmp * C^T  (out[k,l] = Σ_j tmp[k,j] · ct[j,l])
+    out.clear();
+    out.resize(n * n, 0.0);
+    for k in 0..n {
+        let orow = &mut out[k * n..(k + 1) * n];
         for j in 0..n {
-            let mut acc = 0.0;
-            for i in 0..n {
-                acc += c[k * n + i] * input[i * n + j] as f64;
+            let tkj = tmp[k * n + j];
+            let crow = &ct[j * n..(j + 1) * n];
+            for (o, &cc) in orow.iter_mut().zip(crow) {
+                *o += tkj * cc;
             }
-            tmp[k * n + j] = acc;
         }
     }
-    // out = tmp * C^T
-    let mut out = vec![0.0f64; n * n];
-    for k in 0..n {
-        for l in 0..n {
-            let mut acc = 0.0;
-            for j in 0..n {
-                acc += tmp[k * n + j] * c[l * n + j];
-            }
-            out[k * n + l] = acc;
-        }
-    }
-    out
 }
 
 /// Inverse 2-D DCT-II, mapping coefficients back to residual samples
@@ -90,32 +156,53 @@ pub fn forward(n: usize, input: &[i32]) -> Vec<f64> {
 ///
 /// Panics when `n` is unsupported or `coeffs.len() != n * n`.
 pub fn inverse(n: usize, coeffs: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut tmp = Vec::new();
+    inverse_into(n, coeffs, &mut out, &mut tmp);
+    out
+}
+
+/// Allocation-free [`inverse`]: writes the residual samples into `out`
+/// using `tmp` as the intermediate product buffer (both resized to
+/// `n * n`). Bit-exact with [`inverse`].
+///
+/// # Panics
+///
+/// Panics when `n` is unsupported or `coeffs.len() != n * n`.
+pub fn inverse_into(n: usize, coeffs: &[f64], out: &mut Vec<f64>, tmp: &mut Vec<f64>) {
     check_size(n);
     assert_eq!(coeffs.len(), n * n, "coeffs must be {n}x{n}");
     let c = basis(n);
-    // tmp = C^T * Y
-    let mut tmp = vec![0.0f64; n * n];
+    let ct = basis_t(n);
+    // Same ikj interchange as [`forward_into`]: identical per-element
+    // accumulation order, vectorizable stride-1 inner loops.
+    //
+    // tmp = C^T * Y  (tmp[i,l] = Σ_k ct[i,k] · coeffs[k,l])
+    tmp.clear();
+    tmp.resize(n * n, 0.0);
     for i in 0..n {
+        let trow = &mut tmp[i * n..(i + 1) * n];
+        for k in 0..n {
+            let cik = ct[i * n + k];
+            let yrow = &coeffs[k * n..(k + 1) * n];
+            for (t, &y) in trow.iter_mut().zip(yrow) {
+                *t += cik * y;
+            }
+        }
+    }
+    // out = tmp * C  (out[i,j] = Σ_l tmp[i,l] · c[l,j])
+    out.clear();
+    out.resize(n * n, 0.0);
+    for i in 0..n {
+        let orow = &mut out[i * n..(i + 1) * n];
         for l in 0..n {
-            let mut acc = 0.0;
-            for k in 0..n {
-                acc += c[k * n + i] * coeffs[k * n + l];
+            let til = tmp[i * n + l];
+            let crow = &c[l * n..(l + 1) * n];
+            for (o, &cc) in orow.iter_mut().zip(crow) {
+                *o += til * cc;
             }
-            tmp[i * n + l] = acc;
         }
     }
-    // out = tmp * C
-    let mut out = vec![0.0f64; n * n];
-    for i in 0..n {
-        for j in 0..n {
-            let mut acc = 0.0;
-            for l in 0..n {
-                acc += tmp[i * n + l] * c[l * n + j];
-            }
-            out[i * n + j] = acc;
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -175,7 +262,146 @@ mod tests {
         assert!(low > 10.0 * high, "low={low} high={high}");
     }
 
+    #[test]
+    fn concurrent_first_use_yields_identical_tables() {
+        // Many threads race the lazy basis initialization through the
+        // public API; every thread must observe the same coefficients
+        // (regression test for the old poisonable Mutex<HashMap> path,
+        // which could also deadlock-by-serialization under the worker
+        // pool).
+        let results: Vec<Vec<Vec<f64>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..16)
+                .map(|_| {
+                    scope.spawn(|| {
+                        TRANSFORM_SIZES
+                            .map(|n| {
+                                let input = vec![7i32; n * n];
+                                forward(n, &input)
+                            })
+                            .to_vec()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for other in &results[1..] {
+            assert_eq!(&results[0], other, "threads saw different basis tables");
+        }
+        // And the tables are shared statics: repeated lookups return
+        // the same allocation.
+        assert!(std::ptr::eq(basis(8), basis(8)));
+    }
+
+    /// The seed implementation's loop order (dot product per output
+    /// element), kept as the bit-exactness spec for the interchanged
+    /// loops.
+    fn forward_spec(n: usize, input: &[i32]) -> Vec<f64> {
+        let c = basis(n);
+        let mut tmp = vec![0.0f64; n * n];
+        for k in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for i in 0..n {
+                    acc += c[k * n + i] * input[i * n + j] as f64;
+                }
+                tmp[k * n + j] = acc;
+            }
+        }
+        let mut out = vec![0.0f64; n * n];
+        for k in 0..n {
+            for l in 0..n {
+                let mut acc = 0.0;
+                for j in 0..n {
+                    acc += tmp[k * n + j] * c[l * n + j];
+                }
+                out[k * n + l] = acc;
+            }
+        }
+        out
+    }
+
+    fn inverse_spec(n: usize, coeffs: &[f64]) -> Vec<f64> {
+        let c = basis(n);
+        let mut tmp = vec![0.0f64; n * n];
+        for i in 0..n {
+            for l in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += c[k * n + i] * coeffs[k * n + l];
+                }
+                tmp[i * n + l] = acc;
+            }
+        }
+        let mut out = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for l in 0..n {
+                    acc += tmp[i * n + l] * c[l * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn interchanged_loops_are_bit_exact_with_seed_order() {
+        // The ikj interchange must not change a single mantissa bit:
+        // every output element accumulates the same terms in the same
+        // order as the seed's dot-product loops.
+        for n in TRANSFORM_SIZES {
+            let input: Vec<i32> = (0..n * n)
+                .map(|i| (((i * 73 + 11) % 511) as i32 - 255) * if i % 3 == 0 { -1 } else { 1 })
+                .collect();
+            let got = forward(n, &input);
+            let spec = forward_spec(n, &input);
+            assert!(
+                got.iter()
+                    .zip(&spec)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "forward diverged bitwise at n={n}"
+            );
+            let rec = inverse(n, &got);
+            let rec_spec = inverse_spec(n, &spec);
+            assert!(
+                rec.iter()
+                    .zip(&rec_spec)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "inverse diverged bitwise at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_variants() {
+        let mut out = Vec::new();
+        let mut tmp = Vec::new();
+        for n in TRANSFORM_SIZES {
+            let input: Vec<i32> = (0..n * n).map(|i| ((i * 91) % 509) as i32 - 254).collect();
+            forward_into(n, &input, &mut out, &mut tmp);
+            let allocating = forward(n, &input);
+            assert_eq!(out, allocating, "forward_into diverged at n={n}");
+            let mut rec = Vec::new();
+            inverse_into(n, &allocating, &mut rec, &mut tmp);
+            assert_eq!(
+                rec,
+                inverse(n, &allocating),
+                "inverse_into diverged at n={n}"
+            );
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_into_forward_bit_exact(input in proptest::collection::vec(-255i32..=255, 64)) {
+            let mut out = vec![1.0; 3]; // dirty buffers must not leak through
+            let mut tmp = vec![2.0; 99];
+            forward_into(8, &input, &mut out, &mut tmp);
+            let reference = forward(8, &input);
+            prop_assert_eq!(out, reference);
+        }
+
         #[test]
         fn prop_round_trip_8(input in proptest::collection::vec(-255i32..=255, 64)) {
             let rec = inverse(8, &forward(8, &input));

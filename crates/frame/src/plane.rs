@@ -158,17 +158,31 @@ impl Plane {
     ///
     /// Panics when `rect` is not fully inside the plane.
     pub fn copy_rect(&self, rect: &Rect) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.copy_rect_into(rect, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Plane::copy_rect`]: clears `out` and fills it
+    /// with the samples of `rect` in raster order. Reusing `out`
+    /// across blocks makes block gathering zero-allocation in steady
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rect` is not fully inside the plane.
+    pub fn copy_rect_into(&self, rect: &Rect, out: &mut Vec<u8>) {
         assert!(
             self.bounds().contains_rect(rect),
             "rect {rect} outside plane {}x{}",
             self.width,
             self.height
         );
-        let mut out = Vec::with_capacity(rect.area());
+        out.clear();
+        out.reserve(rect.area());
         for row in rect.y..rect.bottom() {
             out.extend_from_slice(&self.row(row)[rect.x..rect.right()]);
         }
-        out
     }
 
     /// Copies a `w x h` block whose top-left corner may lie outside the
@@ -177,13 +191,42 @@ impl Plane {
     /// This is the access pattern of motion compensation with unrestricted
     /// motion vectors.
     pub fn copy_block_clamped(&self, x: isize, y: isize, w: usize, h: usize) -> Vec<u8> {
-        let mut out = Vec::with_capacity(w * h);
-        for row in 0..h as isize {
-            for col in 0..w as isize {
-                out.push(self.get_clamped(x + col, y + row));
+        let mut out = Vec::new();
+        self.copy_block_clamped_into(x, y, w, h, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Plane::copy_block_clamped`]: clears `out` and
+    /// fills it with the clamped block.
+    ///
+    /// Blocks fully inside the plane (the overwhelming majority of
+    /// motion-compensation reads) are copied row-by-row with
+    /// `copy_from_slice`; only boundary blocks take the per-sample
+    /// clamped path.
+    pub fn copy_block_clamped_into(
+        &self,
+        x: isize,
+        y: isize,
+        w: usize,
+        h: usize,
+        out: &mut Vec<u8>,
+    ) {
+        out.clear();
+        out.reserve(w * h);
+        let interior =
+            x >= 0 && y >= 0 && (x as usize) + w <= self.width && (y as usize) + h <= self.height;
+        if interior {
+            let (x, y) = (x as usize, y as usize);
+            for row in y..y + h {
+                out.extend_from_slice(&self.row(row)[x..x + w]);
+            }
+        } else {
+            for row in 0..h as isize {
+                for col in 0..w as isize {
+                    out.push(self.get_clamped(x + col, y + row));
+                }
             }
         }
-        out
     }
 
     /// Writes a row-major `rect`-sized buffer into the plane at `rect`.
@@ -308,6 +351,28 @@ mod tests {
         p.set(0, 0, 42);
         let block = p.copy_block_clamped(-2, -2, 2, 2);
         assert_eq!(block, vec![42; 4]);
+    }
+
+    #[test]
+    fn copy_into_variants_reuse_and_match() {
+        let mut p = Plane::new(8, 6);
+        for (i, s) in p.samples_mut().iter_mut().enumerate() {
+            *s = (i * 7 % 256) as u8;
+        }
+        let mut buf = vec![1, 2, 3]; // dirty buffer must be cleared
+        let r = Rect::new(2, 1, 4, 3);
+        p.copy_rect_into(&r, &mut buf);
+        assert_eq!(buf, p.copy_rect(&r));
+        // Interior fast path agrees with the clamped spec...
+        p.copy_block_clamped_into(2, 1, 4, 3, &mut buf);
+        assert_eq!(buf, p.copy_rect(&r));
+        // ...and boundary blocks agree with per-sample clamping.
+        p.copy_block_clamped_into(-1, 4, 4, 4, &mut buf);
+        let expected: Vec<u8> = (0..4)
+            .flat_map(|row| (0..4).map(move |col| (col - 1, 4 + row)))
+            .map(|(c, r)| p.get_clamped(c, r))
+            .collect();
+        assert_eq!(buf, expected);
     }
 
     #[test]

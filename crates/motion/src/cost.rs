@@ -4,6 +4,23 @@
 //! motion-shifted block of the *reference* plane. Reference access uses
 //! edge clamping, matching unrestricted motion vectors over padded
 //! reference pictures in HEVC.
+//!
+//! Two implementations back every metric:
+//!
+//! * an **interior fast path** taken when the displaced block lies
+//!   fully inside the reference plane — both operands are then plain
+//!   row slices and the inner loops autovectorize;
+//! * the **clamped path** for boundary candidates, identical to the
+//!   original per-sample [`Plane::get_clamped`] access (kept verbatim
+//!   in [`reference`] as the executable specification).
+//!
+//! The `_upto` variants additionally take an exclusive `bound` and may
+//! stop at a row boundary once the partial sum reaches it. Because the
+//! partial sum of a non-negative series never exceeds the total, the
+//! returned value is either the exact cost (when it is below `bound`)
+//! or a lower bound that is `>= bound` — either way a caller comparing
+//! against `bound` makes the same accept/reject decision as with the
+//! exact cost, which keeps motion decisions bit-identical.
 
 use crate::MotionVector;
 use medvt_frame::{Plane, Rect};
@@ -22,6 +39,42 @@ pub enum CostMetric {
     Satd,
 }
 
+/// Top-left corner of the displaced block in reference coordinates
+/// when it lies fully inside the reference plane.
+#[inline]
+fn interior_origin(reference: &Plane, block: &Rect, mv: MotionVector) -> Option<(usize, usize)> {
+    let x0 = block.x as isize + mv.x as isize;
+    let y0 = block.y as isize + mv.y as isize;
+    if x0 >= 0
+        && y0 >= 0
+        && (x0 as usize) + block.w <= reference.width()
+        && (y0 as usize) + block.h <= reference.height()
+    {
+        Some((x0 as usize, y0 as usize))
+    } else {
+        None
+    }
+}
+
+#[inline]
+fn row_sad(cur: &[u8], reference: &[u8]) -> u64 {
+    cur.iter()
+        .zip(reference)
+        .map(|(&c, &r)| (c as i16 - r as i16).unsigned_abs() as u32)
+        .sum::<u32>() as u64
+}
+
+#[inline]
+fn row_ssd(cur: &[u8], reference: &[u8]) -> u64 {
+    cur.iter()
+        .zip(reference)
+        .map(|(&c, &r)| {
+            let d = (c as i32 - r as i32).unsigned_abs();
+            (d * d) as u64
+        })
+        .sum()
+}
+
 /// Sum of absolute differences between `block` of `cur` and the block
 /// displaced by `mv` in `reference`.
 ///
@@ -29,18 +82,43 @@ pub enum CostMetric {
 ///
 /// Panics when `block` is not fully inside `cur`.
 pub fn sad(cur: &Plane, reference: &Plane, block: &Rect, mv: MotionVector) -> u64 {
+    sad_upto(cur, reference, block, mv, u64::MAX)
+}
+
+/// [`sad`] with early termination: may return at a row boundary once
+/// the partial sum reaches `bound` (see the module docs for why the
+/// result still decides `cost < bound` exactly).
+///
+/// # Panics
+///
+/// Panics when `block` is not fully inside `cur`.
+pub fn sad_upto(cur: &Plane, reference: &Plane, block: &Rect, mv: MotionVector, bound: u64) -> u64 {
     assert!(
         cur.bounds().contains_rect(block),
         "block {block} outside current plane"
     );
     let mut acc = 0u64;
-    for row in block.y..block.bottom() {
-        let cur_row = &cur.row(row)[block.x..block.right()];
-        let ref_y = row as isize + mv.y as isize;
-        for (i, &c) in cur_row.iter().enumerate() {
-            let ref_x = (block.x + i) as isize + mv.x as isize;
-            let r = reference.get_clamped(ref_x, ref_y);
-            acc += (c as i16 - r as i16).unsigned_abs() as u64;
+    if let Some((rx, ry)) = interior_origin(reference, block, mv) {
+        for (i, row) in (block.y..block.bottom()).enumerate() {
+            let cur_row = &cur.row(row)[block.x..block.right()];
+            let ref_row = &reference.row(ry + i)[rx..rx + block.w];
+            acc += row_sad(cur_row, ref_row);
+            if acc >= bound {
+                return acc;
+            }
+        }
+    } else {
+        for row in block.y..block.bottom() {
+            let cur_row = &cur.row(row)[block.x..block.right()];
+            let ref_y = row as isize + mv.y as isize;
+            for (i, &c) in cur_row.iter().enumerate() {
+                let ref_x = (block.x + i) as isize + mv.x as isize;
+                let r = reference.get_clamped(ref_x, ref_y);
+                acc += (c as i16 - r as i16).unsigned_abs() as u64;
+            }
+            if acc >= bound {
+                return acc;
+            }
         }
     }
     acc
@@ -52,19 +130,42 @@ pub fn sad(cur: &Plane, reference: &Plane, block: &Rect, mv: MotionVector) -> u6
 ///
 /// Panics when `block` is not fully inside `cur`.
 pub fn ssd(cur: &Plane, reference: &Plane, block: &Rect, mv: MotionVector) -> u64 {
+    ssd_upto(cur, reference, block, mv, u64::MAX)
+}
+
+/// [`ssd`] with early termination at row granularity against `bound`.
+///
+/// # Panics
+///
+/// Panics when `block` is not fully inside `cur`.
+pub fn ssd_upto(cur: &Plane, reference: &Plane, block: &Rect, mv: MotionVector, bound: u64) -> u64 {
     assert!(
         cur.bounds().contains_rect(block),
         "block {block} outside current plane"
     );
     let mut acc = 0u64;
-    for row in block.y..block.bottom() {
-        let cur_row = &cur.row(row)[block.x..block.right()];
-        let ref_y = row as isize + mv.y as isize;
-        for (i, &c) in cur_row.iter().enumerate() {
-            let ref_x = (block.x + i) as isize + mv.x as isize;
-            let r = reference.get_clamped(ref_x, ref_y);
-            let d = (c as i64) - (r as i64);
-            acc += (d * d) as u64;
+    if let Some((rx, ry)) = interior_origin(reference, block, mv) {
+        for (i, row) in (block.y..block.bottom()).enumerate() {
+            let cur_row = &cur.row(row)[block.x..block.right()];
+            let ref_row = &reference.row(ry + i)[rx..rx + block.w];
+            acc += row_ssd(cur_row, ref_row);
+            if acc >= bound {
+                return acc;
+            }
+        }
+    } else {
+        for row in block.y..block.bottom() {
+            let cur_row = &cur.row(row)[block.x..block.right()];
+            let ref_y = row as isize + mv.y as isize;
+            for (i, &c) in cur_row.iter().enumerate() {
+                let ref_x = (block.x + i) as isize + mv.x as isize;
+                let r = reference.get_clamped(ref_x, ref_y);
+                let d = (c as i64) - (r as i64);
+                acc += (d * d) as u64;
+            }
+            if acc >= bound {
+                return acc;
+            }
         }
     }
     acc
@@ -116,6 +217,22 @@ fn hadamard4_cost(res: &[i32; 16]) -> u64 {
 ///
 /// Panics when `block` is not fully inside `cur`.
 pub fn satd(cur: &Plane, reference: &Plane, block: &Rect, mv: MotionVector) -> u64 {
+    satd_upto(cur, reference, block, mv, u64::MAX)
+}
+
+/// [`satd`] with early termination after each row of 4x4 sub-blocks
+/// against `bound`.
+///
+/// # Panics
+///
+/// Panics when `block` is not fully inside `cur`.
+pub fn satd_upto(
+    cur: &Plane,
+    reference: &Plane,
+    block: &Rect,
+    mv: MotionVector,
+    bound: u64,
+) -> u64 {
     assert!(
         cur.bounds().contains_rect(block),
         "block {block} outside current plane"
@@ -124,23 +241,38 @@ pub fn satd(cur: &Plane, reference: &Plane, block: &Rect, mv: MotionVector) -> u
     let full_w = block.w - block.w % 4;
     let full_h = block.h - block.h % 4;
     let mut res = [0i32; 16];
+    let interior = interior_origin(reference, block, mv);
     let mut by = 0;
     while by < full_h {
         let mut bx = 0;
         while bx < full_w {
-            for sy in 0..4 {
-                let row = block.y + by + sy;
-                let ref_y = row as isize + mv.y as isize;
-                for sx in 0..4 {
-                    let col = block.x + bx + sx;
-                    let ref_x = col as isize + mv.x as isize;
-                    res[sy * 4 + sx] =
-                        cur.get(col, row) as i32 - reference.get_clamped(ref_x, ref_y) as i32;
+            if let Some((rx, ry)) = interior {
+                for sy in 0..4 {
+                    let cur_row = cur.row(block.y + by + sy);
+                    let ref_row = reference.row(ry + by + sy);
+                    let col = block.x + bx;
+                    for sx in 0..4 {
+                        res[sy * 4 + sx] = cur_row[col + sx] as i32 - ref_row[rx + bx + sx] as i32;
+                    }
+                }
+            } else {
+                for sy in 0..4 {
+                    let row = block.y + by + sy;
+                    let ref_y = row as isize + mv.y as isize;
+                    for sx in 0..4 {
+                        let col = block.x + bx + sx;
+                        let ref_x = col as isize + mv.x as isize;
+                        res[sy * 4 + sx] =
+                            cur.get(col, row) as i32 - reference.get_clamped(ref_x, ref_y) as i32;
+                    }
                 }
             }
             // Normalize by 2 to keep SATD on a SAD-comparable scale.
             acc += hadamard4_cost(&res) / 2;
             bx += 4;
+        }
+        if acc >= bound {
+            return acc;
         }
         by += 4;
     }
@@ -169,16 +301,154 @@ pub fn block_cost(
     block: &Rect,
     mv: MotionVector,
 ) -> u64 {
+    block_cost_upto(metric, cur, reference, block, mv, u64::MAX)
+}
+
+/// [`block_cost`] with early termination against `bound` (see the
+/// module docs for the decision-equivalence argument).
+///
+/// # Panics
+///
+/// Panics when `block` is not fully inside `cur`.
+pub fn block_cost_upto(
+    metric: CostMetric,
+    cur: &Plane,
+    reference: &Plane,
+    block: &Rect,
+    mv: MotionVector,
+    bound: u64,
+) -> u64 {
     match metric {
-        CostMetric::Sad => sad(cur, reference, block, mv),
-        CostMetric::Ssd => ssd(cur, reference, block, mv),
-        CostMetric::Satd => satd(cur, reference, block, mv),
+        CostMetric::Sad => sad_upto(cur, reference, block, mv, bound),
+        CostMetric::Ssd => ssd_upto(cur, reference, block, mv, bound),
+        CostMetric::Satd => satd_upto(cur, reference, block, mv, bound),
+    }
+}
+
+/// The original per-sample clamped implementations, kept verbatim as
+/// the executable specification of every metric.
+///
+/// The optimized kernels in the parent module must agree with these on
+/// every input (enforced by proptests); the kernel benchmark uses them
+/// as the measured "before".
+pub mod reference {
+    use super::*;
+
+    /// Specification [`super::sad`]: per-sample clamped access.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block` is not fully inside `cur`.
+    pub fn sad(cur: &Plane, reference: &Plane, block: &Rect, mv: MotionVector) -> u64 {
+        assert!(
+            cur.bounds().contains_rect(block),
+            "block {block} outside current plane"
+        );
+        let mut acc = 0u64;
+        for row in block.y..block.bottom() {
+            let cur_row = &cur.row(row)[block.x..block.right()];
+            let ref_y = row as isize + mv.y as isize;
+            for (i, &c) in cur_row.iter().enumerate() {
+                let ref_x = (block.x + i) as isize + mv.x as isize;
+                let r = reference.get_clamped(ref_x, ref_y);
+                acc += (c as i16 - r as i16).unsigned_abs() as u64;
+            }
+        }
+        acc
+    }
+
+    /// Specification [`super::ssd`]: per-sample clamped access.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block` is not fully inside `cur`.
+    pub fn ssd(cur: &Plane, reference: &Plane, block: &Rect, mv: MotionVector) -> u64 {
+        assert!(
+            cur.bounds().contains_rect(block),
+            "block {block} outside current plane"
+        );
+        let mut acc = 0u64;
+        for row in block.y..block.bottom() {
+            let cur_row = &cur.row(row)[block.x..block.right()];
+            let ref_y = row as isize + mv.y as isize;
+            for (i, &c) in cur_row.iter().enumerate() {
+                let ref_x = (block.x + i) as isize + mv.x as isize;
+                let r = reference.get_clamped(ref_x, ref_y);
+                let d = (c as i64) - (r as i64);
+                acc += (d * d) as u64;
+            }
+        }
+        acc
+    }
+
+    /// Specification [`super::satd`]: per-sample clamped access.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block` is not fully inside `cur`.
+    pub fn satd(cur: &Plane, reference: &Plane, block: &Rect, mv: MotionVector) -> u64 {
+        assert!(
+            cur.bounds().contains_rect(block),
+            "block {block} outside current plane"
+        );
+        let mut acc = 0u64;
+        let full_w = block.w - block.w % 4;
+        let full_h = block.h - block.h % 4;
+        let mut res = [0i32; 16];
+        let mut by = 0;
+        while by < full_h {
+            let mut bx = 0;
+            while bx < full_w {
+                for sy in 0..4 {
+                    let row = block.y + by + sy;
+                    let ref_y = row as isize + mv.y as isize;
+                    for sx in 0..4 {
+                        let col = block.x + bx + sx;
+                        let ref_x = col as isize + mv.x as isize;
+                        res[sy * 4 + sx] =
+                            cur.get(col, row) as i32 - reference.get_clamped(ref_x, ref_y) as i32;
+                    }
+                }
+                acc += super::hadamard4_cost(&res) / 2;
+                bx += 4;
+            }
+            by += 4;
+        }
+        if full_w < block.w {
+            let edge = Rect::new(block.x + full_w, block.y, block.w - full_w, block.h);
+            acc += sad(cur, reference, &edge, mv);
+        }
+        if full_h < block.h {
+            let edge = Rect::new(block.x, block.y + full_h, full_w, block.h - full_h);
+            acc += sad(cur, reference, &edge, mv);
+        }
+        acc
+    }
+
+    /// Specification [`super::block_cost`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block` is not fully inside `cur`.
+    pub fn block_cost(
+        metric: CostMetric,
+        cur: &Plane,
+        reference: &Plane,
+        block: &Rect,
+        mv: MotionVector,
+    ) -> u64 {
+        match metric {
+            CostMetric::Sad => sad(cur, reference, block, mv),
+            CostMetric::Ssd => ssd(cur, reference, block, mv),
+            CostMetric::Satd => satd(cur, reference, block, mv),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn planes() -> (Plane, Plane) {
         // Reference: gradient; current: the same gradient shifted right by 2.
@@ -273,5 +543,112 @@ mod tests {
         // Large negative MV reads clamped samples; must not panic.
         let c = sad(&cur, &reference, &block, MotionVector::new(-100, -100));
         assert!(c > 0);
+    }
+
+    #[test]
+    fn interior_detection() {
+        let reference = Plane::new(32, 16);
+        let block = Rect::new(8, 4, 8, 8);
+        assert!(interior_origin(&reference, &block, MotionVector::ZERO).is_some());
+        assert!(interior_origin(&reference, &block, MotionVector::new(-8, -4)).is_some());
+        assert!(interior_origin(&reference, &block, MotionVector::new(-9, 0)).is_none());
+        assert!(interior_origin(&reference, &block, MotionVector::new(16, 0)).is_some());
+        assert!(interior_origin(&reference, &block, MotionVector::new(17, 0)).is_none());
+        assert!(interior_origin(&reference, &block, MotionVector::new(0, 5)).is_none());
+    }
+
+    #[test]
+    fn upto_is_exact_below_bound_and_reaches_bound_otherwise() {
+        let (cur, reference) = planes();
+        let block = Rect::new(8, 4, 8, 8);
+        let mv = MotionVector::ZERO;
+        let exact = sad(&cur, &reference, &block, mv);
+        assert!(exact > 0);
+        // Bound above the exact cost: exact value comes back.
+        assert_eq!(sad_upto(&cur, &reference, &block, mv, exact + 1), exact);
+        // Bound at or below the exact cost: the result is >= bound.
+        for bound in [1, exact / 2, exact] {
+            let c = sad_upto(&cur, &reference, &block, mv, bound);
+            assert!(c >= bound, "bound {bound} gave {c}");
+            assert!(c <= exact);
+        }
+    }
+
+    /// Strategy: a 24x20 plane pair plus a block/MV that may reach far
+    /// outside the reference (boundary clamping) or stay interior.
+    fn geometry() -> impl Strategy<Value = (Rect, MotionVector)> {
+        (
+            0usize..16,
+            0usize..12,
+            1usize..9,
+            1usize..9,
+            -30i16..=30,
+            -30i16..=30,
+        )
+            .prop_map(|(x, y, w, h, mx, my)| {
+                let w = w.min(24 - x);
+                let h = h.min(20 - y);
+                (Rect::new(x, y, w, h), MotionVector::new(mx, my))
+            })
+    }
+
+    fn textured_planes() -> (Plane, Plane) {
+        let mut cur = Plane::new(24, 20);
+        let mut reference = Plane::new(24, 20);
+        for row in 0..20 {
+            for col in 0..24 {
+                cur.set(col, row, ((col * 31 + row * 17 + 5) % 256) as u8);
+                reference.set(col, row, ((col * 13 + row * 41 + 99) % 256) as u8);
+            }
+        }
+        (cur, reference)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sad_matches_reference((block, mv) in geometry()) {
+            let (cur, reference) = textured_planes();
+            prop_assert_eq!(
+                sad(&cur, &reference, &block, mv),
+                super::reference::sad(&cur, &reference, &block, mv)
+            );
+        }
+
+        #[test]
+        fn prop_ssd_matches_reference((block, mv) in geometry()) {
+            let (cur, reference) = textured_planes();
+            prop_assert_eq!(
+                ssd(&cur, &reference, &block, mv),
+                super::reference::ssd(&cur, &reference, &block, mv)
+            );
+        }
+
+        #[test]
+        fn prop_satd_matches_reference((block, mv) in geometry()) {
+            let (cur, reference) = textured_planes();
+            prop_assert_eq!(
+                satd(&cur, &reference, &block, mv),
+                super::reference::satd(&cur, &reference, &block, mv)
+            );
+        }
+
+        #[test]
+        fn prop_upto_decides_like_exact(
+            (block, mv) in geometry(),
+            bound_num in 0u64..200,
+        ) {
+            let (cur, reference) = textured_planes();
+            for metric in [CostMetric::Sad, CostMetric::Ssd, CostMetric::Satd] {
+                let exact = super::reference::block_cost(metric, &cur, &reference, &block, mv);
+                // Bounds straddling the exact cost in both directions.
+                let bound = bound_num * exact.max(1) / 100;
+                let c = block_cost_upto(metric, &cur, &reference, &block, mv, bound);
+                prop_assert_eq!(c < bound, exact < bound);
+                if c < bound {
+                    prop_assert_eq!(c, exact);
+                }
+                prop_assert!(c <= exact);
+            }
+        }
     }
 }

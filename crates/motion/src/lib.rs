@@ -57,7 +57,7 @@
 
 pub mod algorithms;
 mod biomed;
-mod cost;
+pub mod cost;
 mod field;
 mod mv;
 mod search;
@@ -69,7 +69,9 @@ pub use algorithms::{
     ThreeStepSearch, TzSearch,
 };
 pub use biomed::{BioMedicalSearch, GopPhase, MotionLevel};
-pub use cost::{block_cost, sad, satd, ssd, CostMetric};
+pub use cost::{
+    block_cost, block_cost_upto, sad, sad_upto, satd, satd_upto, ssd, ssd_upto, CostMetric,
+};
 pub use field::{FieldStats, MotionField};
 pub use mv::{MotionAxis, MotionVector};
 pub use search::{Best, MotionSearch, SearchContext, SearchResult, SearchWindow};

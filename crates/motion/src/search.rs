@@ -1,12 +1,11 @@
 //! Search framework: windows, contexts, results and the
 //! [`MotionSearch`] trait all algorithms implement.
 
-use crate::cost::{block_cost, CostMetric};
+use crate::cost::{block_cost_upto, CostMetric};
 use crate::MotionVector;
 use medvt_frame::{Plane, Rect};
 use serde::{Deserialize, Serialize};
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
 
 /// A square search window of `size x size` samples centered on the
 /// collocated block, i.e. motion components are clamped to
@@ -86,12 +85,95 @@ impl Default for SearchWindow {
     }
 }
 
+/// One memoized candidate slot, stamped with the owning context's
+/// generation so pooled buffers never need clearing.
+#[derive(Debug, Clone, Copy, Default)]
+struct MemoSlot {
+    gen: u32,
+    /// 0 = empty, 1 = lower bound (early-terminated), 2 = exact.
+    tag: u8,
+    value: u64,
+}
+
+const TAG_LOWER: u8 = 1;
+const TAG_EXACT: u8 = 2;
+
+/// Flat per-window candidate memo, recycled through a thread-local
+/// pool so steady-state block searches allocate nothing.
+#[derive(Debug, Default)]
+struct MemoBuf {
+    gen: u32,
+    slots: Vec<MemoSlot>,
+}
+
+impl MemoBuf {
+    /// Prepares the buffer for a window of side length `side`:
+    /// guarantees capacity and invalidates previous entries by bumping
+    /// the generation stamp (no O(side²) clear).
+    fn begin(&mut self, side: usize) {
+        let need = side * side;
+        if self.slots.len() < need {
+            self.slots.resize(need, MemoSlot::default());
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Generation wrapped: stale stamps could collide, so clear
+            // once every 2^32 contexts.
+            self.slots.fill(MemoSlot::default());
+            self.gen = 1;
+        }
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> (u8, u64) {
+        let s = self.slots[idx];
+        if s.gen == self.gen {
+            (s.tag, s.value)
+        } else {
+            (0, 0)
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, idx: usize, tag: u8, value: u64) {
+        self.slots[idx] = MemoSlot {
+            gen: self.gen,
+            tag,
+            value,
+        };
+    }
+}
+
+thread_local! {
+    /// Recycled memo buffers; a stack because policy algorithms nest
+    /// narrowed contexts inside their parent's lifetime.
+    static MEMO_POOL: RefCell<Vec<MemoBuf>> = const { RefCell::new(Vec::new()) };
+}
+
+fn memo_acquire(side: usize) -> MemoBuf {
+    let mut buf = MEMO_POOL
+        .with(|pool| pool.borrow_mut().pop())
+        .unwrap_or_default();
+    buf.begin(side);
+    buf
+}
+
+fn memo_release(buf: MemoBuf) {
+    // Ignore failures during thread teardown.
+    let _ = MEMO_POOL.try_with(|pool| pool.borrow_mut().push(buf));
+}
+
 /// Everything an algorithm needs to search one block: the two planes,
 /// the block geometry, the window, the metric and a starting predictor.
 ///
 /// The context memoizes candidate costs, so the number of *distinct*
 /// candidates evaluated — the standard complexity measure for
 /// block-matching algorithms — is available as [`SearchContext::evaluations`].
+///
+/// Memoization uses a flat array indexed by window offset (one slot
+/// per candidate, no hashing), recycled through a thread-local pool so
+/// constructing a context in a steady-state encode loop does not
+/// allocate.
 #[derive(Debug)]
 pub struct SearchContext<'a> {
     cur: &'a Plane,
@@ -101,7 +183,13 @@ pub struct SearchContext<'a> {
     metric: CostMetric,
     predictor: MotionVector,
     evaluations: Cell<u64>,
-    cache: RefCell<HashMap<MotionVector, u64>>,
+    memo: RefCell<MemoBuf>,
+}
+
+impl Drop for SearchContext<'_> {
+    fn drop(&mut self) {
+        memo_release(std::mem::take(self.memo.get_mut()));
+    }
 }
 
 impl<'a> SearchContext<'a> {
@@ -130,8 +218,16 @@ impl<'a> SearchContext<'a> {
             metric,
             predictor,
             evaluations: Cell::new(0),
-            cache: RefCell::new(HashMap::new()),
+            memo: RefCell::new(memo_acquire(window.size() + 1)),
         }
+    }
+
+    /// Flat memo index of an in-window candidate.
+    #[inline]
+    fn slot_index(&self, mv: MotionVector) -> usize {
+        let r = self.window.radius() as isize;
+        let side = 2 * r as usize + 1;
+        (mv.y as isize + r) as usize * side + (mv.x as isize + r) as usize
     }
 
     /// The block being matched.
@@ -182,16 +278,54 @@ impl<'a> SearchContext<'a> {
     /// window. Repeated queries of the same candidate are served from
     /// cache and counted once.
     pub fn try_cost(&self, mv: MotionVector) -> Option<u64> {
+        self.try_cost_upto(mv, u64::MAX)
+    }
+
+    /// Like [`SearchContext::try_cost`] but with an early-termination
+    /// `bound`: the metric may stop at a row boundary once its partial
+    /// sum reaches `bound`. The result decides `cost < bound` exactly
+    /// like the exact cost would (see [`crate::cost`]), and is exact
+    /// whenever it is below `bound` — so search decisions driven by a
+    /// monotonically decreasing running best are bit-identical to the
+    /// unbounded search, while rejected candidates cost a fraction of
+    /// the samples.
+    ///
+    /// Distinct candidates are still counted exactly once in
+    /// [`SearchContext::evaluations`], terminated or not.
+    pub fn try_cost_upto(&self, mv: MotionVector, bound: u64) -> Option<u64> {
         if !self.window.contains(mv) {
             return None;
         }
-        if let Some(&c) = self.cache.borrow().get(&mv) {
-            return Some(c);
+        let idx = self.slot_index(mv);
+        let mut memo = self.memo.borrow_mut();
+        let (tag, cached) = memo.get(idx);
+        match tag {
+            TAG_EXACT => Some(cached),
+            // A stored lower bound came from an earlier early exit, so
+            // it is >= the bound active then; running bests only
+            // decrease, so it also rejects against any later bound it
+            // still reaches.
+            TAG_LOWER if cached >= bound => Some(cached),
+            _ => {
+                let c = block_cost_upto(
+                    self.metric,
+                    self.cur,
+                    self.reference,
+                    &self.block,
+                    mv,
+                    bound,
+                );
+                if c < bound {
+                    memo.set(idx, TAG_EXACT, c);
+                } else {
+                    memo.set(idx, TAG_LOWER, c);
+                }
+                if tag == 0 {
+                    self.evaluations.set(self.evaluations.get() + 1);
+                }
+                Some(c)
+            }
         }
-        let c = block_cost(self.metric, self.cur, self.reference, &self.block, mv);
-        self.cache.borrow_mut().insert(mv, c);
-        self.evaluations.set(self.evaluations.get() + 1);
-        Some(c)
     }
 
     /// Builds the search result once an algorithm settles on `best`.
@@ -223,7 +357,8 @@ impl Best {
     pub fn seeded(ctx: &SearchContext<'_>, seeds: &[MotionVector]) -> Best {
         let mut best: Option<Best> = None;
         for &s in seeds {
-            if let Some(c) = ctx.try_cost(s) {
+            let bound = best.map_or(u64::MAX, |b| b.cost);
+            if let Some(c) = ctx.try_cost_upto(s, bound) {
                 let better = best.is_none_or(|b| c < b.cost);
                 if better {
                     best = Some(Best { mv: s, cost: c });
@@ -235,8 +370,13 @@ impl Best {
 
     /// Evaluates `mv` and keeps it when strictly better. Returns `true`
     /// on improvement.
+    ///
+    /// The evaluation early-terminates against the running best cost
+    /// (decision-equivalent to the exact comparison; see
+    /// [`SearchContext::try_cost_upto`]), so hopeless candidates stop
+    /// after a few rows.
     pub fn try_candidate(&mut self, ctx: &SearchContext<'_>, mv: MotionVector) -> bool {
-        match ctx.try_cost(mv) {
+        match ctx.try_cost_upto(mv, self.cost) {
             Some(c) if c < self.cost => {
                 self.mv = mv;
                 self.cost = c;
@@ -361,6 +501,88 @@ mod tests {
         assert_eq!(best.mv, MotionVector::new(-3, -1));
         assert_eq!(best.cost, 0);
         assert!(!best.try_candidate(&ctx, MotionVector::new(2, 2)));
+    }
+
+    #[test]
+    fn bounded_queries_count_once_and_stay_decision_equivalent() {
+        let (cur, reference) = planes();
+        let make_ctx = || {
+            SearchContext::new(
+                &cur,
+                &reference,
+                Rect::new(16, 16, 8, 8),
+                SearchWindow::W16,
+                CostMetric::Sad,
+                MotionVector::ZERO,
+            )
+        };
+        let ctx = make_ctx();
+        let exact = ctx.try_cost(MotionVector::new(5, 5)).unwrap();
+        assert!(exact > 0);
+
+        let ctx2 = make_ctx();
+        // Early-terminated: the result still rejects against the bound.
+        let lb = ctx2.try_cost_upto(MotionVector::new(5, 5), 1).unwrap();
+        assert!(lb >= 1 && lb <= exact);
+        assert_eq!(ctx2.evaluations(), 1);
+        // Tighter bound later: still rejected straight from the memo.
+        let lb2 = ctx2.try_cost_upto(MotionVector::new(5, 5), 1).unwrap();
+        assert!(lb2 >= 1);
+        assert_eq!(ctx2.evaluations(), 1, "repeat query must not recount");
+        // Unbounded re-query upgrades to the exact cost, still one eval.
+        assert_eq!(ctx2.try_cost(MotionVector::new(5, 5)), Some(exact));
+        assert_eq!(ctx2.evaluations(), 1);
+        // A bound above the cost returns the exact value.
+        let ctx3 = make_ctx();
+        assert_eq!(
+            ctx3.try_cost_upto(MotionVector::new(5, 5), exact + 1),
+            Some(exact)
+        );
+    }
+
+    #[test]
+    fn full_search_with_early_termination_matches_unbounded_decisions() {
+        let (cur, reference) = planes();
+        let block = Rect::new(20, 20, 16, 16);
+        let ctx = SearchContext::new(
+            &cur,
+            &reference,
+            block,
+            SearchWindow::W16,
+            CostMetric::Sad,
+            MotionVector::ZERO,
+        );
+        // Exhaustive sweep through Best (bounded) vs raw exact argmin.
+        let mut best = Best::seeded(&ctx, &[MotionVector::ZERO]);
+        for dy in -8i16..=8 {
+            for dx in -8i16..=8 {
+                best.try_candidate(&ctx, MotionVector::new(dx, dy));
+            }
+        }
+        let verify = SearchContext::new(
+            &cur,
+            &reference,
+            block,
+            SearchWindow::W16,
+            CostMetric::Sad,
+            MotionVector::ZERO,
+        );
+        let mut exact_best = (
+            MotionVector::ZERO,
+            verify.try_cost(MotionVector::ZERO).unwrap(),
+        );
+        for dy in -8i16..=8 {
+            for dx in -8i16..=8 {
+                let mv = MotionVector::new(dx, dy);
+                let c = verify.try_cost(mv).unwrap();
+                if c < exact_best.1 {
+                    exact_best = (mv, c);
+                }
+            }
+        }
+        assert_eq!(best.mv, exact_best.0);
+        assert_eq!(best.cost, exact_best.1);
+        assert_eq!(ctx.evaluations(), verify.evaluations());
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Whole-encode bit-identity guard for the kernel fast paths.
+//!
+//! The optimized SAD/SATD fast paths, the flat search memo, the
+//! lock-free DCT basis and the scratch-reuse encode loop must not
+//! change a single encoded byte or motion decision. This test encodes
+//! a deterministic phantom clip through configurations that exercise
+//! every optimized code path (interior and boundary motion candidates,
+//! early-terminated full search, hexagon/diamond policy searches,
+//! chroma coding) and compares FNV-1a hashes of the bitstream and the
+//! per-tile dominant motion fields against goldens captured from the
+//! pre-optimization kernels.
+//!
+//! If an intentional behaviour change ever lands (new syntax, new
+//! mode decision), regenerate the goldens by running the test with
+//! `MEDVT_PRINT_HASHES=1` and updating the constants — but kernel
+//! PRs must never need that.
+
+use medvt::encoder::{encode_frame, EncoderConfig, FramePlan, Qp, SearchSpec, TileConfig};
+use medvt::frame::synth::{BodyPart, MotionPattern, PhantomVideo};
+use medvt::frame::{Frame, FrameKind, Rect, Resolution};
+use medvt::motion::SearchWindow;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Encodes a 7-frame pan sequence under `plan`, chaining each frame's
+/// reconstruction as the next frame's reference, and returns
+/// `(bitstream_hash, motion_hash)`.
+fn encode_sequence(plan: &FramePlan, ecfg: &EncoderConfig) -> (u64, u64) {
+    let video = PhantomVideo::builder(BodyPart::Cardiac)
+        .resolution(Resolution::new(128, 96))
+        .motion(MotionPattern::Pan { dx: 1.3, dy: -0.6 })
+        .seed(77)
+        .build();
+    let mut byte_hash = FNV_OFFSET;
+    let mut mv_hash = FNV_OFFSET;
+    let mut prev: Option<Frame> = None;
+    for poc in 0..7 {
+        let frame = video.render(poc);
+        let (kind, refs): (FrameKind, Vec<&Frame>) = match &prev {
+            None => (FrameKind::Intra, vec![]),
+            Some(r) => (FrameKind::Predicted, vec![r]),
+        };
+        let encoded = encode_frame(&frame, &refs, kind, poc, plan, ecfg, false);
+        fnv1a(&mut byte_hash, &encoded.bytes);
+        for mv in &encoded.dominant_mvs {
+            fnv1a(&mut mv_hash, &mv.x.to_le_bytes());
+            fnv1a(&mut mv_hash, &mv.y.to_le_bytes());
+        }
+        prev = Some(encoded.recon);
+    }
+    (byte_hash, mv_hash)
+}
+
+fn plan_mixed(frame: Rect) -> FramePlan {
+    // 2x2 tiles with deliberately different search algorithms and
+    // windows so boundary candidates, early-terminated exhaustive
+    // search and the gradient-descent policies all run.
+    let tiles = medvt::encoder::split_aligned(frame, 2, 2);
+    let configs = vec![
+        TileConfig {
+            qp: Qp::new(27).unwrap(),
+            search: SearchSpec::Full,
+            window: SearchWindow::W8,
+        },
+        TileConfig {
+            qp: Qp::new(32).unwrap(),
+            search: SearchSpec::Diamond,
+            window: SearchWindow::W16,
+        },
+        TileConfig {
+            qp: Qp::new(37).unwrap(),
+            search: SearchSpec::default(), // hexagon-h
+            window: SearchWindow::W32,
+        },
+        TileConfig {
+            qp: Qp::new(22).unwrap(),
+            search: SearchSpec::Tz,
+            window: SearchWindow::W16,
+        },
+    ];
+    FramePlan { tiles, configs }
+}
+
+#[test]
+fn encoded_bytes_and_motion_fields_match_golden() {
+    let frame_rect = Rect::frame(128, 96);
+    let plan = plan_mixed(frame_rect);
+    let ecfg = EncoderConfig::default();
+    let (bytes_hash, mv_hash) = encode_sequence(&plan, &ecfg);
+    if std::env::var("MEDVT_PRINT_HASHES").is_ok() {
+        println!("bytes_hash = {bytes_hash:#018x}");
+        println!("mv_hash    = {mv_hash:#018x}");
+    }
+    assert_eq!(
+        bytes_hash, GOLDEN_BYTES_HASH,
+        "encoded bitstream diverged from the pre-optimization kernels"
+    );
+    assert_eq!(
+        mv_hash, GOLDEN_MV_HASH,
+        "motion decisions diverged from the pre-optimization kernels"
+    );
+}
+
+#[test]
+fn luma_only_encode_matches_golden() {
+    let frame_rect = Rect::frame(128, 96);
+    let plan = plan_mixed(frame_rect);
+    let ecfg = EncoderConfig {
+        chroma: false,
+        ..Default::default()
+    };
+    let (bytes_hash, _) = encode_sequence(&plan, &ecfg);
+    if std::env::var("MEDVT_PRINT_HASHES").is_ok() {
+        println!("luma_bytes_hash = {bytes_hash:#018x}");
+    }
+    assert_eq!(
+        bytes_hash, GOLDEN_LUMA_BYTES_HASH,
+        "luma-only bitstream diverged from the pre-optimization kernels"
+    );
+}
+
+// Captured from the seed kernels (per-pixel clamped SAD, HashMap memo,
+// mutexed DCT basis, allocating encode loop) before the fast paths
+// landed. The optimized kernels must reproduce them bit for bit.
+const GOLDEN_BYTES_HASH: u64 = 0x8d73f24316b57bc2;
+const GOLDEN_MV_HASH: u64 = 0x8559cc17348ab034;
+const GOLDEN_LUMA_BYTES_HASH: u64 = 0x17244043249ef2f3;

@@ -54,7 +54,60 @@ pub trait Strategy {
     /// Draws one value. `case` 0 and 1 are biased to the strategy's
     /// extremes so boundary behaviour is always exercised.
     fn sample(&self, rng: &mut Rng, case: u32) -> Self::Value;
+
+    /// Maps sampled values through `f` (the real proptest's
+    /// `Strategy::prop_map`).
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
 }
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut Rng, case: u32) -> O {
+        (self.f)(self.inner.sample(rng, case))
+    }
+}
+
+/// A strategy that always yields a clone of one value (`Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut Rng, _case: u32) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut Rng, case: u32) -> Self::Value {
+                ($(self.$idx.sample(rng, case),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
 
 macro_rules! impl_int_range {
     ($($t:ty),*) => {$(
@@ -216,7 +269,7 @@ macro_rules! proptest {
     (@fns $cfg:expr;) => {};
     (@fns $cfg:expr;
         $(#[$attr:meta])*
-        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
         $($rest:tt)*
     ) => {
         $(#[$attr])*
@@ -245,6 +298,6 @@ macro_rules! proptest {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::Strategy;
     pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Just, Strategy};
 }
