@@ -22,7 +22,9 @@
 use crate::request::{AdmitDecision, RequestQueue, UserRequest};
 use crate::shard::{ShardPolicy, Sharder};
 use medvt_mpsoc::DvfsPolicy;
-use medvt_runtime::{DemandSource, ExecutionBackend, LoopDriver, ReplanPolicy, ServerLoopConfig};
+use medvt_runtime::{
+    DemandSource, ExecutionBackend, LoopDriver, ReplanPolicy, ServerLoopConfig, WindowTiming,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -40,6 +42,19 @@ pub trait Workload {
     /// Content (texture/body-part) class — the affinity key of
     /// [`ShardPolicy::ContentAffinity`].
     fn content_class(&self) -> &str;
+
+    /// Real work for tile-thread `thread` of the frame shown at
+    /// `slot`, when the workload carries any — e.g.
+    /// `medvt_core::LiveWorkload`, which encodes the tile for real on
+    /// the worker assigned by the placement. Cost-only workloads
+    /// (profile replay, the default) return `None`.
+    ///
+    /// Admission/eviction decisions never depend on this: they read
+    /// only the analytical accounting, so a workload with real work
+    /// replays the same decision stream as its cost-only twin.
+    fn work_for(&self, _slot: usize, _thread: usize) -> Option<Box<dyn FnOnce() + Send + '_>> {
+        None
+    }
 }
 
 /// Online serving configuration.
@@ -128,6 +143,20 @@ pub struct ShardReport {
     pub window_misses: usize,
     /// Mean busy cores per slot.
     pub avg_active_cores: f64,
+    /// Wall-clock seconds this shard spent executing real work (0.0 on
+    /// analytical shards).
+    pub wall_secs: f64,
+    /// Measured vs. modeled time of every completed deadline window on
+    /// this shard, in window order.
+    pub window_times: Vec<WindowTiming>,
+}
+
+impl ShardReport {
+    /// Overall measured/modeled window-time ratio of this shard;
+    /// `None` when the shard modeled no busy time or ran no real work.
+    pub fn window_time_ratio(&self) -> Option<f64> {
+        WindowTiming::aggregate_ratio(&self.window_times)
+    }
 }
 
 /// Aggregate outcome of an online serving run.
@@ -181,6 +210,33 @@ impl OnlineReport {
             1.0 - self.window_misses as f64 / self.windows as f64
         }
     }
+
+    /// (total measured wall, total modeled makespan) over every
+    /// shard's deadline windows, in one pass.
+    fn window_totals(&self) -> (f64, f64) {
+        self.shards.iter().fold((0.0, 0.0), |(wall, modeled), s| {
+            let (w, m) = WindowTiming::totals(&s.window_times);
+            (wall + w, modeled + m)
+        })
+    }
+
+    /// Total measured wall seconds over every shard's deadline windows.
+    pub fn measured_window_secs(&self) -> f64 {
+        self.window_totals().0
+    }
+
+    /// Total modeled makespan seconds over every shard's windows.
+    pub fn modeled_window_secs(&self) -> f64 {
+        self.window_totals().1
+    }
+
+    /// Overall measured/modeled window-time ratio across shards;
+    /// `None` on cost-only runs (no real work was executed) or when
+    /// nothing was ever scheduled.
+    pub fn window_time_ratio(&self) -> Option<f64> {
+        let (measured, modeled) = self.window_totals();
+        WindowTiming::ratio_from(measured, modeled)
+    }
 }
 
 /// Replays `workloads` demands for admitted users, staggered 3 slots
@@ -194,6 +250,15 @@ struct TraceSource<'a, W> {
 impl<W: Workload> DemandSource for TraceSource<'_, W> {
     fn demand_at(&self, user: usize, slot: usize) -> Vec<f64> {
         self.workloads[self.profile_of[&user]].demand_at(slot + user * 3)
+    }
+
+    fn work_for(
+        &self,
+        user: usize,
+        slot: usize,
+        thread: usize,
+    ) -> Option<Box<dyn FnOnce() + Send + '_>> {
+        self.workloads[self.profile_of[&user]].work_for(slot + user * 3, thread)
     }
 }
 
@@ -452,6 +517,8 @@ pub fn serve_online<W: Workload, B: ExecutionBackend>(
             windows: r.windows,
             window_misses: r.window_misses,
             avg_active_cores: r.avg_active_cores(),
+            wall_secs: r.wall_secs,
+            window_times: r.window_times,
         });
     }
     OnlineReport {

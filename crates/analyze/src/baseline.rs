@@ -1,7 +1,7 @@
-//! The capacity-balanced baseline tiler of Khan et al. [19]
+//! The capacity-balanced baseline tiler of Khan et al. \[19\]
 //! (IEEE TVLSI 2016), the comparison point of the paper's evaluation.
 //!
-//! [19] creates a limited set of predefined tile structures whose
+//! \[19\] creates a limited set of predefined tile structures whose
 //! per-tile workloads match each core's capacity, assigning exactly
 //! **one tile per core**. Tiles are balanced by estimated workload,
 //! not by content classes, and re-tiling only happens when every core
@@ -34,7 +34,7 @@ impl CapacityBalancedTiler {
     /// (texture-energy proxy) are as equal as the 8-sample grid allows.
     ///
     /// Layout: one row of tiles for up to 4 cores, two rows above that
-    /// (mirroring the limited predefined structures of [19]).
+    /// (mirroring the limited predefined structures of \[19\]).
     ///
     /// # Panics
     ///

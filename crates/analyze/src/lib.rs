@@ -15,7 +15,7 @@
 //! * [`Retiler`] — the content-aware re-tiler that grows quiet borders
 //!   in 25% steps and carves the busy center into ≥4 tiles;
 //! * [`CapacityBalancedTiler`] — the one-tile-per-core baseline of
-//!   Khan et al. [19], the paper's comparison point.
+//!   Khan et al. \[19\], the paper's comparison point.
 //!
 //! # Examples
 //!

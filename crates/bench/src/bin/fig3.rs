@@ -1,5 +1,5 @@
 //! Regenerates **Fig. 3**: the tile structure and per-tile CPU time of
-//! one representative frame under (a) the baseline [19] and (b) the
+//! one representative frame under (a) the baseline \[19\] and (b) the
 //! proposed content-aware approach, plus the resulting core/frequency
 //! usage.
 //!

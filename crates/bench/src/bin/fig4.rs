@@ -1,5 +1,5 @@
 //! Regenerates **Fig. 4**: average power savings of the proposed
-//! approach vs the baseline [19] at equal throughput, for 1–12 users.
+//! approach vs the baseline \[19\] at equal throughput, for 1–12 users.
 //!
 //! Run: `cargo run --release -p medvt-bench --bin fig4`
 

@@ -1,7 +1,7 @@
 //! Checks the paper's three headline claims end to end:
 //!
 //! 1. the proposed fast motion search gives ≈4x ME speedup,
-//! 2. ≈1.6x more users served than the state of the art [19],
+//! 2. ≈1.6x more users served than the state of the art \[19\],
 //! 3. ≈44% less power at the same throughput,
 //!
 //! all without compression or PSNR degradation.

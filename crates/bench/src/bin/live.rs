@@ -1,0 +1,220 @@
+//! Live multi-user transcoding experiment: N per-user tile encoders —
+//! real `medvt-encoder` work, not cost replay — feeding per-socket
+//! `ThreadPoolBackend` shards through the online admission loop, with
+//! every placement decision still taken by the analytical model.
+//!
+//! This is the validation step performance-modeling work (Li et al.'s
+//! heterogeneous cloud transcoding) treats as central: run the real
+//! system next to its model and compare. For every scenario the binary
+//! records the **measured** wall time spent executing tile encodes per
+//! deadline window against the **modeled** window makespan (per-slot
+//! busiest-core planned time under `RaceToIdle`), and their ratio. The
+//! ratio's absolute value reflects the host-CPU-vs-reference-platform
+//! speed gap; what validates the model is that it stays finite,
+//! positive and stable across windows and scenarios.
+//!
+//! Sweeps users × workers-per-shard on both platform presets
+//! (`xeon_e5_2667_quad`, `big_little`) and asserts, per scenario, that
+//! the thread-pool shards replay the *identical* admission/eviction
+//! event stream as analytical shards — live execution must not perturb
+//! a single decision.
+//!
+//! Artifact: `live_bench.json` (under `MEDVT_OUT`, default
+//! `target/experiments`). `MEDVT_SCALE=full` enlarges the sweep.
+
+use medvt_admission::{serve_online, DeadlineClass, UserRequest};
+use medvt_bench::{live_online_config, live_workload, write_artifact, Scale};
+use medvt_frame::synth::BodyPart;
+use medvt_mpsoc::{Platform, PowerModel};
+use medvt_runtime::{SimBackend, ThreadPoolBackend, WindowTiming};
+use serde::Serialize;
+
+const HORIZON: usize = 48;
+const GOP_SLOTS: usize = 8;
+
+fn trace_for(users: usize, workloads: usize) -> Vec<UserRequest> {
+    (0..users)
+        .map(|u| UserRequest {
+            user: u,
+            arrival_slot: 0,
+            profile: u % workloads,
+            class: DeadlineClass::Standard,
+            departure_slot: None,
+        })
+        .collect()
+}
+
+#[derive(Debug, Serialize)]
+struct WindowRow {
+    shard: usize,
+    end_slot: usize,
+    measured_secs: f64,
+    modeled_secs: f64,
+    ratio: Option<f64>,
+}
+
+#[derive(Debug, Serialize)]
+struct LiveScenario {
+    platform: String,
+    sockets: usize,
+    users: usize,
+    workers_per_shard: usize,
+    admissions: usize,
+    evictions: usize,
+    on_time_rate: f64,
+    /// Thread-pool shards replayed the analytical admit/evict stream
+    /// bit for bit (asserted; recorded for the artifact reader).
+    decisions_match_sim: bool,
+    /// Wall seconds spent executing real tile encodes, summed over
+    /// every shard's deadline windows.
+    measured_window_secs: f64,
+    /// The analytical model's window makespan for the same work.
+    modeled_window_secs: f64,
+    /// measured / modeled — the host-vs-model speed factor.
+    measured_over_modeled: Option<f64>,
+    windows: Vec<WindowRow>,
+}
+
+#[derive(Debug, Serialize)]
+struct LiveArtifact {
+    scale: String,
+    horizon_slots: usize,
+    gop_slots: usize,
+    workload_names: Vec<String>,
+    scenarios: Vec<LiveScenario>,
+    /// min/max of measured_over_modeled across scenarios that ran
+    /// real work — the stability band of the model validation.
+    ratio_min: Option<f64>,
+    ratio_max: Option<f64>,
+}
+
+fn window_rows(shards: &[(usize, &[WindowTiming])]) -> Vec<WindowRow> {
+    let mut rows = Vec::new();
+    for (shard, times) in shards {
+        for w in *times {
+            rows.push(WindowRow {
+                shard: *shard,
+                end_slot: w.end_slot,
+                measured_secs: w.wall_secs,
+                modeled_secs: w.modeled_secs,
+                ratio: w.ratio(),
+            });
+        }
+    }
+    rows
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let (user_sweep, worker_sweep): (Vec<usize>, Vec<usize>) = match scale {
+        Scale::Quick => (vec![2, 4, 8], vec![1, 2, 4]),
+        Scale::Full => (vec![4, 8, 16], vec![1, 2, 4, 8]),
+    };
+    let power = PowerModel::default();
+    let online = live_online_config(HORIZON);
+    let workloads = vec![
+        live_workload("brain-pan", BodyPart::Brain, "brain", 11),
+        live_workload("cardiac-pan", BodyPart::Cardiac, "cardiac", 23),
+    ];
+    println!(
+        "live workloads: {:?} ({} frames each)",
+        workloads
+            .iter()
+            .map(|w| w.profile().name.clone())
+            .collect::<Vec<_>>(),
+        workloads[0].frame_count()
+    );
+
+    let mut scenarios = Vec::new();
+    for platform in [Platform::xeon_e5_2667_quad(), Platform::big_little()] {
+        for &users in &user_sweep {
+            let trace = trace_for(users, workloads.len());
+            // The reference decision stream: analytical shards, no
+            // physical execution.
+            let sim_shards: Vec<SimBackend> = (0..platform.sockets)
+                .map(|s| SimBackend::new(platform.socket_view(s), power))
+                .collect();
+            let reference = serve_online(&online, &workloads, &trace, sim_shards);
+            for &workers in &worker_sweep {
+                let pool_shards: Vec<ThreadPoolBackend> = (0..platform.sockets)
+                    .map(|s| {
+                        ThreadPoolBackend::with_workers(platform.socket_view(s), power, workers)
+                    })
+                    .collect();
+                let report = serve_online(&online, &workloads, &trace, pool_shards);
+                let decisions_match = report.events == reference.events
+                    && report.windows == reference.windows
+                    && report.window_misses == reference.window_misses;
+                assert!(
+                    decisions_match,
+                    "{}: live execution perturbed the decision stream \
+                     (users {users}, workers {workers})",
+                    platform.name
+                );
+                let measured = report.measured_window_secs();
+                let modeled = report.modeled_window_secs();
+                let ratio = report.window_time_ratio();
+                println!(
+                    "{:<28} users {:>2}  workers {:>2}  admitted {:>2}  \
+                     measured {:>8.4}s  modeled {:>8.4}s  ratio {}",
+                    platform.name,
+                    users,
+                    workers,
+                    report.admissions,
+                    measured,
+                    modeled,
+                    ratio.map_or("n/a".into(), |r| format!("{r:.3}")),
+                );
+                let shard_windows: Vec<(usize, &[WindowTiming])> = report
+                    .shards
+                    .iter()
+                    .map(|s| (s.shard, s.window_times.as_slice()))
+                    .collect();
+                scenarios.push(LiveScenario {
+                    platform: platform.name.clone(),
+                    sockets: platform.sockets,
+                    users,
+                    workers_per_shard: workers,
+                    admissions: report.admissions,
+                    evictions: report.evictions,
+                    on_time_rate: report.on_time_rate(),
+                    decisions_match_sim: decisions_match,
+                    measured_window_secs: measured,
+                    modeled_window_secs: modeled,
+                    measured_over_modeled: ratio,
+                    windows: window_rows(&shard_windows),
+                });
+            }
+        }
+    }
+
+    let ratios: Vec<f64> = scenarios
+        .iter()
+        .filter_map(|s| s.measured_over_modeled)
+        .collect();
+    let ratio_min = ratios.iter().copied().reduce(f64::min);
+    let ratio_max = ratios.iter().copied().reduce(f64::max);
+    assert!(
+        !ratios.is_empty(),
+        "at least one scenario must execute real work"
+    );
+    if let (Some(lo), Some(hi)) = (ratio_min, ratio_max) {
+        println!("measured/modeled ratio band across scenarios: [{lo:.3}, {hi:.3}]");
+        assert!(
+            lo.is_finite() && lo > 0.0 && hi.is_finite(),
+            "ratios must stay finite and positive"
+        );
+    }
+
+    let artifact = LiveArtifact {
+        scale: format!("{scale:?}"),
+        horizon_slots: HORIZON,
+        gop_slots: GOP_SLOTS,
+        workload_names: workloads.iter().map(|w| w.profile().name.clone()).collect(),
+        scenarios,
+        ratio_min,
+        ratio_max,
+    };
+    let path = write_artifact("live_bench", &artifact);
+    println!("artifact: {}", path.display());
+}

@@ -1,5 +1,5 @@
 //! Regenerates **Table II**: PSNR, bitrate and number of users served
-//! by the proposed approach vs the baseline [19] when the user queue is
+//! by the proposed approach vs the baseline \[19\] when the user queue is
 //! always full on the 32-core server.
 //!
 //! Run: `cargo run --release -p medvt-bench --bin table2`

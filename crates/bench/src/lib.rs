@@ -11,21 +11,24 @@
 //! * `MEDVT_BACKEND=sim|pool` — which execution backend serves the
 //!   frame slots: the analytical model (default) or the per-core
 //!   thread-pool backend. Both report identical statistics by
-//!   construction. Note that profile replay carries no per-tile
-//!   closures (`DemandSource::work_for` is `None`), so under `pool`
-//!   the slots flow through the worker-pool backend's queueing and
-//!   carry state but no tile is re-encoded — real work in the server
-//!   path needs a `DemandSource` that supplies closures.
+//!   construction. Profile replay carries no per-tile closures
+//!   (`DemandSource::work_for` is `None`), so under `pool` the slots
+//!   flow through the worker-pool backend's queueing and carry state
+//!   but no tile is re-encoded; the `live` binary is the experiment
+//!   that supplies real closures (`medvt_core::LiveWorkload`) and
+//!   compares measured wall time against the model.
 
+use medvt_admission::{OnlineConfig, ShardPolicy};
 use medvt_analyze::AnalyzerConfig;
 use medvt_core::{
     profile_video, Baseline19Controller, BaselineConfig, ContentAwareController, FrameReport,
-    PipelineConfig, ServerConfig, TileReport, VideoProfile,
+    LiveWorkload, PipelineConfig, ServerConfig, TileReport, VideoProfile,
 };
 use medvt_encoder::EncoderConfig;
-use medvt_frame::synth::{medical_suite, PhantomConfig, PhantomVideo};
+use medvt_frame::synth::{medical_suite, BodyPart, MotionPattern, PhantomConfig, PhantomVideo};
 use medvt_frame::Rect;
 use medvt_frame::{Resolution, VideoClip};
+use medvt_mpsoc::DvfsPolicy;
 use medvt_runtime::{ExecutionBackend, SimBackend, ThreadPoolBackend};
 use medvt_sched::{LutBank, WorkloadLut};
 use serde::Serialize;
@@ -166,11 +169,11 @@ pub fn proposed_profiles(scale: Scale) -> Vec<VideoProfile> {
     out
 }
 
-/// Profiles every suite video through the baseline [19] pipeline.
+/// Profiles every suite video through the baseline \[19\] pipeline.
 ///
-/// During profiling the cores run flat out (the f_max rail), so [19]'s
-/// re-tiling trigger fires at GOP boundaries and the tiler converges
-/// onto its capacity-matched tile count.
+/// During profiling the cores run flat out (the f_max rail), so
+/// \[19\]'s re-tiling trigger fires at GOP boundaries and the tiler
+/// converges onto its capacity-matched tile count.
 pub fn baseline_profiles(scale: Scale) -> Vec<VideoProfile> {
     suite_clips(scale)
         .into_iter()
@@ -216,6 +219,63 @@ pub fn synthetic_profile(name: &str, class: &str, tiles: usize, tile_secs: f64) 
         frames,
         mean_psnr_db: 40.0,
         bitrate_mbps: 2.0,
+    }
+}
+
+/// The live-transcoding scenario workload shared by `--bin live` and
+/// `tests/live_transcode.rs`: a 128x96 phantom pan clip profiled once
+/// through the content-aware pipeline (min tile 32), paired with its
+/// rendered frames so every placed tile thread carries a real encode.
+///
+/// Keeping this in one place pins the "CI scenario" the documented
+/// measured/modeled tolerance refers to — the bench and the test must
+/// not drift apart.
+pub fn live_workload(name: &str, part: BodyPart, class: &str, seed: u64) -> LiveWorkload {
+    let clip: VideoClip = PhantomVideo::builder(part)
+        .resolution(Resolution::new(128, 96))
+        .motion(MotionPattern::Pan { dx: 1.0, dy: 0.0 })
+        .seed(seed)
+        .build()
+        .capture(9);
+    let cfg = PipelineConfig {
+        analyzer: AnalyzerConfig {
+            min_tile_width: 32,
+            min_tile_height: 32,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut ctl = ContentAwareController::new(cfg, WorkloadLut::new());
+    let profile = profile_video(
+        name,
+        class,
+        &clip,
+        &mut ctl,
+        &EncoderConfig::default(),
+        false,
+    );
+    LiveWorkload::new(
+        profile,
+        &clip,
+        medvt_encoder::TileConfig::default(),
+        EncoderConfig::default(),
+    )
+}
+
+/// The live scenario's serving configuration: 24 fps, 8-slot GOPs,
+/// least-loaded sharding, and `RaceToIdle` DVFS so the modeled
+/// per-slot makespan stays proportional to the work
+/// (stretch-to-deadline would pad every busy slot to 1/FPS,
+/// decoupling modeled time from workload size).
+pub fn live_online_config(horizon_slots: usize) -> OnlineConfig {
+    OnlineConfig {
+        fps: 24.0,
+        gop_slots: 8,
+        horizon_slots,
+        headroom: 1.15,
+        policy: DvfsPolicy::RaceToIdle,
+        shard_policy: ShardPolicy::LeastLoaded,
+        evict_miss_windows: 1,
     }
 }
 

@@ -1,8 +1,8 @@
-//! End-to-end baseline pipeline — Khan et al. [19] (IEEE TVLSI 2016),
+//! End-to-end baseline pipeline — Khan et al. \[19\] (IEEE TVLSI 2016),
 //! the comparison system of the paper's evaluation.
 //!
 //! Differences from the proposed pipeline, per the paper's §IV-B
-//! discussion of [19]:
+//! discussion of \[19\]:
 //!
 //! * tiles are sized to fill one core's capacity (workload-balanced),
 //!   **one tile per core**, from a limited set of structures;
@@ -25,7 +25,7 @@ use medvt_sched::{Adjustment, LutKey, WorkloadLut};
 /// Configuration of the baseline pipeline.
 #[derive(Debug, Clone, Copy)]
 pub struct BaselineConfig {
-    /// Cores (= tiles) each user occupies. [19] derives it from the
+    /// Cores (= tiles) each user occupies. \[19\] derives it from the
     /// measured workload; the pipeline re-estimates it at re-tiling
     /// points within `1..=max_cores_per_user`.
     pub initial_cores_per_user: usize,
@@ -61,7 +61,7 @@ impl Default for BaselineConfig {
     }
 }
 
-/// The [19] baseline as an [`EncodeController`].
+/// The \[19\] baseline as an [`EncodeController`].
 #[derive(Debug)]
 pub struct Baseline19Controller {
     cfg: BaselineConfig,
@@ -69,7 +69,7 @@ pub struct Baseline19Controller {
     qp: Qp,
     prev_frame_psnr: Option<f64>,
     /// Set by the session when all active cores sit at a rail
-    /// frequency — [19]'s only re-tiling trigger.
+    /// frequency — \[19\]'s only re-tiling trigger.
     rails_pinned: bool,
     /// Rolling per-frame total fmax-seconds, for core-count estimation.
     last_frame_secs: Option<f64>,

@@ -10,7 +10,7 @@
 //!   motion/texture evaluation, content-aware re-tiling, per-tile
 //!   QP + motion-search policy, LUT learning, deadline lightening;
 //! * [`Baseline19Controller`] — the comparison system of Khan et al.
-//!   [19]: capacity-balanced one-tile-per-core tiling, uniform QP,
+//!   \[19\]: capacity-balanced one-tile-per-core tiling, uniform QP,
 //!   default hexagon search, rail-frequency re-tiling trigger;
 //! * [`profile_video`] / [`VideoProfile`] — one-pass workload/quality
 //!   records of a transcoded video (the deterministic substitute for
@@ -55,12 +55,14 @@
 #![warn(missing_debug_implementations)]
 
 mod baseline19;
+mod live;
 mod pipeline;
 mod profile;
 pub mod qp_control;
 mod server;
 
 pub use baseline19::{Baseline19Controller, BaselineConfig};
+pub use live::LiveWorkload;
 pub use pipeline::{
     ContentAwareController, FrameReport, MePolicy, PipelineConfig, TileReport, TranscodeController,
     UniformMeController,

@@ -60,7 +60,7 @@ impl Workload for VideoProfile {
 pub enum Approach {
     /// The paper's content-aware pipeline + Algorithm 2.
     Proposed,
-    /// The capacity-balanced baseline [19].
+    /// The capacity-balanced baseline \[19\].
     Baseline,
 }
 
@@ -81,7 +81,7 @@ pub struct ServerConfig {
     pub platform: Platform,
     /// Power model.
     pub power: PowerModel,
-    /// DVFS policy for the proposed approach ([19] races to idle).
+    /// DVFS policy for the proposed approach (\[19\] races to idle).
     pub policy: DvfsPolicy,
     /// Target frames per second per user.
     pub fps: f64,

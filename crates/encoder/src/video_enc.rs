@@ -6,7 +6,7 @@
 //! the paper's contribution: the content-aware pipeline (re-tiling, QP
 //! adaptation, ME policy, workload feedback) is *a controller*; so are
 //! the uniform-tiling reference configurations of Table I and the
-//! capacity-balanced baseline [19].
+//! capacity-balanced baseline \[19\].
 
 use crate::config::{EncoderConfig, TileConfig};
 use crate::executor::{ScopedExecutor, SerialExecutor, TileExecutor};

@@ -12,7 +12,7 @@
 //!   row slices and the inner loops autovectorize;
 //! * the **clamped path** for boundary candidates, identical to the
 //!   original per-sample [`Plane::get_clamped`] access (kept verbatim
-//!   in [`reference`] as the executable specification).
+//!   in [`mod@reference`] as the executable specification).
 //!
 //! The `_upto` variants additionally take an exclusive `bound` and may
 //! stop at a row boundary once the partial sum reaches it. Because the

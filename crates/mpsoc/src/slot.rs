@@ -31,7 +31,7 @@ pub enum DvfsPolicy {
     StretchToDeadline,
     /// Stay pinned at f_max through the whole slot, clock running even
     /// during slack — the coarse rail-frequency operation of the
-    /// baseline [19], which only re-decides frequency when every core
+    /// baseline \[19\], which only re-decides frequency when every core
     /// sits at a rail.
     PinnedMax,
 }

@@ -92,6 +92,13 @@ pub trait ExecutionBackend {
         format!("{}-core backend", self.cores())
     }
 
+    /// Whether this backend physically runs [`WorkUnit::job`]
+    /// closures. Analytical backends — the default — only price costs,
+    /// so callers can skip materializing jobs for them entirely.
+    fn executes_work(&self) -> bool {
+        false
+    }
+
     /// Clears carried load and DVFS state (start of a fresh run).
     fn reset(&mut self);
 
@@ -115,6 +122,10 @@ impl<B: ExecutionBackend + ?Sized> ExecutionBackend for Box<B> {
 
     fn label(&self) -> String {
         (**self).label()
+    }
+
+    fn executes_work(&self) -> bool {
+        (**self).executes_work()
     }
 
     fn reset(&mut self) {
@@ -142,6 +153,10 @@ impl<B: ExecutionBackend + ?Sized> ExecutionBackend for &mut B {
 
     fn label(&self) -> String {
         (**self).label()
+    }
+
+    fn executes_work(&self) -> bool {
+        (**self).executes_work()
     }
 
     fn reset(&mut self) {

@@ -25,6 +25,7 @@
 use crate::backend::{ExecutionBackend, WorkUnit};
 use medvt_mpsoc::DvfsPolicy;
 use medvt_sched::{place_threads_on, Placement, UserDemand};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-user, per-slot demand (and optionally real work) for the loop.
@@ -47,7 +48,7 @@ pub trait DemandSource {
 /// When thread placements are recomputed.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ReplanPolicy {
-    /// Keep the initial placements for the whole run (baseline [19]'s
+    /// Keep the initial placements for the whole run (baseline \[19\]'s
     /// static binding). Membership changes still force a one-off
     /// re-placement — stale placements would keep running departed
     /// users.
@@ -125,6 +126,62 @@ pub struct UserLoopStats {
     pub active_slots: usize,
 }
 
+/// Measured-vs-modeled timing of one deadline window — the
+/// validation quantity behind live serving (does the analytical model
+/// the placement math trusts predict real execution?).
+///
+/// `wall_secs` is real elapsed time executing submitted jobs (0.0 on
+/// analytical backends, which never run work); `modeled_secs` sums the
+/// per-slot *makespans* the slot model predicts — the busiest core's
+/// planned busy time each slot, i.e. how long the window's work takes
+/// when every core runs in parallel at its planned frequency. The two
+/// differ by the host-vs-reference speed factor; their *ratio* should
+/// hold steady across windows when the model tracks reality.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WindowTiming {
+    /// Exclusive end slot of the window (a full window covers
+    /// `end_slot - window_len .. end_slot`; a trailing partial window
+    /// ends wherever the run stopped).
+    pub end_slot: usize,
+    /// Wall-clock seconds spent executing real jobs in the window.
+    pub wall_secs: f64,
+    /// Modeled window makespan: per-slot maximum planned core busy
+    /// time, summed over the window's slots.
+    pub modeled_secs: f64,
+}
+
+impl WindowTiming {
+    /// `wall_secs / modeled_secs`; `None` when the window modeled no
+    /// busy time (nothing scheduled) or ran no real work.
+    pub fn ratio(&self) -> Option<f64> {
+        Self::ratio_from(self.wall_secs, self.modeled_secs)
+    }
+
+    /// (total measured wall, total modeled makespan) over `times`.
+    pub fn totals(times: &[WindowTiming]) -> (f64, f64) {
+        times.iter().fold((0.0, 0.0), |(wall, modeled), w| {
+            (wall + w.wall_secs, modeled + w.modeled_secs)
+        })
+    }
+
+    /// Aggregate measured/modeled ratio over `times` — the single
+    /// definition every report-level ratio delegates to.
+    pub fn aggregate_ratio(times: &[WindowTiming]) -> Option<f64> {
+        let (measured, modeled) = Self::totals(times);
+        Self::ratio_from(measured, modeled)
+    }
+
+    /// The shared guard: a ratio exists only when the model priced
+    /// busy time *and* real work was executed.
+    pub fn ratio_from(measured: f64, modeled: f64) -> Option<f64> {
+        if modeled > 0.0 && measured > 0.0 {
+            Some(measured / modeled)
+        } else {
+            None
+        }
+    }
+}
+
 /// Aggregate outcome of a server-loop run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoopReport {
@@ -144,6 +201,11 @@ pub struct LoopReport {
     pub wall_secs: f64,
     /// Per-user accounting, sorted by user id.
     pub users: Vec<UserLoopStats>,
+    /// Measured vs. modeled time of every deadline window, in window
+    /// order — including a trailing partial window when the run ended
+    /// (or was observed) mid-window, so the totals reconcile with
+    /// `wall_secs` on any horizon.
+    pub window_times: Vec<WindowTiming>,
 }
 
 impl LoopReport {
@@ -157,6 +219,7 @@ impl LoopReport {
             slots: 0,
             wall_secs: 0.0,
             users: Vec::new(),
+            window_times: Vec::new(),
         }
     }
 
@@ -186,6 +249,35 @@ impl LoopReport {
             .ok()
             .map(|i| &self.users[i])
     }
+
+    /// Total measured wall seconds over completed deadline windows.
+    pub fn measured_window_secs(&self) -> f64 {
+        WindowTiming::totals(&self.window_times).0
+    }
+
+    /// Total modeled makespan seconds over completed deadline windows.
+    pub fn modeled_window_secs(&self) -> f64 {
+        WindowTiming::totals(&self.window_times).1
+    }
+
+    /// Overall measured/modeled window-time ratio; `None` when the run
+    /// modeled no busy time or executed no real work.
+    pub fn window_time_ratio(&self) -> Option<f64> {
+        WindowTiming::aggregate_ratio(&self.window_times)
+    }
+
+    /// Copy with every wall-clock measurement zeroed, leaving exactly
+    /// the statistics the analytical model produces — the fields that
+    /// must match bit for bit across execution backends running
+    /// identical work.
+    pub fn modeled_only(&self) -> Self {
+        let mut r = self.clone();
+        r.wall_secs = 0.0;
+        for w in &mut r.window_times {
+            w.wall_secs = 0.0;
+        }
+        r
+    }
 }
 
 /// An in-flight server-loop run with explicit stepping — the engine
@@ -203,6 +295,9 @@ pub struct LoopDriver<B: ExecutionBackend> {
     /// Per-core speed factors from the backend — placement normalizes
     /// loads with these so heterogeneous cores balance finish times.
     speeds: Vec<f64>,
+    /// Whether the backend runs jobs; analytical backends skip the
+    /// per-unit closure materialization entirely.
+    executes_work: bool,
     admitted: Vec<usize>,
     placements: Vec<Placement>,
     replan_pending: bool,
@@ -217,6 +312,9 @@ pub struct LoopDriver<B: ExecutionBackend> {
     window_misses: usize,
     active_core_slots: usize,
     wall_secs: f64,
+    window_wall_acc: f64,
+    window_modeled_acc: f64,
+    window_times: Vec<WindowTiming>,
     debug: bool,
 }
 
@@ -238,11 +336,13 @@ impl<B: ExecutionBackend> LoopDriver<B> {
         backend.reset();
         let cores = backend.cores();
         let speeds = backend.core_speeds();
+        let executes_work = backend.executes_work();
         assert_eq!(speeds.len(), cores, "one speed factor per backend core");
         Self {
             backend,
             cfg,
             speeds,
+            executes_work,
             admitted,
             placements: initial,
             replan_pending: false,
@@ -257,6 +357,9 @@ impl<B: ExecutionBackend> LoopDriver<B> {
             window_misses: 0,
             active_core_slots: 0,
             wall_secs: 0.0,
+            window_wall_acc: 0.0,
+            window_modeled_acc: 0.0,
+            window_times: Vec::new(),
             debug: std::env::var_os("MEDVT_DEBUG_SLOTS").is_some(),
         }
     }
@@ -299,7 +402,20 @@ impl<B: ExecutionBackend> LoopDriver<B> {
     }
 
     /// Snapshot of the aggregate report so far.
+    ///
+    /// Window timing includes the trailing partial window when the
+    /// run stopped (or is being observed) mid-window — otherwise its
+    /// measured/modeled seconds would silently vanish from the ratios
+    /// whenever the horizon is not a multiple of the window length.
     pub fn report(&self) -> LoopReport {
+        let mut window_times = self.window_times.clone();
+        if self.window_wall_acc > 0.0 || self.window_modeled_acc > 0.0 {
+            window_times.push(WindowTiming {
+                end_slot: self.slot,
+                wall_secs: self.window_wall_acc,
+                modeled_secs: self.window_modeled_acc,
+            });
+        }
         LoopReport {
             energy_j: self.energy_j,
             miss_slots: self.miss_slots,
@@ -309,6 +425,7 @@ impl<B: ExecutionBackend> LoopDriver<B> {
             slots: self.slot,
             wall_secs: self.wall_secs,
             users: self.users.values().copied().collect(),
+            window_times,
         }
     }
 
@@ -401,17 +518,35 @@ impl<B: ExecutionBackend> LoopDriver<B> {
                     .or_default()
                     .insert(p.core);
             }
+            // Jobs are only materialized for backends that run them;
+            // analytical backends price the cost and would drop the
+            // closure unexecuted.
+            let job = if self.executes_work {
+                source.work_for(p.user, self.slot, p.thread)
+            } else {
+                None
+            };
             work.push(WorkUnit {
                 user: p.user,
                 thread: p.thread,
                 core: p.core,
                 cost_fmax_secs: cost,
-                job: source.work_for(p.user, self.slot, p.thread),
+                job,
             });
         }
         let outcome = self.backend.execute_slot(self.cfg.policy, slot_secs, work);
         self.energy_j += outcome.report.energy_j;
         self.wall_secs += outcome.wall_secs;
+        // Window timing: real execution time vs. the slot model's
+        // makespan (the busiest core's planned busy time — how long
+        // the slot's work takes with all cores in parallel).
+        self.window_wall_acc += outcome.wall_secs;
+        self.window_modeled_acc += outcome
+            .report
+            .cores
+            .iter()
+            .map(|c| c.busy_secs)
+            .fold(0.0, f64::max);
         if outcome.report.deadline_misses > 0 {
             self.miss_slots += 1;
         }
@@ -469,6 +604,13 @@ impl<B: ExecutionBackend> LoopDriver<B> {
                 }
                 *active = false;
             }
+            self.window_times.push(WindowTiming {
+                end_slot: self.slot + 1,
+                wall_secs: self.window_wall_acc,
+                modeled_secs: self.window_modeled_acc,
+            });
+            self.window_wall_acc = 0.0;
+            self.window_modeled_acc = 0.0;
             for (&u, cores) in &self.window_user_cores {
                 let Some(stats) = self.users.get_mut(&u) else {
                     continue;
@@ -766,6 +908,47 @@ mod tests {
         assert_eq!(report.windows, 4);
         assert_eq!(report.window_misses, 0);
         assert_eq!(report.user(0).expect("accounted").windows, 4);
+    }
+
+    #[test]
+    fn trailing_partial_window_timing_is_reported() {
+        // 30 slots with a 24-slot window: one full window plus a
+        // 6-slot partial tail whose modeled time must not vanish.
+        let mut backend = SimBackend::new(Platform::quad_core(), PowerModel::default());
+        let source = FlatSource {
+            tiles: 2,
+            secs: SLOT / 4.0,
+        };
+        let mut sl = ServerLoop::new(&mut backend, cfg(30, ReplanPolicy::Static));
+        let initial = vec![
+            Placement {
+                user: 0,
+                thread: 0,
+                core: 0,
+                secs: SLOT / 4.0,
+            },
+            Placement {
+                user: 0,
+                thread: 1,
+                core: 0,
+                secs: SLOT / 4.0,
+            },
+        ];
+        let report = sl.run(&source, &[0], &initial);
+        assert_eq!(report.window_times.len(), 2, "full window + partial tail");
+        assert_eq!(report.window_times[0].end_slot, 24);
+        assert_eq!(report.window_times[1].end_slot, 30);
+        assert!(report.window_times[1].modeled_secs > 0.0);
+        // Deadline accounting still counts only completed windows.
+        assert_eq!(report.windows, 1);
+        // The totals reconcile: every slot's modeled makespan is in
+        // exactly one window entry.
+        let full_run_modeled = report.modeled_window_secs();
+        assert!(full_run_modeled >= report.window_times[0].modeled_secs);
+        assert!(
+            report.window_times[1].modeled_secs < report.window_times[0].modeled_secs,
+            "6-slot tail models less time than the 24-slot window"
+        );
     }
 
     #[test]

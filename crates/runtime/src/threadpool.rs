@@ -90,6 +90,10 @@ impl ExecutionBackend for ThreadPoolBackend {
         self.accounting.label()
     }
 
+    fn executes_work(&self) -> bool {
+        true
+    }
+
     fn reset(&mut self) {
         self.accounting.reset();
     }

@@ -342,15 +342,18 @@ fn place(threads: &mut [Placement], speeds: &[f64], demand_frac: f64, slot_secs:
         // The cap is a fill ceiling (lines 5–9: "CPU time … cannot be
         // above 1/FPS"): among cores where the thread still finishes
         // within the slot, pick the one landing nearest the cap; if
-        // none fits, spill to the least-loaded (soonest-finishing)
-        // core so overload spreads evenly.
+        // none fits, spill to the core whose *post-placement* finish
+        // time `(load + secs) / speed` is smallest, so overload lands
+        // where it hurts the worst-core finish least. (Spilling by
+        // pre-placement load instead can push a large thread onto an
+        // idle slow core when a partially loaded fast core would
+        // finish sooner.)
         let mut best_fit: Option<(usize, f64)> = None;
-        let mut least: (usize, f64) = (candidates[0], f64::INFINITY);
+        let mut spill: (usize, f64) = (candidates[0], f64::INFINITY);
         for &k in candidates {
-            let norm = core_loads[k] / speeds[k];
             let with = (core_loads[k] + th.secs) / speeds[k];
-            if norm < least.1 {
-                least = (k, norm);
+            if with < spill.1 {
+                spill = (k, with);
             }
             if with <= slot_secs + 1e-12 {
                 let dist = (cap - with).abs();
@@ -359,7 +362,7 @@ fn place(threads: &mut [Placement], speeds: &[f64], demand_frac: f64, slot_secs:
                 }
             }
         }
-        let best_core = best_fit.map_or(least.0, |(k, _)| k);
+        let best_core = best_fit.map_or(spill.0, |(k, _)| k);
         th.core = best_core;
         core_loads[best_core] += th.secs;
     }
@@ -529,6 +532,29 @@ mod tests {
         // while a sooner-finishing option exists.
         assert!(alloc.worst_finish_secs(&speeds) <= SLOT * 1.2 + 1e-12);
         assert_eq!(finish.len(), 4);
+    }
+
+    #[test]
+    fn spill_minimizes_post_placement_finish_time() {
+        // One big core (1.0) and one LITTLE (0.45). The 0.9-slot thread
+        // seeds the big core; the 0.85-slot thread fits nowhere and
+        // must spill. Pre-placement load would send it to the idle
+        // LITTLE core (finish 0.85/0.45 = 1.89 slots); the argmin of
+        // post-placement finish keeps it on the big core
+        // ((0.9+0.85)/1.0 = 1.75 slots), the better worst case.
+        let speeds = [1.0, 0.45];
+        let users = vec![demand(0, &[SLOT * 0.9, SLOT * 0.85])];
+        let alloc = place_threads_on(&speeds, SLOT, &users);
+        assert!(
+            alloc.placements.iter().all(|p| p.core == 0),
+            "both threads belong on the big core: {:?}",
+            alloc.placements
+        );
+        let worst = alloc.worst_finish_secs(&speeds) / SLOT;
+        assert!(
+            (worst - 1.75).abs() < 1e-9,
+            "worst-core finish should be 1.75 slots, got {worst}"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
-//! The baseline allocator of Khan et al. [19]: one tile per core,
+//! The baseline allocator of Khan et al. \[19\]: one tile per core,
 //! first-come-first-served admission, no load sharing between tiles.
 //!
-//! [19] sizes tiles so each one fills a core's capacity at the required
+//! \[19\] sizes tiles so each one fills a core's capacity at the required
 //! framerate, then binds exactly one tile to one core. Cores are not
 //! shared between threads, so a user needs as many cores as it has
 //! tiles, and the queue admits users in arrival order while whole-user
@@ -51,7 +51,7 @@ pub fn baseline_allocate(cores: usize, users: &[UserDemand]) -> Allocation {
     }
 }
 
-/// [19]'s re-tiling trigger: only re-tile when *all* active cores sit
+/// \[19\]'s re-tiling trigger: only re-tile when *all* active cores sit
 /// at the minimum or all at the maximum frequency — the condition the
 /// paper criticizes for reacting too slowly to content changes.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -65,7 +65,7 @@ impl BaselineRetileTrigger {
         Self::default()
     }
 
-    /// Returns `true` when [19] would re-tile given the active cores'
+    /// Returns `true` when \[19\] would re-tile given the active cores'
     /// current frequencies.
     pub fn should_retile(
         &mut self,

@@ -17,7 +17,7 @@
 //!   per-core speed factors so the argmin balances finish times;
 //! * [`baseline_allocate`] / [`BaselineRetileTrigger`] — the
 //!   one-tile-per-core allocator and rail-frequency re-tile trigger of
-//!   the baseline [19];
+//!   the baseline \[19\];
 //! * [`FeedbackController`] — the per-frame deadline feedback of
 //!   §III-D2 (lighten bottleneck tiles at f_max, restore on banked
 //!   slack, one-second framerate accounting).

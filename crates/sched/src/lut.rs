@@ -215,7 +215,7 @@ impl WorkloadLut {
 }
 
 /// Per-body-part-class LUT bank — the transfer mechanism of §III-D1
-/// ("the obtained LUT of one MRI or CT data [serves] the rest of the
+/// ("the obtained LUT of one MRI or CT data \[serves\] the rest of the
 /// images in the same class").
 #[derive(Debug, Clone, Default)]
 pub struct LutBank {

@@ -17,7 +17,7 @@
 //! | [`sched`] | `medvt-sched` | workload LUT, Algorithm 2 allocator, deadline feedback |
 //! | [`runtime`] | `medvt-runtime` | placement-aware execution: per-core worker pool, sim/thread-pool backends, server loop |
 //! | [`admission`] | `medvt-admission` | live admission control: request queue, shard policies, GOP-boundary admit/evict |
-//! | [`core`] | `medvt-core` | the full pipeline, baseline [19], multi-user server (batch and online) on either backend |
+//! | [`core`] | `medvt-core` | the full pipeline, baseline \[19\], multi-user server (batch, online, live) on either backend |
 //!
 //! # Examples
 //!

@@ -105,9 +105,11 @@ fn sim_and_pool_backends_identical_on_big_little() {
     assert!(a.energy_j > 0.0);
     // Wall time differs (the pool really runs); every statistic the
     // accounting produces must not.
-    let mut b_stats = b.clone();
-    b_stats.wall_secs = a.wall_secs;
-    assert_eq!(a, b_stats, "backends must account identically");
+    assert_eq!(
+        a.modeled_only(),
+        b.modeled_only(),
+        "backends must account identically"
+    );
 }
 
 /// Online serving works end to end on a heterogeneous platform: one
@@ -217,10 +219,12 @@ proptest! {
             .flat_map(|u| u.thread_secs.iter())
             .fold(0.0f64, |a, &b| a.max(b));
         let worst = alloc.worst_finish_secs(&speeds);
-        // Spills land on the soonest-finishing core, whose finish time
-        // is at most the speed-weighted mean — max(slot, total work /
-        // platform effective capacity) — so one stretched thread on
-        // the slowest core bounds the overshoot.
+        // Spills land on the core minimizing post-placement finish
+        // time, which is never later than placing on the least-loaded
+        // core: that core's pre-placement finish is at most the
+        // speed-weighted mean — max(slot, total work / platform
+        // effective capacity) — so one stretched thread on the slowest
+        // core still bounds the overshoot.
         let total: f64 = users.iter().map(UserDemand::total_secs).sum();
         let capacity: f64 = speeds.iter().sum();
         let floor = (total / capacity).max(SLOT);
@@ -243,7 +247,7 @@ proptest! {
 
     /// Fast cores are never idle while slower cores are overloaded:
     /// candidates are recruited fastest-first and spill targets the
-    /// soonest-finishing core.
+    /// core with the smallest post-placement finish time.
     #[test]
     fn prop_hetero_fast_cores_never_idle_under_slow_overload(
         speed_idx in proptest::collection::vec(0u32..5, 2..10),
