@@ -71,11 +71,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod reference;
 mod request;
 mod serve;
 mod shard;
 mod trace;
 
+pub use reference::serve_online_reference;
 pub use request::{AdmitDecision, DeadlineClass, RequestQueue, UserRequest};
 pub use serve::{
     serve_online, AdmissionEvent, EventKind, OnlineConfig, OnlineReport, ShardReport, Workload,

@@ -1,7 +1,8 @@
 //! User requests and the arrival queue of the online serving scenario.
 
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Service level a user signs up for — how many consecutive missed
 /// one-second windows the controller tolerates before evicting.
@@ -66,9 +67,39 @@ pub enum AdmitDecision {
 }
 
 /// FIFO queue of arrived-but-not-yet-admitted requests.
+///
+/// Requests live in a ring of arrival-sequence slots (O(1) push and
+/// O(1) keyed removal; a removed slot leaves a hole that iteration
+/// skips and front-trimming reclaims) with a side heap indexing
+/// departure slots — so [`drain_departed`](Self::drain_departed) pops
+/// exactly the departed requests instead of scanning (and cloning)
+/// every pending one at every GOP boundary. Sequence numbers returned
+/// by [`push`](Self::push) stay valid for the request's whole queue
+/// lifetime, so callers can keep side indexes (e.g. per-demand FIFOs)
+/// without the queue knowing about them.
 #[derive(Debug, Clone, Default)]
 pub struct RequestQueue {
-    pending: VecDeque<UserRequest>,
+    /// Sequence number of `slots[0]`.
+    base: u64,
+    /// Arrival-ordered; `None` marks a request that already left.
+    slots: VecDeque<Option<UserRequest>>,
+    /// Live (non-hole) entries.
+    live: usize,
+    /// Min-heap of (departure slot, sequence). Entries go stale when a
+    /// request leaves by admission/rejection first; they are skipped
+    /// lazily on pop. Unused in bounded mode.
+    departures: BinaryHeap<Reverse<(usize, u64)>>,
+    /// Bounded mode only: `dep_buckets[slot]` holds the sequence
+    /// numbers departing at `slot` — O(1) pushes and O(departed)
+    /// drains, no heap sifting on the ingestion path.
+    dep_buckets: Vec<Vec<u64>>,
+    /// First bucket not yet drained (bounded mode).
+    next_drain: usize,
+    /// Departures at or past this slot are not indexed (see
+    /// [`with_departure_bound`](Self::with_departure_bound)); `None`
+    /// indexes everything via the heap.
+    departure_bound: Option<usize>,
+    next_seq: u64,
 }
 
 impl RequestQueue {
@@ -77,60 +108,159 @@ impl RequestQueue {
         Self::default()
     }
 
-    /// Enqueues an arrived request at the tail.
-    pub fn push(&mut self, request: UserRequest) {
-        self.pending.push_back(request);
+    /// An empty queue that will never see
+    /// [`drain_departed`](Self::drain_departed) called with a slot at
+    /// or past `bound` (typically the serving horizon). Departures at
+    /// `bound` or later then skip the departure index entirely — on
+    /// heavy-tailed session traces most queued sessions outlive the
+    /// horizon, so this drops most of the per-arrival indexing cost.
+    ///
+    /// [`drain_departed`](Self::drain_departed) panics if the promise
+    /// is broken.
+    pub fn with_departure_bound(bound: usize) -> Self {
+        Self {
+            departure_bound: Some(bound),
+            dep_buckets: vec![Vec::new(); bound],
+            ..Self::default()
+        }
+    }
+
+    /// Enqueues an arrived request at the tail; returns its stable
+    /// sequence number (arrival order, starting at 0).
+    pub fn push(&mut self, request: UserRequest) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(d) = request.departure_slot {
+            match self.departure_bound {
+                Some(bound) if d < bound => self.dep_buckets[d].push(seq),
+                Some(_) => {} // outlives every drain — unindexed
+                None => self.departures.push(Reverse((d, seq))),
+            }
+        }
+        self.slots.push_back(Some(request));
+        self.live += 1;
+        seq
     }
 
     /// Queued requests, arrival order.
     pub fn iter(&self) -> impl Iterator<Item = &UserRequest> {
-        self.pending.iter()
+        self.slots.iter().flatten()
     }
 
     /// Number of waiting requests.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// `true` when nothing waits.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
+    }
+
+    /// `true` when the request pushed as `seq` still waits.
+    pub fn contains(&self, seq: u64) -> bool {
+        seq >= self.base
+            && ((seq - self.base) as usize) < self.slots.len()
+            && self.slots[(seq - self.base) as usize].is_some()
+    }
+
+    /// Removes and returns the request pushed as `seq`, or `None` when
+    /// it already left. O(1) plus amortized front-trimming.
+    pub fn take(&mut self, seq: u64) -> Option<UserRequest> {
+        if seq < self.base {
+            return None;
+        }
+        let idx = (seq - self.base) as usize;
+        let taken = self.slots.get_mut(idx)?.take();
+        if taken.is_some() {
+            self.live -= 1;
+            self.trim_front();
+        }
+        taken
+    }
+
+    fn trim_front(&mut self) {
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
     }
 
     /// Removes and returns requests whose departure passed while they
-    /// were still queued (the user gave up waiting).
+    /// were still queued (the user gave up waiting), in arrival order.
+    /// Cost is O(departed · log queue), independent of how many
+    /// requests keep waiting.
     pub fn drain_departed(&mut self, slot: usize) -> Vec<UserRequest> {
-        let mut gone = Vec::new();
-        self.pending.retain(|r| {
-            let departed = r.departure_slot.is_some_and(|d| d <= slot);
-            if departed {
-                gone.push(r.clone());
+        let mut seqs: Vec<u64> = Vec::new();
+        if let Some(bound) = self.departure_bound {
+            assert!(
+                slot < bound,
+                "drain_departed({slot}) breaks the departure bound {bound}"
+            );
+            while self.next_drain <= slot {
+                let bucket = std::mem::take(&mut self.dep_buckets[self.next_drain]);
+                seqs.extend(bucket.into_iter().filter(|&seq| self.contains(seq)));
+                self.next_drain += 1;
             }
-            !departed
-        });
-        gone
+        } else {
+            while let Some(&Reverse((d, seq))) = self.departures.peek() {
+                if d > slot {
+                    break;
+                }
+                self.departures.pop();
+                if self.contains(seq) {
+                    seqs.push(seq);
+                }
+            }
+        }
+        seqs.sort_unstable();
+        seqs.into_iter()
+            .map(|seq| self.take(seq).expect("membership checked"))
+            .collect()
     }
 
     /// Scans the queue in FIFO order, asking `decide` about each
     /// request. `Admit` removes it (returned with its shard), `Wait`
     /// keeps it in place for the next boundary, `Reject` drops it
     /// (returned in the second list). The relative order of waiting
-    /// requests is preserved.
+    /// requests is preserved — waiters are simply left untouched.
     pub fn try_admit<F>(&mut self, mut decide: F) -> (Vec<(UserRequest, usize)>, Vec<UserRequest>)
     where
         F: FnMut(&UserRequest) -> AdmitDecision,
     {
-        let mut admitted = Vec::new();
-        let mut rejected = Vec::new();
-        let mut waiting = VecDeque::with_capacity(self.pending.len());
-        for request in self.pending.drain(..) {
-            match decide(&request) {
-                AdmitDecision::Admit(shard) => admitted.push((request, shard)),
-                AdmitDecision::Wait => waiting.push_back(request),
-                AdmitDecision::Reject => rejected.push(request),
+        self.try_admit_while(|request| Some(decide(request)))
+    }
+
+    /// [`try_admit`](Self::try_admit) with an early stop: `decide`
+    /// returning `None` ends the scan, leaving that request and every
+    /// later one untouched. The caller is responsible for `None` being
+    /// sound — i.e. every unscanned request would have decided `Wait`.
+    pub fn try_admit_while<F>(
+        &mut self,
+        mut decide: F,
+    ) -> (Vec<(UserRequest, usize)>, Vec<UserRequest>)
+    where
+        F: FnMut(&UserRequest) -> Option<AdmitDecision>,
+    {
+        let mut leaving: Vec<(u64, AdmitDecision)> = Vec::new();
+        'scan: for (idx, slot) in self.slots.iter().enumerate() {
+            let Some(request) = slot else { continue };
+            match decide(request) {
+                None => break 'scan,
+                Some(AdmitDecision::Wait) => {}
+                Some(verdict) => leaving.push((self.base + idx as u64, verdict)),
             }
         }
-        self.pending = waiting;
+        let mut admitted = Vec::new();
+        let mut rejected = Vec::new();
+        for (seq, verdict) in leaving {
+            let request = self.take(seq).expect("seq seen in scan");
+            match verdict {
+                AdmitDecision::Admit(shard) => admitted.push((request, shard)),
+                AdmitDecision::Reject => rejected.push(request),
+                AdmitDecision::Wait => unreachable!("waiters stay in the queue"),
+            }
+        }
         (admitted, rejected)
     }
 }
@@ -184,6 +314,60 @@ mod tests {
         assert_eq!(gone.len(), 1);
         assert_eq!(gone[0].user, 0);
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn drain_skips_requests_already_admitted() {
+        let mut q = RequestQueue::new();
+        q.push(req(0, 0, Some(5)));
+        q.push(req(1, 0, Some(5)));
+        // Admit user 0 before its departure passes: its heap entry
+        // goes stale and must be skipped, not double-drained.
+        let (admitted, _) = q.try_admit(|r| {
+            if r.user == 0 {
+                AdmitDecision::Admit(0)
+            } else {
+                AdmitDecision::Wait
+            }
+        });
+        assert_eq!(admitted.len(), 1);
+        let gone = q.drain_departed(5);
+        assert_eq!(gone.iter().map(|r| r.user).collect::<Vec<_>>(), vec![1]);
+        assert!(q.is_empty());
+        // Repeated drain finds nothing.
+        assert!(q.drain_departed(100).is_empty());
+    }
+
+    #[test]
+    fn drain_returns_arrival_order_not_departure_order() {
+        let mut q = RequestQueue::new();
+        q.push(req(0, 0, Some(20)));
+        q.push(req(1, 1, Some(10)));
+        q.push(req(2, 2, Some(15)));
+        let gone = q.drain_departed(20);
+        assert_eq!(
+            gone.iter().map(|r| r.user).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn departure_bound_skips_out_of_horizon_sessions() {
+        let mut q = RequestQueue::with_departure_bound(100);
+        q.push(req(0, 0, Some(50)));
+        q.push(req(1, 0, Some(100))); // outlives every drain — unindexed
+        q.push(req(2, 0, Some(400)));
+        let gone = q.drain_departed(99);
+        assert_eq!(gone.iter().map(|r| r.user).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "breaks the departure bound")]
+    fn draining_past_the_bound_panics() {
+        let mut q = RequestQueue::with_departure_bound(100);
+        q.push(req(0, 0, Some(400)));
+        q.drain_departed(100);
     }
 
     #[test]

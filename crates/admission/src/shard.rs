@@ -46,11 +46,26 @@ fn class_hash(class: &str) -> u64 {
     h
 }
 
-/// Stateful shard chooser (rotation pointer for round-robin).
+/// Incrementally tracked per-shard state for the attached mode: loads
+/// and utilizations are updated on admit/release instead of being
+/// recomputed from member lists at every decision.
+#[derive(Debug, Clone)]
+struct Tracked {
+    loads: Vec<f64>,
+    capacities: Vec<f64>,
+    /// `loads[s] / capacities[s]`, maintained with exactly that
+    /// expression so cached values stay bitwise-equal to a fresh
+    /// division — the least-loaded tie-break depends on it.
+    utilization: Vec<f64>,
+}
+
+/// Stateful shard chooser (rotation pointer for round-robin, plus
+/// optionally *attached* per-shard load tracking).
 #[derive(Debug, Clone)]
 pub struct Sharder {
     policy: ShardPolicy,
     rotation: usize,
+    tracked: Option<Tracked>,
 }
 
 impl Sharder {
@@ -59,6 +74,7 @@ impl Sharder {
         Self {
             policy,
             rotation: 0,
+            tracked: None,
         }
     }
 
@@ -122,6 +138,132 @@ impl Sharder {
             }
         }
     }
+
+    /// Attaches incrementally tracked load state (all shards start
+    /// empty). From here on, [`pick_attached`](Self::pick_attached) /
+    /// [`admit_load`](Self::admit_load) /
+    /// [`release_load`](Self::release_load) maintain loads and
+    /// utilizations in place — decisions are bitwise-identical to
+    /// [`pick`](Self::pick) with the same loads, without rebuilding
+    /// anything per decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacities` is empty or contains a non-positive
+    /// entry.
+    pub fn attach(&mut self, capacities: Vec<f64>) {
+        assert!(!capacities.is_empty(), "need at least one shard");
+        assert!(
+            capacities.iter().all(|c| c.is_finite() && *c > 0.0),
+            "shard capacities must be positive and finite"
+        );
+        let n = capacities.len();
+        self.tracked = Some(Tracked {
+            loads: vec![0.0; n],
+            capacities,
+            utilization: vec![0.0; n],
+        });
+    }
+
+    fn tracked(&self) -> &Tracked {
+        self.tracked.as_ref().expect("attach() before attached ops")
+    }
+
+    /// Current per-shard loads (attached mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`attach`](Self::attach) has not been called.
+    pub fn loads(&self) -> &[f64] {
+        &self.tracked().loads
+    }
+
+    /// Adds an admitted user's fractional-core `demand` to `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`attach`](Self::attach) has not been called.
+    pub fn admit_load(&mut self, shard: usize, demand: f64) {
+        let t = self.tracked.as_mut().expect("attach() before attached ops");
+        t.loads[shard] += demand;
+        t.utilization[shard] = t.loads[shard] / t.capacities[shard];
+    }
+
+    /// Removes a departing/evicted user's `demand` from `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`attach`](Self::attach) has not been called.
+    pub fn release_load(&mut self, shard: usize, demand: f64) {
+        let t = self.tracked.as_mut().expect("attach() before attached ops");
+        t.loads[shard] -= demand;
+        t.utilization[shard] = t.loads[shard] / t.capacities[shard];
+    }
+
+    /// True when some shard could fit `demand` right now — the O(1)
+    /// early-out probe: when even the smallest queued demand fits
+    /// nowhere, the whole admission scan can be skipped (load growth
+    /// is monotone in demand, so nothing larger fits either).
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`attach`](Self::attach) has not been called.
+    pub fn any_fits(&self, demand: f64) -> bool {
+        let t = self.tracked();
+        t.loads
+            .iter()
+            .zip(&t.capacities)
+            .any(|(&load, &cap)| load + demand <= cap + 1e-9)
+    }
+
+    /// [`pick`](Self::pick) against the attached load state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`attach`](Self::attach) has not been called.
+    pub fn pick_attached(&mut self, demand: f64, class: &str) -> Option<usize> {
+        let t = self.tracked.as_ref().expect("attach() before attached ops");
+        match self.policy {
+            ShardPolicy::LeastLoaded => Self::least_loaded_tracked(t, demand),
+            ShardPolicy::RoundRobin => {
+                let shard = self.rotation % t.loads.len();
+                self.rotation = self.rotation.wrapping_add(1);
+                (t.loads[shard] + demand <= t.capacities[shard] + 1e-9).then_some(shard)
+            }
+            ShardPolicy::ContentAffinity => {
+                let preferred = (class_hash(class) % t.loads.len() as u64) as usize;
+                if t.loads[preferred] + demand <= t.capacities[preferred] + 1e-9 {
+                    Some(preferred)
+                } else {
+                    Self::least_loaded_tracked(t, demand)
+                }
+            }
+        }
+    }
+
+    /// Cached-utilization form of [`least_loaded`](Self::least_loaded):
+    /// the same filter and ordering expressions over bitwise-identical
+    /// values, minus the per-comparison divisions.
+    fn least_loaded_tracked(t: &Tracked, demand: f64) -> Option<usize> {
+        t.loads
+            .iter()
+            .zip(&t.capacities)
+            .enumerate()
+            .filter(|(_, (&load, &cap))| load + demand <= cap + 1e-9)
+            .min_by(|(a, _), (b, _)| t.utilization[*a].total_cmp(&t.utilization[*b]))
+            .map(|(k, _)| k)
+    }
+
+    /// Accounts for `considered` requests being skipped without
+    /// individual [`pick_attached`](Self::pick_attached) calls (the
+    /// early-out path): round-robin advances its rotation exactly as
+    /// if each had been offered a shard, so decision streams stay
+    /// identical with the non-early-out controller.
+    pub fn skip_all(&mut self, considered: usize) {
+        if self.policy == ShardPolicy::RoundRobin {
+            self.rotation = self.rotation.wrapping_add(considered);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +311,73 @@ mod tests {
         loads[home] = 8.0;
         let fallback = s.pick(&loads, &CAP8, 1.0, "cardiac").expect("fallback");
         assert_ne!(fallback, home);
+    }
+
+    #[test]
+    fn attached_picks_match_stateless_picks() {
+        // Replay one admit/release trace through both interfaces under
+        // every policy: decisions must be identical call for call.
+        let caps = vec![8.0, 2.0, 5.8, 8.0];
+        // (demand, class, optional (shard, demand) released beforehand).
+        type Step = (f64, &'static str, Option<(usize, f64)>);
+        let trace: [Step; 8] = [
+            (1.0, "brain", None),
+            (2.5, "cardiac", None),
+            (1.0, "spine", Some((0, 1.0))),
+            (6.0, "brain", None),
+            (0.5, "cardiac", Some((2, 0.5))),
+            (3.0, "spine", None),
+            (9.0, "brain", None), // fits nowhere
+            (1.5, "cardiac", None),
+        ];
+        for policy in [
+            ShardPolicy::LeastLoaded,
+            ShardPolicy::RoundRobin,
+            ShardPolicy::ContentAffinity,
+        ] {
+            let mut stateless = Sharder::new(policy);
+            let mut attached = Sharder::new(policy);
+            attached.attach(caps.clone());
+            let mut loads = vec![0.0f64; caps.len()];
+            for &(demand, class, release) in &trace {
+                if let Some((shard, d)) = release {
+                    loads[shard] -= d;
+                    attached.release_load(shard, d);
+                }
+                let a = stateless.pick(&loads, &caps, demand, class);
+                let b = attached.pick_attached(demand, class);
+                assert_eq!(a, b, "{policy:?} diverged on demand {demand}");
+                assert_eq!(
+                    attached.any_fits(demand),
+                    loads
+                        .iter()
+                        .zip(&caps)
+                        .any(|(&l, &c)| l + demand <= c + 1e-9)
+                );
+                if let Some(shard) = a {
+                    loads[shard] += demand;
+                    attached.admit_load(shard, demand);
+                }
+            }
+            for (x, y) in loads.iter().zip(attached.loads()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn skip_all_advances_round_robin_like_individual_offers() {
+        let caps = vec![1.0; 3];
+        let mut a = Sharder::new(ShardPolicy::RoundRobin);
+        let mut b = Sharder::new(ShardPolicy::RoundRobin);
+        a.attach(caps.clone());
+        b.attach(caps);
+        for _ in 0..5 {
+            b.pick_attached(9.0, "x"); // nothing ever fits
+        }
+        a.skip_all(5);
+        // Rotations now aligned: the next offers match.
+        assert_eq!(a.pick_attached(0.5, "x"), b.pick_attached(0.5, "x"));
     }
 
     #[test]

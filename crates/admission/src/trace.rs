@@ -53,9 +53,21 @@ impl Rng {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
-    /// Poisson-distributed count with mean `lambda` (Knuth's method —
-    /// fine for the per-slot rates used here).
+    /// Poisson-distributed count with mean `lambda`. Knuth's method
+    /// for small rates; beyond λ = 32 `exp(-λ)` heads toward f64
+    /// underflow (unusable past ~700) and the product loop costs O(λ)
+    /// draws, so large rates — the 1M-user scale sweeps — switch to a
+    /// rounded Box–Muller normal approximation (error O(1/√λ), well
+    /// under the trace synthesizer's needs). Both branches draw from
+    /// the same deterministic stream, and rates ≤ 32 keep their exact
+    /// historical sequences.
     fn poisson(&mut self, lambda: f64) -> usize {
+        if lambda > 32.0 {
+            let u1 = self.next_f64().max(1e-12);
+            let u2 = self.next_f64();
+            let g = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            return (lambda + lambda.sqrt() * g).round().max(0.0) as usize;
+        }
         let limit = (-lambda).exp();
         let mut k = 0usize;
         let mut p = 1.0;
@@ -155,6 +167,28 @@ mod tests {
             assert!(d >= r.arrival_slot + cfg.min_session_slots);
             assert!(d <= r.arrival_slot + cfg.min_session_slots * 64 + 1);
             assert!(r.profile < cfg.profiles);
+        }
+    }
+
+    #[test]
+    fn high_rate_arrivals_track_mean_without_underflow() {
+        // λ = 5208/slot over 192 slots ≈ 1M arrivals: Knuth's method
+        // would spin on exp(-λ) = 0 forever. The normal branch must
+        // land within a fraction of a percent of the mean.
+        let cfg = TraceConfig {
+            horizon_slots: 192,
+            arrivals_per_slot: 5208.0,
+            ..Default::default()
+        };
+        let trace = synthesize_trace(&cfg);
+        let n = trace.len() as f64;
+        let expect = 192.0 * 5208.0;
+        assert!(
+            (n - expect).abs() < expect * 0.01,
+            "got {n} arrivals, expected ≈{expect}"
+        );
+        for pair in trace.windows(2) {
+            assert!(pair[0].arrival_slot <= pair[1].arrival_slot);
         }
     }
 

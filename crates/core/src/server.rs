@@ -18,7 +18,7 @@ use medvt_mpsoc::{DvfsPolicy, Platform, PowerModel};
 use medvt_runtime::{
     DemandSource, ExecutionBackend, ReplanPolicy, ServerLoop, ServerLoopConfig, SimBackend,
 };
-use medvt_sched::{allocate, baseline_allocate, Allocation, UserDemand};
+use medvt_sched::{allocate_on, baseline_allocate, Allocation, UserDemand};
 use serde::{Deserialize, Serialize};
 
 /// GOP length used for per-GOP thread re-placement (paper §III-D2).
@@ -356,7 +356,17 @@ impl ServerSim {
                         )
                     })
                     .collect();
-                allocate(cores, 1.0 / self.cfg.fps, &padded)
+                // Admit against the platform's *effective* capacity —
+                // the sum of core speed factors — so heterogeneous
+                // (big.LITTLE) platforms are probed natively instead
+                // of as `cores` equal units. Homogeneous platforms
+                // report unit speeds, where this is bitwise identical
+                // to the core-count capacity.
+                allocate_on(
+                    &self.cfg.platform.core_speeds(),
+                    1.0 / self.cfg.fps,
+                    &padded,
+                )
             }
             Approach::Baseline => baseline_allocate(cores, users),
         }

@@ -130,16 +130,35 @@ pub fn se_len(value: i32) -> u64 {
 }
 
 /// Zig-zag scan order for an `n x n` block, cached per size.
+///
+/// The coder's block sizes (4 and 8) hit dedicated lock-free
+/// [`OnceLock`] slots — the hot path never takes a mutex, and
+/// concurrent first use computes at most once per size. Other sizes
+/// fall back to a mutexed map.
 pub fn zigzag(n: usize) -> &'static [usize] {
-    static CACHE: OnceLock<Mutex<HashMap<usize, &'static [usize]>>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut guard = cache.lock().expect("zigzag cache poisoned");
-    if let Some(&z) = guard.get(&n) {
-        return z;
+    static Z4: OnceLock<Box<[usize]>> = OnceLock::new();
+    static Z8: OnceLock<Box<[usize]>> = OnceLock::new();
+    match n {
+        4 => Z4.get_or_init(|| compute_zigzag(4)),
+        8 => Z8.get_or_init(|| compute_zigzag(8)),
+        _ => {
+            static CACHE: OnceLock<Mutex<HashMap<usize, &'static [usize]>>> = OnceLock::new();
+            let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+            let mut guard = cache.lock().expect("zigzag cache poisoned");
+            if let Some(&z) = guard.get(&n) {
+                return z;
+            }
+            let leaked: &'static [usize] = Box::leak(compute_zigzag(n));
+            guard.insert(n, leaked);
+            leaked
+        }
     }
+}
+
+/// The zig-zag anti-diagonal traversal, alternating direction.
+fn compute_zigzag(n: usize) -> Box<[usize]> {
     let mut order = Vec::with_capacity(n * n);
     for s in 0..(2 * n - 1) {
-        // Anti-diagonals, alternating direction.
         let range: Vec<usize> = (0..=s.min(n - 1)).rev().collect();
         let cells: Vec<(usize, usize)> = range
             .into_iter()
@@ -156,9 +175,7 @@ pub fn zigzag(n: usize) -> &'static [usize] {
             }
         }
     }
-    let leaked: &'static [usize] = Box::leak(order.into_boxed_slice());
-    guard.insert(n, leaked);
-    leaked
+    order.into_boxed_slice()
 }
 
 /// Codes one quantized transform block into `w` and returns the number
@@ -283,6 +300,32 @@ mod tests {
             sorted.sort_unstable();
             assert_eq!(sorted, (0..n * n).collect::<Vec<_>>(), "n={n}");
         }
+    }
+
+    #[test]
+    fn zigzag_concurrent_first_use_yields_one_table() {
+        // All threads race through the lock-free fast path on first
+        // use and must observe the same cached table (same address)
+        // with correct contents.
+        use std::sync::Barrier;
+        let barrier = Barrier::new(8);
+        let tables: Vec<(usize, usize)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        (zigzag(4).as_ptr() as usize, zigzag(8).as_ptr() as usize)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for &(p4, p8) in &tables[1..] {
+            assert_eq!(p4, tables[0].0, "4x4 table must be computed once");
+            assert_eq!(p8, tables[0].1, "8x8 table must be computed once");
+        }
+        assert_eq!(zigzag(4)[..3], [0, 4, 1]);
+        assert_eq!(zigzag(8).len(), 64);
     }
 
     #[test]

@@ -82,8 +82,8 @@ mod threadpool;
 pub use backend::{ExecutionBackend, SlotOutcome, WorkUnit};
 pub use pool::{ExecRecord, PoolScope, WorkerPool};
 pub use server::{
-    DemandSource, LoopDriver, LoopReport, ReplanPolicy, ServerLoop, ServerLoopConfig,
-    UserLoopStats, WindowTiming,
+    ControllerTiming, DemandSource, LoopDriver, LoopReport, ReplanPolicy, ServerLoop,
+    ServerLoopConfig, UserLoopStats, WindowTiming,
 };
 pub use sim::SimBackend;
 pub use threadpool::ThreadPoolBackend;

@@ -24,9 +24,10 @@
 
 use crate::backend::{ExecutionBackend, WorkUnit};
 use medvt_mpsoc::DvfsPolicy;
-use medvt_sched::{place_threads_on, Placement, UserDemand};
+use medvt_sched::{place_threads_on, IncrementalPlacer, Placement, UserDemand};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
 
 /// Per-user, per-slot demand (and optionally real work) for the loop.
 pub trait DemandSource {
@@ -42,6 +43,78 @@ pub trait DemandSource {
         _thread: usize,
     ) -> Option<Box<dyn FnOnce() + Send + '_>> {
         None
+    }
+
+    /// True when `user`'s demand never varies across slots — a promise
+    /// that `demand_at(user, s)` returns the identical vector for
+    /// every `s`. The incremental control plane then skips the per-GOP
+    /// demand recomputation for the user entirely (the O(1)
+    /// steady-state path). Purely an optimization hint: sources with
+    /// per-slot variation (video profiles) keep the default `false`
+    /// and are re-estimated each boundary, which the placer still
+    /// no-ops when the estimate comes back bitwise unchanged.
+    fn steady(&self, _user: usize) -> bool {
+        false
+    }
+}
+
+/// Control-plane cost accounting: what the *controller* (placement +
+/// queue machinery) spent, as opposed to what the encode work cost.
+/// All-ns fields are wall-clock and therefore excluded from
+/// cross-backend bit-parity comparisons ([`LoopReport::modeled_only`]);
+/// the counters are deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ControllerTiming {
+    /// GOP boundaries observed (replan opportunities).
+    pub boundaries: usize,
+    /// Boundaries at which placements were actually recomputed.
+    pub replans: usize,
+    /// Wall nanoseconds spent computing placements.
+    pub placement_ns: u64,
+    /// Wall nanoseconds spent on queue/admission bookkeeping (filled
+    /// by the admission layer; always 0 at the loop-driver level).
+    pub queue_ns: u64,
+    /// Admission-side decisions made: every queued request considered
+    /// plus every depart/abandon/evict processed (filled by the
+    /// admission layer).
+    pub decisions: u64,
+}
+
+impl ControllerTiming {
+    /// Field-wise accumulation (aggregating shards into a serve-level
+    /// total).
+    pub fn absorb(&mut self, other: &ControllerTiming) {
+        self.boundaries += other.boundaries;
+        self.replans += other.replans;
+        self.placement_ns += other.placement_ns;
+        self.queue_ns += other.queue_ns;
+        self.decisions += other.decisions;
+    }
+
+    /// Total controller wall nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.placement_ns + self.queue_ns
+    }
+
+    /// Decisions per second of controller time; `None` when no time
+    /// was measured.
+    pub fn decisions_per_sec(&self) -> Option<f64> {
+        let ns = self.total_ns();
+        if ns == 0 {
+            None
+        } else {
+            Some(self.decisions as f64 / (ns as f64 * 1e-9))
+        }
+    }
+
+    /// Copy with the wall-clock nanosecond fields zeroed, keeping the
+    /// deterministic counters — the backend-independent part.
+    pub fn modeled_only(&self) -> Self {
+        Self {
+            placement_ns: 0,
+            queue_ns: 0,
+            ..*self
+        }
     }
 }
 
@@ -206,6 +279,9 @@ pub struct LoopReport {
     /// (or was observed) mid-window, so the totals reconcile with
     /// `wall_secs` on any horizon.
     pub window_times: Vec<WindowTiming>,
+    /// Control-plane overhead: replan counts and wall time spent on
+    /// placement decisions.
+    pub controller: ControllerTiming,
 }
 
 impl LoopReport {
@@ -220,6 +296,7 @@ impl LoopReport {
             wall_secs: 0.0,
             users: Vec::new(),
             window_times: Vec::new(),
+            controller: ControllerTiming::default(),
         }
     }
 
@@ -276,6 +353,7 @@ impl LoopReport {
         for w in &mut r.window_times {
             w.wall_secs = 0.0;
         }
+        r.controller = r.controller.modeled_only();
         r
     }
 }
@@ -301,6 +379,22 @@ pub struct LoopDriver<B: ExecutionBackend> {
     admitted: Vec<usize>,
     placements: Vec<Placement>,
     replan_pending: bool,
+    /// Delta-maintained placement engine — engaged by
+    /// [`LoopDriver::update_membership`]; `None` runs the legacy
+    /// from-scratch replan.
+    engine: Option<IncrementalPlacer>,
+    /// Users added since the last engine refresh.
+    pending_add: Vec<usize>,
+    /// Users removed since the last engine refresh.
+    pending_remove: Vec<usize>,
+    /// Members whose demand may vary per slot (`!source.steady(u)`):
+    /// re-estimated at every boundary; steady members are skipped —
+    /// the O(1) path.
+    nonsteady: BTreeSet<usize>,
+    /// Members currently on a consecutive-window-miss streak — lets
+    /// eviction scans skip users that are on time.
+    miss_streaks: BTreeSet<usize>,
+    timing: ControllerTiming,
     slot: usize,
     window_len: usize,
     active_in_window: Vec<bool>,
@@ -346,6 +440,12 @@ impl<B: ExecutionBackend> LoopDriver<B> {
             admitted,
             placements: initial,
             replan_pending: false,
+            engine: None,
+            pending_add: Vec::new(),
+            pending_remove: Vec::new(),
+            nonsteady: BTreeSet::new(),
+            miss_streaks: BTreeSet::new(),
+            timing: ControllerTiming::default(),
             slot: 0,
             window_len: cfg.window_len(),
             active_in_window: vec![false; cores],
@@ -389,9 +489,67 @@ impl<B: ExecutionBackend> LoopDriver<B> {
     /// next executed slot (under any [`ReplanPolicy`] — stale
     /// placements would keep running departed users). Intended for GOP
     /// boundaries, the paper's re-allocation points.
+    ///
+    /// Reverts the driver to the legacy from-scratch replan path; use
+    /// [`LoopDriver::update_membership`] to keep the incremental
+    /// engine engaged.
     pub fn set_membership(&mut self, admitted: Vec<usize>) {
         self.admitted = admitted;
+        self.engine = None;
+        self.pending_add.clear();
+        self.pending_remove.clear();
+        self.nonsteady.clear();
         self.replan_pending = true;
+    }
+
+    /// Applies a membership *delta*, engaging the incremental
+    /// placement engine: unchanged-membership GOP boundaries reuse the
+    /// previous placement (O(1) when every member is
+    /// [`DemandSource::steady`], one no-op demand re-estimate per
+    /// non-steady member otherwise), and changed boundaries replay
+    /// only the placement suffix the delta disturbs.
+    ///
+    /// The resulting placements are bitwise-identical to
+    /// [`set_membership`](Self::set_membership) with the same final
+    /// id-sorted member set — property-tested in `medvt-sched` and
+    /// regression-pinned against the reference controller in
+    /// `medvt-admission`.
+    pub fn update_membership(&mut self, add: &[usize], remove: &[usize]) {
+        if self.engine.is_none() {
+            // First delta: seed the engine with the current members so
+            // it takes over exactly where the legacy path left off.
+            self.engine = Some(IncrementalPlacer::new(&self.speeds, 1.0 / self.cfg.fps));
+            self.admitted.sort_unstable();
+            self.pending_add.extend(self.admitted.iter().copied());
+        }
+        for &u in remove {
+            if let Ok(i) = self.admitted.binary_search(&u) {
+                self.admitted.remove(i);
+            }
+            self.pending_remove.push(u);
+            self.nonsteady.remove(&u);
+            self.miss_streaks.remove(&u);
+        }
+        for &u in add {
+            if let Err(i) = self.admitted.binary_search(&u) {
+                self.admitted.insert(i, u);
+            }
+            self.pending_add.push(u);
+        }
+        if !add.is_empty() || !remove.is_empty() {
+            self.replan_pending = true;
+        }
+    }
+
+    /// Members currently on a consecutive-window-miss streak, in id
+    /// order — the candidates an eviction scan needs to look at.
+    pub fn miss_streaks(&self) -> impl Iterator<Item = usize> + '_ {
+        self.miss_streaks.iter().copied()
+    }
+
+    /// Control-plane cost so far.
+    pub fn controller_timing(&self) -> ControllerTiming {
+        self.timing
     }
 
     /// Runs `n` slots.
@@ -426,6 +584,7 @@ impl<B: ExecutionBackend> LoopDriver<B> {
             wall_secs: self.wall_secs,
             users: self.users.values().copied().collect(),
             window_times,
+            controller: self.timing,
         }
     }
 
@@ -436,10 +595,15 @@ impl<B: ExecutionBackend> LoopDriver<B> {
 
     /// Mean per-tile demand of `user` over the GOP starting at
     /// `gop_start` (what the LUT would predict for the upcoming GOP).
-    fn gop_demand(&self, source: &impl DemandSource, user: usize, gop_start: usize) -> Vec<f64> {
+    fn gop_demand(
+        source: &impl DemandSource,
+        gop_slots: usize,
+        user: usize,
+        gop_start: usize,
+    ) -> Vec<f64> {
         let mut acc: Vec<f64> = Vec::new();
         let mut counts: Vec<u32> = Vec::new();
-        for slot in gop_start..gop_start + self.cfg.gop_slots {
+        for slot in gop_start..gop_start + gop_slots {
             let d = source.demand_at(user, slot);
             if d.len() > acc.len() {
                 acc.resize(d.len(), 0.0);
@@ -456,20 +620,68 @@ impl<B: ExecutionBackend> LoopDriver<B> {
             .collect()
     }
 
+    /// One user's headroom-padded demand estimate for the GOP starting
+    /// at `gop_start`.
+    fn padded_demand(
+        source: &impl DemandSource,
+        gop_slots: usize,
+        headroom: f64,
+        user: usize,
+        gop_start: usize,
+    ) -> UserDemand {
+        UserDemand::new(
+            user,
+            Self::gop_demand(source, gop_slots, user, gop_start)
+                .iter()
+                .map(|s| s * headroom)
+                .collect(),
+        )
+    }
+
+    /// Applies pending membership deltas and re-estimates non-steady
+    /// members' demands, then refreshes the incremental engine.
+    /// Returns true when placements were recomputed.
+    fn refresh_engine(&mut self, source: &impl DemandSource) -> bool {
+        let headroom = self.cfg.replan.headroom();
+        let gop_slots = self.cfg.gop_slots;
+        let slot = self.slot;
+        let removes = std::mem::take(&mut self.pending_remove);
+        let adds = std::mem::take(&mut self.pending_add);
+        let mut updates: Vec<UserDemand> = Vec::with_capacity(adds.len());
+        let added: BTreeSet<usize> = adds.iter().copied().collect();
+        for &u in &added {
+            updates.push(Self::padded_demand(source, gop_slots, headroom, u, slot));
+            if !source.steady(u) {
+                self.nonsteady.insert(u);
+            }
+        }
+        for &u in &self.nonsteady {
+            if !added.contains(&u) {
+                updates.push(Self::padded_demand(source, gop_slots, headroom, u, slot));
+            }
+        }
+        let engine = self.engine.as_mut().expect("engine mode");
+        for u in removes {
+            engine.remove_user(u);
+        }
+        for d in updates {
+            engine.set_user(d);
+        }
+        if engine.refresh() {
+            self.placements = engine.allocation().placements.clone();
+            true
+        } else {
+            false
+        }
+    }
+
     fn replan(&mut self, source: &impl DemandSource, slot_secs: f64) {
         let headroom = self.cfg.replan.headroom();
+        let gop_slots = self.cfg.gop_slots;
         let demands: Vec<UserDemand> = self
             .admitted
             .iter()
-            .map(|&u| {
-                UserDemand::new(
-                    u,
-                    self.gop_demand(source, u, self.slot)
-                        .iter()
-                        .map(|s| s * headroom)
-                        .collect(),
-                )
-            })
+            .map(|&u| Self::padded_demand(source, gop_slots, headroom, u, self.slot))
             .collect();
         let placed = place_threads_on(&self.speeds, slot_secs, &demands);
         if self.debug {
@@ -495,10 +707,30 @@ impl<B: ExecutionBackend> LoopDriver<B> {
     pub fn step(&mut self, source: &impl DemandSource) {
         let slot_secs = 1.0 / self.cfg.fps;
         let gop_boundary = self.slot.is_multiple_of(self.cfg.gop_slots);
-        let periodic = matches!(self.cfg.replan, ReplanPolicy::PerGop { .. }) && gop_boundary;
-        if periodic || self.replan_pending {
-            self.replan(source, slot_secs);
-            self.replan_pending = false;
+        if gop_boundary {
+            self.timing.boundaries += 1;
+        }
+        if self.engine.is_some() {
+            // Incremental path: every boundary visits the engine, but
+            // unchanged members make the visit a no-op refresh.
+            if gop_boundary || self.replan_pending {
+                let t0 = Instant::now();
+                let replanned = self.refresh_engine(source);
+                self.timing.placement_ns += t0.elapsed().as_nanos() as u64;
+                if replanned {
+                    self.timing.replans += 1;
+                }
+                self.replan_pending = false;
+            }
+        } else {
+            let periodic = matches!(self.cfg.replan, ReplanPolicy::PerGop { .. }) && gop_boundary;
+            if periodic || self.replan_pending {
+                let t0 = Instant::now();
+                self.replan(source, slot_secs);
+                self.timing.placement_ns += t0.elapsed().as_nanos() as u64;
+                self.timing.replans += 1;
+                self.replan_pending = false;
+            }
         }
         // Placement vectors cover the maximum tile count of the
         // window; frames with fewer tiles simply have no work for
@@ -622,8 +854,10 @@ impl<B: ExecutionBackend> LoopDriver<B> {
                 if missed {
                     stats.window_misses += 1;
                     stats.consecutive_window_misses += 1;
+                    self.miss_streaks.insert(u);
                 } else {
                     stats.consecutive_window_misses = 0;
+                    self.miss_streaks.remove(&u);
                 }
             }
             self.window_user_cores.clear();
@@ -949,6 +1183,74 @@ mod tests {
             report.window_times[1].modeled_secs < report.window_times[0].modeled_secs,
             "6-slot tail models less time than the 24-slot window"
         );
+    }
+
+    #[test]
+    fn incremental_membership_matches_full_replan() {
+        // The same admit/evict schedule driven through the legacy
+        // set_membership path and the delta-based update_membership
+        // path must produce identical accounting — placements are
+        // bitwise-equal by the placer contract, so every downstream
+        // statistic (energy splits, window misses) follows.
+        let source = FlatSource {
+            tiles: 3,
+            secs: SLOT / 5.0,
+        };
+        let c = cfg(48, ReplanPolicy::PerGop { headroom: 1.1 });
+        let schedule: [(usize, &[usize], &[usize]); 3] =
+            [(8, &[1, 2], &[]), (24, &[3], &[0]), (40, &[], &[1, 3])];
+
+        let mut legacy = LoopDriver::new(
+            SimBackend::new(Platform::quad_core(), PowerModel::default()),
+            c,
+            vec![0],
+            vec![],
+        );
+        let mut members = vec![0usize];
+        let mut next = 0usize;
+        for done in (0..48).step_by(8) {
+            if next < schedule.len() && schedule[next].0 == done {
+                let (_, add, remove) = schedule[next];
+                members.retain(|u| !remove.contains(u));
+                members.extend_from_slice(add);
+                members.sort_unstable();
+                legacy.set_membership(members.clone());
+                next += 1;
+            }
+            legacy.advance(&source, 8);
+        }
+
+        let mut engine = LoopDriver::new(
+            SimBackend::new(Platform::quad_core(), PowerModel::default()),
+            c,
+            vec![0],
+            vec![],
+        );
+        // Engage the engine from the start with an empty delta.
+        engine.update_membership(&[], &[]);
+        let mut next = 0usize;
+        for done in (0..48).step_by(8) {
+            if next < schedule.len() && schedule[next].0 == done {
+                let (_, add, remove) = schedule[next];
+                engine.update_membership(add, remove);
+                next += 1;
+            }
+            engine.advance(&source, 8);
+        }
+
+        let mut a = legacy.into_report();
+        let mut b = engine.into_report();
+        // Replan counts legitimately differ (the engine no-ops
+        // unchanged boundaries); everything else must be identical.
+        assert!(
+            b.controller.replans <= a.controller.replans,
+            "engine must not replan more often than the legacy path"
+        );
+        a.controller = ControllerTiming::default();
+        b.controller = ControllerTiming::default();
+        a.wall_secs = 0.0;
+        b.wall_secs = 0.0;
+        assert_eq!(a, b, "delta path must reproduce the legacy accounting");
     }
 
     #[test]

@@ -204,8 +204,30 @@ impl Allocation {
 /// Panics when `cores` is zero or `slot_secs` is not positive.
 pub fn allocate(cores: usize, slot_secs: f64, users: &[UserDemand]) -> Allocation {
     assert!(cores > 0, "need at least one core");
+    allocate_on(&vec![1.0; cores], slot_secs, users)
+}
+
+/// Speed-aware admission *and* placement over heterogeneous cores:
+/// users are admitted by ascending fractional demand against the
+/// platform's **effective capacity** `Σ speeds` (reference cores), so
+/// a big.LITTLE socket admits against e.g. 5.8 cores rather than its
+/// raw core count, and the admitted set is placed with
+/// [`place_threads_on`] semantics. On homogeneous platforms
+/// (`speeds = [1.0; cores]`) this is bit-for-bit [`allocate`].
+///
+/// # Panics
+///
+/// Panics when `speeds` is empty or contains a non-positive or
+/// non-finite entry, or `slot_secs` is not positive.
+pub fn allocate_on(speeds: &[f64], slot_secs: f64, users: &[UserDemand]) -> Allocation {
+    assert!(!speeds.is_empty(), "need at least one core");
+    assert!(
+        speeds.iter().all(|s| s.is_finite() && *s > 0.0),
+        "core speeds must be positive and finite"
+    );
     assert!(slot_secs > 0.0, "slot must be positive");
     let fps = 1.0 / slot_secs;
+    let capacity: f64 = speeds.iter().sum();
 
     // Lines 1–2: admit the maximum number of users by ascending
     // *fractional* core demand until the summed demand reaches Nc.
@@ -221,7 +243,7 @@ pub fn allocate(cores: usize, slot_secs: f64, users: &[UserDemand]) -> Allocatio
     let mut used = 0.0f64;
     for i in order {
         let need = users[i].core_demand(fps);
-        if used + need <= cores as f64 + 1e-9 {
+        if used + need <= capacity + 1e-9 {
             used += need;
             admitted.push(users[i].user);
         } else {
@@ -243,7 +265,7 @@ pub fn allocate(cores: usize, slot_secs: f64, users: &[UserDemand]) -> Allocatio
             }
         }
     }
-    let core_loads = place(&mut threads, &vec![1.0; cores], used, slot_secs);
+    let core_loads = place(&mut threads, speeds, used, slot_secs);
     Allocation {
         admitted,
         rejected,
@@ -316,9 +338,22 @@ pub fn place_threads_on(speeds: &[f64], slot_secs: f64, users: &[UserDemand]) ->
 /// when they finish together.
 fn place(threads: &mut [Placement], speeds: &[f64], demand_frac: f64, slot_secs: f64) -> Vec<f64> {
     threads.sort_by(|a, b| b.secs.total_cmp(&a.secs));
-    // Candidate recruitment: fastest cores first (stable by id), until
-    // their summed speed covers the demanded fractional cores — the
-    // heterogeneous generalization of "the first ceil(ΣN_core) cores".
+    let candidates = candidate_set(speeds, demand_frac);
+    let mut core_loads = vec![0.0f64; speeds.len()];
+    for th in threads.iter_mut() {
+        let max_norm = max_norm_of(&core_loads, speeds, &candidates);
+        let cap = cap_for(max_norm, slot_secs);
+        let best_core = select_core(&core_loads, speeds, &candidates, slot_secs, cap, th.secs);
+        th.core = best_core;
+        core_loads[best_core] += th.secs;
+    }
+    core_loads
+}
+
+/// Candidate recruitment: fastest cores first (stable by id), until
+/// their summed speed covers the demanded fractional cores — the
+/// heterogeneous generalization of "the first ceil(ΣN_core) cores".
+pub(crate) fn candidate_set(speeds: &[f64], demand_frac: f64) -> Vec<usize> {
     let mut order: Vec<usize> = (0..speeds.len()).collect();
     order.sort_by(|&a, &b| speeds[b].total_cmp(&speeds[a]).then(a.cmp(&b)));
     let mut candidates = 0usize;
@@ -327,46 +362,68 @@ fn place(threads: &mut [Placement], speeds: &[f64], demand_frac: f64, slot_secs:
         cum_speed += speeds[order[candidates]];
         candidates += 1;
     }
-    let candidates = &order[..candidates];
-    let mut core_loads = vec![0.0f64; speeds.len()];
-    for th in threads.iter_mut() {
-        let max_norm = candidates
-            .iter()
-            .map(|&k| core_loads[k] / speeds[k])
-            .fold(0.0, f64::max);
-        let cap = if max_norm > slot_secs {
-            slot_secs
-        } else {
-            max_norm
-        };
-        // The cap is a fill ceiling (lines 5–9: "CPU time … cannot be
-        // above 1/FPS"): among cores where the thread still finishes
-        // within the slot, pick the one landing nearest the cap; if
-        // none fits, spill to the core whose *post-placement* finish
-        // time `(load + secs) / speed` is smallest, so overload lands
-        // where it hurts the worst-core finish least. (Spilling by
-        // pre-placement load instead can push a large thread onto an
-        // idle slow core when a partially loaded fast core would
-        // finish sooner.)
-        let mut best_fit: Option<(usize, f64)> = None;
-        let mut spill: (usize, f64) = (candidates[0], f64::INFINITY);
-        for &k in candidates {
-            let with = (core_loads[k] + th.secs) / speeds[k];
-            if with < spill.1 {
-                spill = (k, with);
-            }
-            if with <= slot_secs + 1e-12 {
-                let dist = (cap - with).abs();
-                if best_fit.is_none_or(|(_, d)| dist < d) {
-                    best_fit = Some((k, dist));
-                }
+    order.truncate(candidates);
+    order
+}
+
+/// Highest normalized (finish-time) load over the candidate cores —
+/// the fold order matches the historical inline computation so results
+/// stay bitwise identical.
+pub(crate) fn max_norm_of(core_loads: &[f64], speeds: &[f64], candidates: &[usize]) -> f64 {
+    candidates
+        .iter()
+        .map(|&k| core_loads[k] / speeds[k])
+        .fold(0.0, f64::max)
+}
+
+/// The dynamic fill ceiling: the current worst normalized load,
+/// clipped to the slot.
+pub(crate) fn cap_for(max_norm: f64, slot_secs: f64) -> f64 {
+    if max_norm > slot_secs {
+        slot_secs
+    } else {
+        max_norm
+    }
+}
+
+/// Picks the core for one thread of `secs` fmax-seconds — the body of
+/// Algorithm 2's placement loop, shared verbatim between the
+/// from-scratch pass above and incremental replay
+/// ([`crate::IncrementalPlacer`]) so both produce bitwise-identical
+/// decisions.
+///
+/// The cap is a fill ceiling (lines 5–9: "CPU time … cannot be above
+/// 1/FPS"): among cores where the thread still finishes within the
+/// slot, pick the one landing nearest the cap; if none fits, spill to
+/// the core whose *post-placement* finish time `(load + secs) / speed`
+/// is smallest, so overload lands where it hurts the worst-core finish
+/// least. (Spilling by pre-placement load instead can push a large
+/// thread onto an idle slow core when a partially loaded fast core
+/// would finish sooner.) Ties break to the first candidate in
+/// recruitment order (fastest, then lowest id).
+pub(crate) fn select_core(
+    core_loads: &[f64],
+    speeds: &[f64],
+    candidates: &[usize],
+    slot_secs: f64,
+    cap: f64,
+    secs: f64,
+) -> usize {
+    let mut best_fit: Option<(usize, f64)> = None;
+    let mut spill: (usize, f64) = (candidates[0], f64::INFINITY);
+    for &k in candidates {
+        let with = (core_loads[k] + secs) / speeds[k];
+        if with < spill.1 {
+            spill = (k, with);
+        }
+        if with <= slot_secs + 1e-12 {
+            let dist = (cap - with).abs();
+            if best_fit.is_none_or(|(_, d)| dist < d) {
+                best_fit = Some((k, dist));
             }
         }
-        let best_core = best_fit.map_or(spill.0, |(k, _)| k);
-        th.core = best_core;
-        core_loads[best_core] += th.secs;
     }
-    core_loads
+    best_fit.map_or(spill.0, |(k, _)| k)
 }
 
 #[cfg(test)]
@@ -555,6 +612,36 @@ mod tests {
             (worst - 1.75).abs() < 1e-9,
             "worst-core finish should be 1.75 slots, got {worst}"
         );
+    }
+
+    #[test]
+    fn allocate_on_admits_against_effective_capacity() {
+        // 4 big (1.0) + 4 LITTLE (0.45): effective capacity 5.8
+        // reference cores, not 8 — exactly 5 one-core users fit.
+        let speeds = [1.0, 1.0, 1.0, 1.0, 0.45, 0.45, 0.45, 0.45];
+        let users: Vec<UserDemand> = (0..8)
+            .map(|u| demand(u, &[SLOT / 2.0, SLOT / 2.0]))
+            .collect();
+        let alloc = allocate_on(&speeds, SLOT, &users);
+        assert_eq!(
+            alloc.admitted.len(),
+            5,
+            "5.8 effective cores admit 5 unit users"
+        );
+        assert_eq!(alloc.rejected.len(), 3);
+    }
+
+    #[test]
+    fn allocate_on_homogeneous_matches_allocate() {
+        let users = vec![
+            demand(0, &[SLOT * 0.6, SLOT * 0.3]),
+            demand(1, &[SLOT / 3.0; 5]),
+            demand(2, &[SLOT * 0.9]),
+            demand(3, &[SLOT / 4.0; 2]),
+        ];
+        let a = allocate(4, SLOT, &users);
+        let b = allocate_on(&[1.0; 4], SLOT, &users);
+        assert_eq!(a, b, "homogeneous allocate_on must equal allocate");
     }
 
     #[test]

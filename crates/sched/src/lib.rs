@@ -10,11 +10,16 @@
 //! * [`WorkloadLut`] / [`LutBank`] — the per-(tile structure, encoding
 //!   configuration) CPU-time histograms of §III-D1, updated online and
 //!   transferable across videos of the same body-part class;
-//! * [`allocate`] / [`place_threads`] / [`place_threads_on`] —
-//!   Algorithm 2 lines 1–15: ascending-demand admission and
-//!   cap-seeking thread placement; the `_on` form is speed-aware for
-//!   heterogeneous (big.LITTLE) platforms, normalizing loads by
-//!   per-core speed factors so the argmin balances finish times;
+//! * [`allocate`] / [`allocate_on`] / [`place_threads`] /
+//!   [`place_threads_on`] — Algorithm 2 lines 1–15: ascending-demand
+//!   admission and cap-seeking thread placement; the `_on` forms are
+//!   speed-aware for heterogeneous (big.LITTLE) platforms, admitting
+//!   against effective (speed-weighted) capacity and normalizing loads
+//!   by per-core speed factors so the argmin balances finish times;
+//! * [`IncrementalPlacer`] — the control-plane fast path: the same
+//!   placement maintained by membership/demand deltas, O(1) at a
+//!   steady-state GOP boundary and bitwise-identical to
+//!   [`place_threads_on`] from scratch;
 //! * [`baseline_allocate`] / [`BaselineRetileTrigger`] — the
 //!   one-tile-per-core allocator and rail-frequency re-tile trigger of
 //!   the baseline \[19\];
@@ -47,11 +52,14 @@
 mod alloc;
 mod baseline;
 mod feedback;
+mod incremental;
 mod lut;
 
 pub use alloc::{
-    allocate, place_threads, place_threads_on, Allocation, DemandError, Placement, UserDemand,
+    allocate, allocate_on, place_threads, place_threads_on, Allocation, DemandError, Placement,
+    UserDemand,
 };
 pub use baseline::{baseline_allocate, BaselineRetileTrigger};
 pub use feedback::{Adjustment, FeedbackController};
+pub use incremental::{IncrementalPlacer, PlacementStrategy};
 pub use lut::{CycleHistogram, LutBank, LutKey, WorkloadLut};

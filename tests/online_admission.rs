@@ -65,7 +65,13 @@ fn sim_and_pool_backends_replay_identical_decisions() {
     assert_eq!(analytical.events, real.events);
     assert_eq!(analytical.windows, real.windows);
     assert_eq!(analytical.window_misses, real.window_misses);
-    assert_eq!(analytical, real, "full online reports must agree");
+    // Wall-clock controller timings legitimately differ between the
+    // backends; everything modeled must agree bit for bit.
+    assert_eq!(
+        analytical.modeled_only(),
+        real.modeled_only(),
+        "full online reports must agree"
+    );
     assert!(
         analytical.admissions > 0,
         "the trace must exercise admission"
