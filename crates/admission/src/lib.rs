@@ -80,7 +80,8 @@ mod trace;
 pub use reference::serve_online_reference;
 pub use request::{AdmitDecision, DeadlineClass, RequestQueue, UserRequest};
 pub use serve::{
-    serve_online, AdmissionEvent, EventKind, OnlineConfig, OnlineReport, ShardReport, Workload,
+    serve_online, serve_online_with, AdmissionEvent, EventKind, OnlineConfig, OnlineReport,
+    ShardReport, Workload,
 };
 pub use shard::{ShardPolicy, Sharder};
 pub use trace::{synthesize_trace, TraceConfig};

@@ -39,6 +39,10 @@ use medvt_runtime::{
     ControllerTiming, DemandSource, ExecutionBackend, LoopDriver, ReplanPolicy, ServerLoopConfig,
     WindowTiming,
 };
+use medvt_telemetry::{
+    CounterId, Event as TelEvent, EventKind as TelKind, HistId, Metrics, NoopRecorder, Recorder,
+    CONTROL_TRACK,
+};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
@@ -413,14 +417,48 @@ pub fn serve_online<W: Workload, B: ExecutionBackend>(
     trace: &[UserRequest],
     shards: Vec<B>,
 ) -> OnlineReport {
+    serve_online_with(cfg, workloads, trace, shards, NoopRecorder)
+}
+
+/// [`serve_online`] with a telemetry [`Recorder`] attached: shard
+/// drivers stamp their events with their shard index as the track, the
+/// controller stamps queue-side events (admit/evict/depart, queue
+/// depth, boundary passes) with
+/// [`CONTROL_TRACK`](medvt_telemetry::CONTROL_TRACK), and every
+/// counter/histogram is folded into the recorder when the run ends.
+///
+/// Pass `&FlightRecorder` (a `Copy` recorder) to capture, or
+/// [`NoopRecorder`] for the zero-cost disabled path — decisions and
+/// reports are bit-identical either way.
+///
+/// # Panics
+///
+/// Same contract as [`serve_online`].
+pub fn serve_online_with<W: Workload, B: ExecutionBackend, R: Recorder + Copy>(
+    cfg: &OnlineConfig,
+    workloads: &[W],
+    trace: &[UserRequest],
+    shards: Vec<B>,
+    recorder: R,
+) -> OnlineReport {
     let setup = Setup::new(cfg, workloads, trace, &shards);
     let source = TraceSource {
         workloads,
         profile_of: setup.profile_of.clone(),
     };
-    let mut drivers: Vec<LoopDriver<B>> = shards
+    let mut drivers: Vec<LoopDriver<B, R>> = shards
         .into_iter()
-        .map(|b| LoopDriver::new(b, setup.loop_cfg, Vec::new(), Vec::new()))
+        .enumerate()
+        .map(|(s, b)| {
+            LoopDriver::with_recorder(
+                b,
+                setup.loop_cfg,
+                Vec::new(),
+                Vec::new(),
+                recorder,
+                s as u16,
+            )
+        })
         .collect();
     let n_shards = drivers.len();
 
@@ -462,7 +500,9 @@ pub fn serve_online<W: Workload, B: ExecutionBackend>(
     let mut wait_slots_sum = 0usize;
     let mut concurrent_slot_sum = 0usize;
     let mut peak_concurrent = 0usize;
-    let mut timing = ControllerTiming::default();
+    // Queue-side telemetry meter; `ControllerTiming` is derived from
+    // it at the end, so the report schema is unchanged.
+    let meter = Metrics::new();
 
     let ms_remove = |set: &mut BTreeMap<u64, usize>, demand: f64| {
         let bits = demand.to_bits();
@@ -477,7 +517,14 @@ pub fn serve_online<W: Workload, B: ExecutionBackend>(
     let mut slot = 0usize;
     while slot < cfg.horizon_slots {
         let boundary_clock = Instant::now();
-        timing.boundaries += 1;
+        meter.add(CounterId::Boundaries, 1);
+        if R::ENABLED {
+            recorder.record(TelEvent::new(
+                CONTROL_TRACK,
+                slot as u32,
+                TelKind::GopBoundary,
+            ));
+        }
         // 1. Arrivals up to this boundary.
         while next_arrival < trace.len() && trace[next_arrival].arrival_slot <= slot {
             let request = &trace[next_arrival];
@@ -510,13 +557,21 @@ pub fn serve_online<W: Workload, B: ExecutionBackend>(
             }
         }
         departing.sort_unstable();
-        timing.decisions += departing.len() as u64;
+        meter.add(CounterId::Decisions, departing.len() as u64);
         for user in departing {
             let a = active.remove(&user).expect("departing user is active");
             sharder.release_load(a.shard, a.demand_cores);
             shard_users[a.shard] -= 1;
             removed[a.shard].push(user);
             departures += 1;
+            meter.add(CounterId::Departs, 1);
+            if R::ENABLED {
+                recorder.record(TelEvent::new(
+                    a.shard as u16,
+                    slot as u32,
+                    TelKind::Depart { user: user as u32 },
+                ));
+            }
             events.push(AdmissionEvent {
                 slot,
                 user,
@@ -531,7 +586,17 @@ pub fn serve_online<W: Workload, B: ExecutionBackend>(
                 queued_inadmissible -= 1;
             }
             abandoned += 1;
-            timing.decisions += 1;
+            meter.add(CounterId::Decisions, 1);
+            meter.add(CounterId::Abandons, 1);
+            if R::ENABLED {
+                recorder.record(TelEvent::new(
+                    CONTROL_TRACK,
+                    slot as u32,
+                    TelKind::Abandon {
+                        user: request.user as u32,
+                    },
+                ));
+            }
             events.push(AdmissionEvent {
                 slot,
                 user: request.user,
@@ -555,13 +620,21 @@ pub fn serve_online<W: Workload, B: ExecutionBackend>(
             }
         }
         evicting.sort_unstable();
-        timing.decisions += evicting.len() as u64;
+        meter.add(CounterId::Decisions, evicting.len() as u64);
         for user in evicting {
             let a = active.remove(&user).expect("evicted user is active");
             sharder.release_load(a.shard, a.demand_cores);
             shard_users[a.shard] -= 1;
             removed[a.shard].push(user);
             evictions += 1;
+            meter.add(CounterId::Evicts, 1);
+            if R::ENABLED {
+                recorder.record(TelEvent::new(
+                    a.shard as u16,
+                    slot as u32,
+                    TelKind::Evict { user: user as u32 },
+                ));
+            }
             events.push(AdmissionEvent {
                 slot,
                 user,
@@ -575,7 +648,7 @@ pub fn serve_online<W: Workload, B: ExecutionBackend>(
         // loads only grow within a boundary — they just skip the
         // requests the scan would have stepped over.
         let considered = queue.len();
-        timing.decisions += considered as u64;
+        meter.add(CounterId::Decisions, considered as u64);
         let (admitted_now, rejected_now) = if indexed {
             // Indexed path: cost O((rejects + admits) · distinct
             // demands), independent of queue depth. Valid because
@@ -691,6 +764,16 @@ pub fn serve_online<W: Workload, B: ExecutionBackend>(
             ms_remove(&mut queued_demands, setup.demand_of[request.profile]);
             queued_inadmissible -= 1;
             rejected += 1;
+            meter.add(CounterId::Rejects, 1);
+            if R::ENABLED {
+                recorder.record(TelEvent::new(
+                    CONTROL_TRACK,
+                    slot as u32,
+                    TelKind::Reject {
+                        user: request.user as u32,
+                    },
+                ));
+            }
             events.push(AdmissionEvent {
                 slot,
                 user: request.user,
@@ -718,12 +801,32 @@ pub fn serve_online<W: Workload, B: ExecutionBackend>(
             shard_users[shard] += 1;
             added[shard].push(request.user);
             wait_slots_sum += slot - request.arrival_slot;
+            meter.add(CounterId::Admits, 1);
+            meter.observe(HistId::QueueWaitSlots, (slot - request.arrival_slot) as u64);
+            if R::ENABLED {
+                recorder.record(TelEvent::new(
+                    shard as u16,
+                    slot as u32,
+                    TelKind::Admit {
+                        user: request.user as u32,
+                    },
+                ));
+            }
             events.push(AdmissionEvent {
                 slot,
                 user: request.user,
                 shard: Some(shard),
                 kind: EventKind::Admit,
             });
+        }
+        if R::ENABLED {
+            recorder.record(TelEvent::new(
+                CONTROL_TRACK,
+                slot as u32,
+                TelKind::QueueDepth {
+                    depth: queue.len() as u32,
+                },
+            ));
         }
         // 5. Membership deltas → shards, then advance one GOP in
         // lockstep.
@@ -733,7 +836,10 @@ pub fn serve_online<W: Workload, B: ExecutionBackend>(
             added[s].clear();
             removed[s].clear();
         }
-        timing.queue_ns += boundary_clock.elapsed().as_nanos() as u64;
+        meter.observe(
+            HistId::BoundaryNs,
+            boundary_clock.elapsed().as_nanos() as u64,
+        );
         let n_slots = cfg.gop_slots.min(cfg.horizon_slots - slot);
         for d in &mut drivers {
             d.advance(&source, n_slots);
@@ -752,6 +858,11 @@ pub fn serve_online<W: Workload, B: ExecutionBackend>(
         arrivals += 1;
         next_arrival += 1;
     }
+
+    // Derive the report's timing view, then fold the queue-side meter
+    // into the recorder (the drivers fold theirs in `into_report`).
+    let timing = ControllerTiming::from_metrics(&meter);
+    recorder.absorb(&meter);
 
     finish_report(
         cfg,
@@ -800,10 +911,10 @@ pub(crate) struct FinishState {
 /// Drains the shard drivers and assembles the [`OnlineReport`] —
 /// shared with the frozen reference controller so both summarize
 /// identically.
-pub(crate) fn finish_report<B: ExecutionBackend>(
+pub(crate) fn finish_report<B: ExecutionBackend, R: Recorder>(
     cfg: &OnlineConfig,
     setup: &Setup,
-    drivers: Vec<LoopDriver<B>>,
+    drivers: Vec<LoopDriver<B, R>>,
     state: FinishState,
 ) -> OnlineReport {
     let mut shard_reports = Vec::with_capacity(drivers.len());

@@ -25,12 +25,15 @@
 //! Honours `MEDVT_SCALE` / `MEDVT_OUT` like the other experiment
 //! binaries.
 
-use medvt_admission::{synthesize_trace, OnlineReport, ShardPolicy, TraceConfig};
+use medvt_admission::{
+    synthesize_trace, EventKind as AdmissionKind, OnlineReport, ShardPolicy, TraceConfig,
+};
 use medvt_bench::{proposed_profiles, synthetic_profile, write_artifact, Scale};
 use medvt_core::{ServerConfig, ServerSim, VideoProfile};
 use medvt_mpsoc::Platform;
 use medvt_runtime::{SimBackend, ThreadPoolBackend};
 use medvt_sched::{place_threads, place_threads_on, UserDemand};
+use medvt_telemetry::FlightRecorder;
 use serde::Serialize;
 
 const HORIZON: usize = 480;
@@ -61,6 +64,53 @@ fn scaled(profile: &VideoProfile, factor: f64, suffix: &str) -> VideoProfile {
     p
 }
 
+/// Per-GOP-boundary transients of an online run, read back from the
+/// flight recorder's control ring: the queue-depth series the paper's
+/// §III-D2 queue discussion is about, plus cumulative admit/evict
+/// counts so churn is visible over time, not just in the end totals.
+#[derive(Debug, Serialize)]
+struct TransientSeries {
+    /// GOP-boundary slots the series samples (one entry per boundary).
+    boundary_slots: Vec<usize>,
+    /// Request-queue depth right after each boundary's admissions.
+    queue_depth: Vec<u32>,
+    /// Users admitted up to and including each boundary.
+    cumulative_admissions: Vec<usize>,
+    /// Users evicted up to and including each boundary.
+    cumulative_evictions: Vec<usize>,
+    /// Telemetry events lost to bounded ring retention (0 means the
+    /// series is complete).
+    dropped_events: u64,
+}
+
+impl TransientSeries {
+    /// Assembles the series from a run's recorder and decision log.
+    fn from_run(rec: &FlightRecorder, report: &OnlineReport) -> TransientSeries {
+        let depths = rec.queue_depths();
+        let boundary_slots: Vec<usize> = depths.iter().map(|&(s, _)| s as usize).collect();
+        let queue_depth: Vec<u32> = depths.iter().map(|&(_, d)| d).collect();
+        let cumulative = |kind: AdmissionKind| -> Vec<usize> {
+            boundary_slots
+                .iter()
+                .map(|&slot| {
+                    report
+                        .events
+                        .iter()
+                        .filter(|e| e.kind == kind && e.slot <= slot)
+                        .count()
+                })
+                .collect()
+        };
+        TransientSeries {
+            cumulative_admissions: cumulative(AdmissionKind::Admit),
+            cumulative_evictions: cumulative(AdmissionKind::Evict),
+            boundary_slots,
+            queue_depth,
+            dropped_events: rec.dropped(),
+        }
+    }
+}
+
 #[derive(Debug, Serialize)]
 struct PolicyResult {
     policy: String,
@@ -80,6 +130,9 @@ struct PolicyResult {
     avg_active_cores_per_shard: Vec<f64>,
     peak_users_per_shard: Vec<usize>,
     admitted_per_shard: Vec<usize>,
+    /// Boundary-by-boundary queue/churn series — captured only where
+    /// the run was served with a flight recorder attached.
+    transient: Option<TransientSeries>,
 }
 
 impl From<&OnlineReport> for PolicyResult {
@@ -102,6 +155,7 @@ impl From<&OnlineReport> for PolicyResult {
             avg_active_cores_per_shard: report.shards.iter().map(|s| s.avg_active_cores).collect(),
             peak_users_per_shard: report.shards.iter().map(|s| s.peak_users).collect(),
             admitted_per_shard: report.shards.iter().map(|s| s.admitted).collect(),
+            transient: None,
         }
     }
 }
@@ -324,9 +378,23 @@ fn main() {
         ShardPolicy::RoundRobin,
         ShardPolicy::ContentAffinity,
     ] {
+        // Served with a flight recorder attached so the artifact also
+        // carries the per-boundary queue-depth/churn transients; the
+        // recorder never alters decisions, so the policy comparison is
+        // unchanged.
         let online = sim.online_config(HORIZON, policy);
-        let report = sim.serve_online(&tiers, &tier_trace, &online);
-        let result = PolicyResult::from(&report);
+        let shards: Vec<SimBackend> = (0..cfg.platform.sockets)
+            .map(|s| SimBackend::new(cfg.platform.socket_view(s), cfg.power))
+            .collect();
+        let rec = FlightRecorder::new(cfg.platform.sockets, 1 << 14);
+        let report = medvt_admission::serve_online_with(&online, &tiers, &tier_trace, shards, &rec);
+        let transient = TransientSeries::from_run(&rec, &report);
+        assert_eq!(
+            transient.dropped_events, 0,
+            "control-ring retention too small for the transient series"
+        );
+        let mut result = PolicyResult::from(&report);
+        result.transient = Some(transient);
         print_result(&result);
         policies.push(result);
     }

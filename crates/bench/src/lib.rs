@@ -91,7 +91,6 @@ impl Scale {
 /// ratio — per-user demand then matches the paper's VGA regime and the
 /// scheduler operates at the same cores-per-user operating point.
 pub fn cost_model(scale: Scale) -> medvt_encoder::CostModel {
-    let base = medvt_encoder::CostModel::default();
     let k = match scale {
         Scale::Quick => {
             let full = Scale::Full.resolution();
@@ -100,13 +99,7 @@ pub fn cost_model(scale: Scale) -> medvt_encoder::CostModel {
         }
         Scale::Full => 1.0,
     };
-    medvt_encoder::CostModel {
-        cycles_per_sad_sample: base.cycles_per_sad_sample * k,
-        cycles_per_transform_sample: base.cycles_per_transform_sample * k,
-        cycles_per_bit: base.cycles_per_bit * k,
-        cycles_per_block: base.cycles_per_block * k,
-        cycles_per_tile: base.cycles_per_tile * k,
-    }
+    medvt_encoder::CostModel::default().scaled_by(k)
 }
 
 /// The pipeline configuration used by every experiment at `scale`.

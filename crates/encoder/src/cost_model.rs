@@ -48,6 +48,47 @@ impl CostModel {
         assert!(freq_hz > 0.0, "frequency must be positive");
         self.tile_cycles(stats) as f64 / freq_hz
     }
+
+    /// This model with every cycle constant multiplied by `factor` —
+    /// the uniform rescaling behind resolution scaling (area ratios)
+    /// and host calibration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is not finite and positive.
+    pub fn scaled_by(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be finite and positive"
+        );
+        Self {
+            cycles_per_sad_sample: self.cycles_per_sad_sample * factor,
+            cycles_per_transform_sample: self.cycles_per_transform_sample * factor,
+            cycles_per_bit: self.cycles_per_bit * factor,
+            cycles_per_block: self.cycles_per_block * factor,
+            cycles_per_tile: self.cycles_per_tile * factor,
+        }
+    }
+
+    /// The default model calibrated to the *host* the live benches ran
+    /// on: every cycle constant is multiplied by the measured-over-
+    /// modeled window-time ratio `rho`, so the model's `tile_seconds`
+    /// predicts this host's wall seconds instead of the reference
+    /// machine's.
+    ///
+    /// Feed `rho` from `live_bench.json`: each live scenario reports
+    /// `measured_over_modeled` (and the artifact's `ratio_min` /
+    /// `ratio_max` give the band across scenarios) — the ratio of real
+    /// encode wall time to the modeled window makespan on identical
+    /// placements. See README § "Calibrating the cost model to a host"
+    /// for the derivation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rho` is not finite and positive.
+    pub fn with_host_speed_factor(rho: f64) -> Self {
+        Self::default().scaled_by(rho)
+    }
 }
 
 impl Default for CostModel {
@@ -130,5 +171,25 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_frequency_rejected() {
         CostModel::default().tile_seconds(&stats(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn host_speed_factor_scales_predicted_seconds_linearly() {
+        let s = stats(1_800_000, 92_000, 8_000, 240);
+        let reference = CostModel::default().tile_seconds(&s, 3.6e9);
+        // A host measured 1.7x slower than the model predicts
+        // (live_bench.json's measured_over_modeled) yields a model
+        // predicting 1.7x the seconds on identical stats.
+        let host = CostModel::with_host_speed_factor(1.7).tile_seconds(&s, 3.6e9);
+        assert!((host / reference - 1.7).abs() < 1e-6);
+        // Composition: scaling twice multiplies.
+        let twice = CostModel::default().scaled_by(2.0).scaled_by(0.5);
+        assert_eq!(twice, CostModel::default().scaled_by(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn non_positive_speed_factor_rejected() {
+        CostModel::with_host_speed_factor(0.0);
     }
 }

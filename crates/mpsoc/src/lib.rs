@@ -68,4 +68,6 @@ mod slot;
 pub use freq::{FreqLevel, FrequencySet};
 pub use platform::{CoreClass, Platform};
 pub use power::PowerModel;
-pub use slot::{plan_core, plan_core_on, simulate_slot, CorePlan, DvfsPolicy, SlotReport};
+pub use slot::{
+    plan_core, plan_core_on, record_slot_events, simulate_slot, CorePlan, DvfsPolicy, SlotReport,
+};

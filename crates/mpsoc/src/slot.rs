@@ -15,6 +15,7 @@
 use crate::freq::FreqLevel;
 use crate::platform::{CoreClass, Platform};
 use crate::power::PowerModel;
+use medvt_telemetry::{Event, EventKind, Recorder};
 use serde::{Deserialize, Serialize};
 
 /// How a core's frequency is chosen for a slot.
@@ -283,6 +284,40 @@ pub fn simulate_slot(
         core_energy_j: core_energy,
         deadline_misses: misses,
         transition_bound_cores: transition_bound,
+    }
+}
+
+/// Emits one telemetry [`EventKind::SlotCore`] event per *interesting*
+/// core of a [`simulate_slot`] outcome — cores that executed work or
+/// carried load — stamped with `track`/`slot`.
+///
+/// The busy time is the *modeled* `busy_secs` rounded to nanoseconds.
+/// Because analytical and thread-pool backends produce bit-identical
+/// `SlotReport`s for the same inputs (the repo's backend-parity
+/// invariant), the emitted events are deterministic and identical
+/// across backends — wall-clock time never enters the payload.
+///
+/// Callers gate on `R::ENABLED` so the disabled path costs nothing.
+pub fn record_slot_events<R: Recorder>(recorder: &R, track: u16, slot: u32, report: &SlotReport) {
+    if !R::ENABLED {
+        return;
+    }
+    for (core, plan) in report.cores.iter().enumerate() {
+        let carry = !plan.met_deadline();
+        if plan.busy_secs <= 0.0 && !carry && !plan.transition_bound {
+            continue;
+        }
+        let busy_ns = (plan.busy_secs * 1e9).round().clamp(0.0, u32::MAX as f64) as u32;
+        recorder.record(Event::new(
+            track,
+            slot,
+            EventKind::SlotCore {
+                core: core as u16,
+                busy_ns,
+                carry,
+                transition_bound: plan.transition_bound,
+            },
+        ));
     }
 }
 

@@ -25,6 +25,7 @@
 use crate::backend::{ExecutionBackend, WorkUnit};
 use medvt_mpsoc::DvfsPolicy;
 use medvt_sched::{place_threads_on, IncrementalPlacer, Placement, UserDemand};
+use medvt_telemetry::{CounterId, Event, EventKind, HistId, Metrics, NoopRecorder, Recorder};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
@@ -81,6 +82,21 @@ pub struct ControllerTiming {
 }
 
 impl ControllerTiming {
+    /// The timing view over a telemetry [`Metrics`] registry — the
+    /// counters and histogram sums the loop/admission layers maintain.
+    /// Sums are exact (histograms keep them alongside the buckets), so
+    /// this reproduces the pre-telemetry direct accumulation bit for
+    /// bit and the serialized report schema is unchanged.
+    pub fn from_metrics(m: &Metrics) -> Self {
+        ControllerTiming {
+            boundaries: m.counter(CounterId::Boundaries) as usize,
+            replans: m.counter(CounterId::Replans) as usize,
+            placement_ns: m.hist(HistId::PlacementNs).sum(),
+            queue_ns: m.hist(HistId::BoundaryNs).sum(),
+            decisions: m.counter(CounterId::Decisions),
+        }
+    }
+
     /// Field-wise accumulation (aggregating shards into a serve-level
     /// total).
     pub fn absorb(&mut self, other: &ControllerTiming) {
@@ -366,9 +382,22 @@ impl LoopReport {
 /// [`ExecutionBackend`], so borrowing callers pass a reborrow) and
 /// carries all cross-slot state: placements, the deadline-window
 /// bookkeeping and the per-user accounting.
+///
+/// Telemetry: the driver is generic over a
+/// [`Recorder`](medvt_telemetry::Recorder) (default
+/// [`NoopRecorder`] — zero cost, statically dispatched away). Cheap
+/// counters/histograms are always maintained in a local [`Metrics`]
+/// registry ([`LoopDriver::meter`]); typed events (GOP boundary,
+/// replan, per-core slot activity) are emitted only when
+/// `R::ENABLED`, and the meter is folded into the recorder by
+/// [`LoopDriver::into_report`].
 #[derive(Debug)]
-pub struct LoopDriver<B: ExecutionBackend> {
+pub struct LoopDriver<B: ExecutionBackend, R: Recorder = NoopRecorder> {
     backend: B,
+    recorder: R,
+    /// Telemetry track id events are stamped with (shard index under
+    /// sharded serving; 0 for standalone drivers).
+    track: u16,
     cfg: ServerLoopConfig,
     /// Per-core speed factors from the backend — placement normalizes
     /// loads with these so heterogeneous cores balance finish times.
@@ -394,7 +423,7 @@ pub struct LoopDriver<B: ExecutionBackend> {
     /// Members currently on a consecutive-window-miss streak — lets
     /// eviction scans skip users that are on time.
     miss_streaks: BTreeSet<usize>,
-    timing: ControllerTiming,
+    meter: Metrics,
     slot: usize,
     window_len: usize,
     active_in_window: Vec<bool>,
@@ -414,16 +443,38 @@ pub struct LoopDriver<B: ExecutionBackend> {
 
 impl<B: ExecutionBackend> LoopDriver<B> {
     /// Starts a run: resets `backend` and installs the initial
-    /// membership and placements.
+    /// membership and placements. Telemetry is disabled
+    /// ([`NoopRecorder`]); use [`LoopDriver::with_recorder`] to attach
+    /// a flight recorder.
     ///
     /// # Panics
     ///
     /// Panics when `fps` or `gop_slots` is not positive.
     pub fn new(
+        backend: B,
+        cfg: ServerLoopConfig,
+        admitted: Vec<usize>,
+        initial: Vec<Placement>,
+    ) -> Self {
+        LoopDriver::with_recorder(backend, cfg, admitted, initial, NoopRecorder, 0)
+    }
+}
+
+impl<B: ExecutionBackend, R: Recorder> LoopDriver<B, R> {
+    /// Like [`LoopDriver::new`], with an explicit telemetry recorder
+    /// and the track id its events are stamped with (`&FlightRecorder`
+    /// is a `Copy` recorder many drivers can share).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fps` or `gop_slots` is not positive.
+    pub fn with_recorder(
         mut backend: B,
         cfg: ServerLoopConfig,
         admitted: Vec<usize>,
         initial: Vec<Placement>,
+        recorder: R,
+        track: u16,
     ) -> Self {
         assert!(cfg.fps > 0.0, "fps must be positive");
         assert!(cfg.gop_slots > 0, "gop must have slots");
@@ -434,6 +485,8 @@ impl<B: ExecutionBackend> LoopDriver<B> {
         assert_eq!(speeds.len(), cores, "one speed factor per backend core");
         Self {
             backend,
+            recorder,
+            track,
             cfg,
             speeds,
             executes_work,
@@ -445,7 +498,7 @@ impl<B: ExecutionBackend> LoopDriver<B> {
             pending_remove: Vec::new(),
             nonsteady: BTreeSet::new(),
             miss_streaks: BTreeSet::new(),
-            timing: ControllerTiming::default(),
+            meter: Metrics::new(),
             slot: 0,
             window_len: cfg.window_len(),
             active_in_window: vec![false; cores],
@@ -547,9 +600,17 @@ impl<B: ExecutionBackend> LoopDriver<B> {
         self.miss_streaks.iter().copied()
     }
 
-    /// Control-plane cost so far.
+    /// Control-plane cost so far (a view over the telemetry meters).
     pub fn controller_timing(&self) -> ControllerTiming {
-        self.timing
+        ControllerTiming::from_metrics(&self.meter)
+    }
+
+    /// The driver-local telemetry registry: boundary/replan counters,
+    /// placement-latency and window-ratio histograms. Fold it into a
+    /// central registry with [`Metrics::absorb`] (done automatically
+    /// against the recorder by [`LoopDriver::into_report`]).
+    pub fn meter(&self) -> &Metrics {
+        &self.meter
     }
 
     /// Runs `n` slots.
@@ -584,12 +645,15 @@ impl<B: ExecutionBackend> LoopDriver<B> {
             wall_secs: self.wall_secs,
             users: self.users.values().copied().collect(),
             window_times,
-            controller: self.timing,
+            controller: ControllerTiming::from_metrics(&self.meter),
         }
     }
 
-    /// Finishes the run, returning the report.
+    /// Finishes the run, returning the report. The driver's meter is
+    /// folded into its recorder ([`Recorder::absorb`]; no-op when
+    /// telemetry is disabled).
     pub fn into_report(self) -> LoopReport {
+        self.recorder.absorb(&self.meter);
         self.report()
     }
 
@@ -701,6 +765,17 @@ impl<B: ExecutionBackend> LoopDriver<B> {
         self.placements = placed.placements;
     }
 
+    /// Emits the replan event (callers gate on `R::ENABLED`).
+    fn record_replan(&self) {
+        self.recorder.record(Event::new(
+            self.track,
+            self.slot as u32,
+            EventKind::Replan {
+                users: self.admitted.len() as u32,
+            },
+        ));
+    }
+
     /// Executes one slot: thread allocation once per GOP (paper
     /// §III-D2) or on a pending membership change, work-unit dispatch
     /// through the backend, then deadline/energy accounting.
@@ -708,7 +783,14 @@ impl<B: ExecutionBackend> LoopDriver<B> {
         let slot_secs = 1.0 / self.cfg.fps;
         let gop_boundary = self.slot.is_multiple_of(self.cfg.gop_slots);
         if gop_boundary {
-            self.timing.boundaries += 1;
+            self.meter.add(CounterId::Boundaries, 1);
+            if R::ENABLED {
+                self.recorder.record(Event::new(
+                    self.track,
+                    self.slot as u32,
+                    EventKind::GopBoundary,
+                ));
+            }
         }
         if self.engine.is_some() {
             // Incremental path: every boundary visits the engine, but
@@ -716,9 +798,13 @@ impl<B: ExecutionBackend> LoopDriver<B> {
             if gop_boundary || self.replan_pending {
                 let t0 = Instant::now();
                 let replanned = self.refresh_engine(source);
-                self.timing.placement_ns += t0.elapsed().as_nanos() as u64;
+                self.meter
+                    .observe(HistId::PlacementNs, t0.elapsed().as_nanos() as u64);
                 if replanned {
-                    self.timing.replans += 1;
+                    self.meter.add(CounterId::Replans, 1);
+                    if R::ENABLED {
+                        self.record_replan();
+                    }
                 }
                 self.replan_pending = false;
             }
@@ -727,8 +813,12 @@ impl<B: ExecutionBackend> LoopDriver<B> {
             if periodic || self.replan_pending {
                 let t0 = Instant::now();
                 self.replan(source, slot_secs);
-                self.timing.placement_ns += t0.elapsed().as_nanos() as u64;
-                self.timing.replans += 1;
+                self.meter
+                    .observe(HistId::PlacementNs, t0.elapsed().as_nanos() as u64);
+                self.meter.add(CounterId::Replans, 1);
+                if R::ENABLED {
+                    self.record_replan();
+                }
                 self.replan_pending = false;
             }
         }
@@ -767,6 +857,21 @@ impl<B: ExecutionBackend> LoopDriver<B> {
             });
         }
         let outcome = self.backend.execute_slot(self.cfg.policy, slot_secs, work);
+        self.meter.add(CounterId::SlotsExecuted, 1);
+        if outcome.report.transition_bound_cores > 0 {
+            self.meter.add(
+                CounterId::TransitionStalls,
+                outcome.report.transition_bound_cores as u64,
+            );
+        }
+        if R::ENABLED {
+            medvt_mpsoc::record_slot_events(
+                &self.recorder,
+                self.track,
+                self.slot as u32,
+                &outcome.report,
+            );
+        }
         self.energy_j += outcome.report.energy_j;
         self.wall_secs += outcome.wall_secs;
         // Window timing: real execution time vs. the slot model's
@@ -841,6 +946,12 @@ impl<B: ExecutionBackend> LoopDriver<B> {
                 wall_secs: self.window_wall_acc,
                 modeled_secs: self.window_modeled_acc,
             });
+            if let Some(ratio) =
+                WindowTiming::ratio_from(self.window_wall_acc, self.window_modeled_acc)
+            {
+                self.meter
+                    .observe(HistId::WindowRatioPpm, (ratio * 1e6).round() as u64);
+            }
             self.window_wall_acc = 0.0;
             self.window_modeled_acc = 0.0;
             for (&u, cores) in &self.window_user_cores {

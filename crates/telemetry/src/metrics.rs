@@ -1,0 +1,399 @@
+//! Monotonic counters and log-bucketed histograms.
+//!
+//! All cells are relaxed `AtomicU64`s: updating a counter or observing
+//! a histogram sample is one or two atomic RMWs with no allocation, so
+//! the always-on meters inside the serving loops cost nanoseconds.
+//! Buckets are base-2 (`bucket(v) = 64 - v.leading_zeros()`, bucket 0
+//! reserved for zero), which bounds quantile error to 2x — plenty for
+//! p50/p95/p99 latency reporting — while keeping the histogram a flat
+//! 65-word array. Sums are exact, so aggregate views built on top
+//! (e.g. `ControllerTiming`'s nanosecond totals) lose nothing.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counter identities recorded across the serving stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterId {
+    /// GOP/controller boundary passes.
+    Boundaries,
+    /// Placement re-plans that actually ran.
+    Replans,
+    /// Admission-control decisions considered (departs, evictions,
+    /// queue scans, abandons).
+    Decisions,
+    /// Requests admitted onto a shard.
+    Admits,
+    /// Active users evicted for sustained misses.
+    Evicts,
+    /// Voluntary departures of active users.
+    Departs,
+    /// Queued requests that gave up waiting.
+    Abandons,
+    /// Requests rejected outright.
+    Rejects,
+    /// Slots executed across all drivers.
+    SlotsExecuted,
+    /// Core-slots whose deadline miss was DVFS-transition-bound.
+    TransitionStalls,
+}
+
+impl CounterId {
+    /// Every counter, in snapshot order.
+    pub const ALL: [CounterId; 10] = [
+        CounterId::Boundaries,
+        CounterId::Replans,
+        CounterId::Decisions,
+        CounterId::Admits,
+        CounterId::Evicts,
+        CounterId::Departs,
+        CounterId::Abandons,
+        CounterId::Rejects,
+        CounterId::SlotsExecuted,
+        CounterId::TransitionStalls,
+    ];
+
+    /// Stable snake_case name used in snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterId::Boundaries => "boundaries",
+            CounterId::Replans => "replans",
+            CounterId::Decisions => "decisions",
+            CounterId::Admits => "admits",
+            CounterId::Evicts => "evicts",
+            CounterId::Departs => "departs",
+            CounterId::Abandons => "abandons",
+            CounterId::Rejects => "rejects",
+            CounterId::SlotsExecuted => "slots_executed",
+            CounterId::TransitionStalls => "transition_stalls",
+        }
+    }
+}
+
+/// Histogram identities (one latency/ratio distribution each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistId {
+    /// Wall nanoseconds spent refreshing/re-running placement, per
+    /// driver GOP boundary.
+    PlacementNs,
+    /// Wall nanoseconds of one controller boundary pass (queue +
+    /// membership work).
+    BoundaryNs,
+    /// Slots a request waited in the queue before admission.
+    QueueWaitSlots,
+    /// Measured-over-modeled window time ratio, in parts-per-million
+    /// (1e6 = wall time exactly matches the model).
+    WindowRatioPpm,
+}
+
+impl HistId {
+    /// Every histogram, in snapshot order.
+    pub const ALL: [HistId; 4] = [
+        HistId::PlacementNs,
+        HistId::BoundaryNs,
+        HistId::QueueWaitSlots,
+        HistId::WindowRatioPpm,
+    ];
+
+    /// Stable snake_case name used in snapshots.
+    pub fn name(self) -> &'static str {
+        match self {
+            HistId::PlacementNs => "placement_ns",
+            HistId::BoundaryNs => "boundary_ns",
+            HistId::QueueWaitSlots => "queue_wait_slots",
+            HistId::WindowRatioPpm => "window_ratio_ppm",
+        }
+    }
+}
+
+const BUCKETS: usize = 65;
+
+/// Base-2 log-bucketed histogram with exact count/sum/max.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `b` (`0` for the zero bucket).
+fn bucket_upper(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Upper-bound estimate of quantile `q` in `[0, 1]`: the inclusive
+    /// upper edge of the first bucket whose cumulative count reaches
+    /// `q`, clamped to the observed maximum. Exact for the zero bucket;
+    /// at most 2x above the true value elsewhere.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, cell) in self.buckets.iter().enumerate() {
+            seen += cell.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper(b).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Folds another histogram's samples into this one.
+    pub fn absorb(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// Serializable summary (name supplied by the owning registry).
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let count = self.count();
+        HistogramSnapshot {
+            name: name.to_string(),
+            count,
+            sum: self.sum(),
+            mean: if count == 0 {
+                0.0
+            } else {
+                self.sum() as f64 / count as f64
+            },
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+}
+
+/// Point-in-time summary of one [`Histogram`].
+#[derive(Debug, Clone, Serialize)]
+pub struct HistogramSnapshot {
+    /// Stable metric name (see [`HistId::name`]).
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of samples.
+    pub sum: u64,
+    /// Exact mean (`sum / count`, 0 when empty).
+    pub mean: f64,
+    /// Upper-bound 50th percentile.
+    pub p50: u64,
+    /// Upper-bound 95th percentile.
+    pub p95: u64,
+    /// Upper-bound 99th percentile.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+/// Point-in-time value of one counter.
+#[derive(Debug, Clone, Serialize)]
+pub struct CounterSnapshot {
+    /// Stable metric name (see [`CounterId::name`]).
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// The full fixed registry: one cell per [`CounterId`], one
+/// [`Histogram`] per [`HistId`]. Cheap enough to own per driver; fold
+/// worker-local meters into a central one with [`Metrics::absorb`].
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: [AtomicU64; CounterId::ALL.len()],
+    hists: [Histogram; HistId::ALL.len()],
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `v` to a counter.
+    #[inline]
+    pub fn add(&self, id: CounterId, v: u64) {
+        self.counters[id as usize].fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records one histogram sample.
+    #[inline]
+    pub fn observe(&self, id: HistId, v: u64) {
+        self.hists[id as usize].observe(v);
+    }
+
+    /// Current counter value.
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters[id as usize].load(Ordering::Relaxed)
+    }
+
+    /// The histogram behind `id`.
+    pub fn hist(&self, id: HistId) -> &Histogram {
+        &self.hists[id as usize]
+    }
+
+    /// Folds `other`'s counters and histograms into this registry.
+    pub fn absorb(&self, other: &Metrics) {
+        for (mine, theirs) in self.counters.iter().zip(&other.counters) {
+            let v = theirs.load(Ordering::Relaxed);
+            if v > 0 {
+                mine.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        for (mine, theirs) in self.hists.iter().zip(&other.hists) {
+            mine.absorb(theirs);
+        }
+    }
+
+    /// Serializable summary of every counter and histogram.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: CounterId::ALL
+                .iter()
+                .map(|&id| CounterSnapshot {
+                    name: id.name().to_string(),
+                    value: self.counter(id),
+                })
+                .collect(),
+            histograms: HistId::ALL
+                .iter()
+                .map(|&id| self.hist(id).snapshot(id.name()))
+                .collect(),
+        }
+    }
+}
+
+/// Serializable summary of a [`Metrics`] registry.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsSnapshot {
+    /// All counters, in [`CounterId::ALL`] order.
+    pub counters: Vec<CounterSnapshot>,
+    /// All histograms, in [`HistId::ALL`] order.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_u64_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_bound_the_true_value_within_2x() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.quantile(0.50);
+        assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((990..=1000).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn zero_only_histogram_reports_zero() {
+        let h = Histogram::default();
+        h.observe(0);
+        h.observe(0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn absorb_folds_counters_and_histograms() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        a.add(CounterId::Boundaries, 3);
+        b.add(CounterId::Boundaries, 4);
+        b.add(CounterId::Admits, 2);
+        a.observe(HistId::PlacementNs, 100);
+        b.observe(HistId::PlacementNs, 900);
+        a.absorb(&b);
+        assert_eq!(a.counter(CounterId::Boundaries), 7);
+        assert_eq!(a.counter(CounterId::Admits), 2);
+        assert_eq!(a.hist(HistId::PlacementNs).count(), 2);
+        assert_eq!(a.hist(HistId::PlacementNs).sum(), 1000);
+        assert_eq!(a.hist(HistId::PlacementNs).max(), 900);
+    }
+
+    #[test]
+    fn snapshot_names_are_stable() {
+        let m = Metrics::new();
+        let snap = m.snapshot();
+        assert_eq!(snap.counters.len(), CounterId::ALL.len());
+        assert_eq!(snap.counters[0].name, "boundaries");
+        assert_eq!(snap.histograms[0].name, "placement_ns");
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`mpsoc`] | `medvt-mpsoc` | 32-core Xeon platform model, DVFS, power/energy |
 //! | [`sched`] | `medvt-sched` | workload LUT, Algorithm 2 allocator, deadline feedback |
 //! | [`runtime`] | `medvt-runtime` | placement-aware execution: per-core worker pool, sim/thread-pool backends, server loop |
+//! | [`telemetry`] | `medvt-telemetry` | flight-recorder observability: typed events, lock-free rings, counters/histograms, trace export |
 //! | [`admission`] | `medvt-admission` | live admission control: request queue, shard policies, GOP-boundary admit/evict |
 //! | [`core`] | `medvt-core` | the full pipeline, baseline \[19\], multi-user server (batch, online, live) on either backend |
 //!
@@ -59,3 +60,4 @@ pub use medvt_motion as motion;
 pub use medvt_mpsoc as mpsoc;
 pub use medvt_runtime as runtime;
 pub use medvt_sched as sched;
+pub use medvt_telemetry as telemetry;
