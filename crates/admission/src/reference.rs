@@ -212,7 +212,7 @@ pub fn serve_online_reference<W: Workload, B: ExecutionBackend>(
     finish_report(
         cfg,
         &setup,
-        drivers,
+        drivers.into_iter().map(LoopDriver::into_report).collect(),
         FinishState {
             queued_at_end: queue.len(),
             active_at_end: active.len(),

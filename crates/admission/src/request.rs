@@ -381,6 +381,86 @@ mod tests {
     }
 
     #[test]
+    fn ring_wraps_cleanly_after_amortized_front_trim() {
+        let mut q = RequestQueue::new();
+        let seqs: Vec<u64> = (0..8).map(|u| q.push(req(u, u, None))).collect();
+        // Take the whole front half: trim_front advances `base` past
+        // every popped slot in one amortized sweep.
+        for &seq in &seqs[..4] {
+            assert!(q.take(seq).is_some());
+        }
+        assert_eq!(q.len(), 4);
+        // Stale sequences below the new base are gone for good.
+        for &seq in &seqs[..4] {
+            assert!(!q.contains(seq));
+            assert!(q.take(seq).is_none());
+        }
+        // New pushes reuse the ring storage the trim reclaimed (the
+        // VecDeque wraps internally); keyed access and FIFO order must
+        // survive the wrap.
+        let new_seqs: Vec<u64> = (8..16).map(|u| q.push(req(u, u, None))).collect();
+        assert_eq!(new_seqs[0], 8, "sequence numbers never restart");
+        assert_eq!(q.len(), 12);
+        assert_eq!(
+            q.iter().map(|r| r.user).collect::<Vec<_>>(),
+            (4..16).collect::<Vec<_>>()
+        );
+        // Keyed removal still lands on the right request on both sides
+        // of the wrap point.
+        assert_eq!(q.take(seqs[5]).map(|r| r.user), Some(5));
+        assert_eq!(q.take(new_seqs[3]).map(|r| r.user), Some(11));
+        assert!(!q.contains(new_seqs[3]));
+        assert_eq!(q.len(), 10);
+    }
+
+    #[test]
+    fn iteration_skips_holes_under_interleaved_take_and_abandon() {
+        let mut q = RequestQueue::new();
+        let seqs: Vec<u64> = (0..6)
+            .map(|u| {
+                // Odd users depart at slot 10 (abandon candidates).
+                let dep = if u % 2 == 1 { Some(10) } else { None };
+                q.push(req(u, 0, dep))
+            })
+            .collect();
+        // Punch a mid-queue hole by keyed removal…
+        assert_eq!(q.take(seqs[2]).map(|r| r.user), Some(2));
+        // …then abandon the odd users around it.
+        let gone = q.drain_departed(10);
+        assert_eq!(gone.iter().map(|r| r.user).collect::<Vec<_>>(), [1, 3, 5]);
+        // Iteration and admission scans both skip every hole and keep
+        // arrival order over the survivors.
+        assert_eq!(q.iter().map(|r| r.user).collect::<Vec<_>>(), [0, 4]);
+        assert_eq!(q.len(), 2);
+        let mut scanned = Vec::new();
+        let (admitted, rejected) = q.try_admit(|r| {
+            scanned.push(r.user);
+            AdmitDecision::Admit(0)
+        });
+        assert_eq!(scanned, [0, 4], "scan must never surface a hole");
+        assert_eq!(admitted.len(), 2);
+        assert!(rejected.is_empty());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn departure_exactly_at_the_bound_is_never_drained() {
+        let horizon = 48;
+        let mut q = RequestQueue::with_departure_bound(horizon);
+        q.push(req(0, 0, Some(horizon - 1))); // last indexable slot
+        q.push(req(1, 0, Some(horizon))); // exactly at the bound
+        q.push(req(2, 0, Some(horizon + 7))); // past it
+
+        // Draining at the last legal slot catches user 0 only: a
+        // departure exactly at the horizon can never be observed by a
+        // legal drain, so it is (correctly) unindexed.
+        let gone = q.drain_departed(horizon - 1);
+        assert_eq!(gone.iter().map(|r| r.user).collect::<Vec<_>>(), [0]);
+        assert_eq!(q.iter().map(|r| r.user).collect::<Vec<_>>(), [1, 2]);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
     fn class_tolerances_ordered() {
         assert!(DeadlineClass::Strict.miss_tolerance() < DeadlineClass::Standard.miss_tolerance());
         assert!(

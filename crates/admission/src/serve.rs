@@ -10,10 +10,13 @@
 //!    from the runtime's per-user accounting;
 //! 4. admits queued users whose Algorithm 2 line 1 core demand fits a
 //!    shard chosen by the [`ShardPolicy`];
-//! 5. pushes the membership *delta* into each shard's
-//!    [`LoopDriver`](medvt_runtime::LoopDriver) (which incrementally
+//! 5. pushes the membership *delta* into each shard's serving
+//!    [`Node`](medvt_runtime::Node) as a
+//!    [`NodeCommand`](medvt_runtime::NodeCommand) (the wrapped
+//!    [`LoopDriver`](medvt_runtime::LoopDriver) incrementally
 //!    re-places only the affected users at the boundary) and advances
-//!    every shard one GOP in lockstep.
+//!    every shard one GOP in lockstep through the same command seam —
+//!    the interface `medvt-cluster` drives remote worker nodes with.
 //!
 //! Decisions read only the analytical accounting, so replaying one
 //! trace on `SimBackend` and `ThreadPoolBackend` shards produces
@@ -36,8 +39,8 @@ use crate::request::{AdmitDecision, RequestQueue, UserRequest};
 use crate::shard::{ShardPolicy, Sharder};
 use medvt_mpsoc::DvfsPolicy;
 use medvt_runtime::{
-    ControllerTiming, DemandSource, ExecutionBackend, LoopDriver, ReplanPolicy, ServerLoopConfig,
-    WindowTiming,
+    ControllerTiming, DemandSource, ExecutionBackend, LoopReport, Node, NodeCommand, ReplanPolicy,
+    ServerLoopConfig, WindowTiming,
 };
 use medvt_telemetry::{
     CounterId, Event as TelEvent, EventKind as TelKind, HistId, Metrics, NoopRecorder, Recorder,
@@ -446,21 +449,16 @@ pub fn serve_online_with<W: Workload, B: ExecutionBackend, R: Recorder + Copy>(
         workloads,
         profile_of: setup.profile_of.clone(),
     };
-    let mut drivers: Vec<LoopDriver<B, R>> = shards
+    // Each shard is a serving `Node`: state transitions (membership
+    // deltas, slot advancement, shutdown) go through the typed
+    // `NodeCommand` seam — the same interface the cluster layer binds
+    // worker nodes to — while read-only eviction queries stay direct.
+    let mut nodes: Vec<Node<B, R>> = shards
         .into_iter()
         .enumerate()
-        .map(|(s, b)| {
-            LoopDriver::with_recorder(
-                b,
-                setup.loop_cfg,
-                Vec::new(),
-                Vec::new(),
-                recorder,
-                s as u16,
-            )
-        })
+        .map(|(s, b)| Node::with_recorder(b, setup.loop_cfg, recorder, s as u16))
         .collect();
-    let n_shards = drivers.len();
+    let n_shards = nodes.len();
 
     // Boundaries all sit below the horizon, so departures past it
     // never need indexing.
@@ -608,10 +606,10 @@ pub fn serve_online_with<W: Workload, B: ExecutionBackend, R: Recorder + Copy>(
         // whose *latest* window missed can be over their tolerance,
         // and the drivers index exactly those.
         let mut evicting: Vec<usize> = Vec::new();
-        for d in &drivers {
-            for u in d.miss_streaks() {
+        for n in &nodes {
+            for u in n.miss_streaks() {
                 let over = active.get(&u).is_some_and(|a| {
-                    d.user_stats(u)
+                    n.user_stats(u)
                         .is_some_and(|s| s.consecutive_window_misses >= a.miss_tolerance)
                 });
                 if over {
@@ -832,17 +830,25 @@ pub fn serve_online_with<W: Workload, B: ExecutionBackend, R: Recorder + Copy>(
         // lockstep.
         for s in 0..n_shards {
             shard_peak[s] = shard_peak[s].max(shard_users[s]);
-            drivers[s].update_membership(&added[s], &removed[s]);
-            added[s].clear();
-            removed[s].clear();
+            // `take` moves the delta buffers into the command (they
+            // are wire-shaped plain data); empty Vecs are allocation-
+            // free, so the steady-state boundary still allocates
+            // nothing here.
+            nodes[s].handle(
+                NodeCommand::UpdateMembership {
+                    add: std::mem::take(&mut added[s]),
+                    remove: std::mem::take(&mut removed[s]),
+                },
+                &source,
+            );
         }
         meter.observe(
             HistId::BoundaryNs,
             boundary_clock.elapsed().as_nanos() as u64,
         );
         let n_slots = cfg.gop_slots.min(cfg.horizon_slots - slot);
-        for d in &mut drivers {
-            d.advance(&source, n_slots);
+        for n in &mut nodes {
+            n.handle(NodeCommand::Advance { slots: n_slots }, &source);
         }
         concurrent_slot_sum += active.len() * n_slots;
         peak_concurrent = peak_concurrent.max(active.len());
@@ -860,14 +866,24 @@ pub fn serve_online_with<W: Workload, B: ExecutionBackend, R: Recorder + Copy>(
     }
 
     // Derive the report's timing view, then fold the queue-side meter
-    // into the recorder (the drivers fold theirs in `into_report`).
+    // into the recorder (each node folds its driver's meter when it
+    // handles `Stop`).
     let timing = ControllerTiming::from_metrics(&meter);
     recorder.absorb(&meter);
+
+    let reports: Vec<LoopReport> = nodes
+        .iter_mut()
+        .map(|n| {
+            n.handle(NodeCommand::Stop, &source)
+                .into_report()
+                .expect("live node must yield a final report")
+        })
+        .collect();
 
     finish_report(
         cfg,
         &setup,
-        drivers,
+        reports,
         FinishState {
             queued_at_end: queue.len(),
             active_at_end: active.len(),
@@ -908,22 +924,21 @@ pub(crate) struct FinishState {
     pub(crate) timing: ControllerTiming,
 }
 
-/// Drains the shard drivers and assembles the [`OnlineReport`] —
-/// shared with the frozen reference controller so both summarize
-/// identically.
-pub(crate) fn finish_report<B: ExecutionBackend, R: Recorder>(
+/// Assembles the [`OnlineReport`] from the shards' final
+/// [`LoopReport`]s — shared with the frozen reference controller so
+/// both summarize identically.
+pub(crate) fn finish_report(
     cfg: &OnlineConfig,
     setup: &Setup,
-    drivers: Vec<LoopDriver<B, R>>,
+    reports: Vec<LoopReport>,
     state: FinishState,
 ) -> OnlineReport {
-    let mut shard_reports = Vec::with_capacity(drivers.len());
+    let mut shard_reports = Vec::with_capacity(reports.len());
     let (mut windows, mut window_misses, mut energy) = (0usize, 0usize, 0.0f64);
     // Placement-side cost lives in the drivers; fold it into the
     // serve-level queue/decision tallies.
     let mut controller = state.timing;
-    for (s, driver) in drivers.into_iter().enumerate() {
-        let r = driver.into_report();
+    for (s, r) in reports.into_iter().enumerate() {
         windows += r.windows;
         window_misses += r.window_misses;
         energy += r.energy_j;

@@ -1,0 +1,190 @@
+//! Cluster-serving experiment: one live stream split into GOP-aligned
+//! segments and leased across a heterogeneous coordinator/worker
+//! fleet, sweeping node counts and then injecting a worker death.
+//!
+//! Per node count the binary reports end-to-end throughput
+//! (slots/sec and segments/sec of reassembled output) and per-node
+//! delivery shares; the fault run additionally reports lease-recovery
+//! latency — the time from a dead node's lease expiring to the
+//! re-queued segment's bytes being accepted from a survivor. Every
+//! run's bitstream is checked byte-identical against the
+//! direct-encode reference, so the sweep doubles as a determinism
+//! audit of the reassembly path.
+//!
+//! Artifact: `cluster_bench.json` (under `MEDVT_OUT`, default
+//! `target/experiments`). `MEDVT_SCALE=full` enlarges the sweep.
+
+use medvt_admission::Workload;
+use medvt_bench::{live_workload, write_artifact, Scale};
+use medvt_cluster::{mixed_fleet, run_cluster, ClusterConfig};
+use medvt_core::LiveWorkload;
+use medvt_frame::synth::BodyPart;
+use serde::Serialize;
+use std::time::Duration;
+
+const TOTAL_SLOTS: usize = 96;
+
+#[derive(Debug, Serialize)]
+struct NodeRow {
+    node: usize,
+    capacity_cores: f64,
+    segments: usize,
+    tiles: usize,
+    energy_j: f64,
+    declared_dead: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct ClusterScenario {
+    nodes: usize,
+    /// `Some(node)` when that worker was killed mid-run.
+    killed_node: Option<usize>,
+    segments: usize,
+    leases_granted: usize,
+    leases_expired: usize,
+    leases_requeued: usize,
+    duplicates: usize,
+    bitstream_bytes: usize,
+    /// Reassembled output byte-identical to the single-node reference
+    /// (asserted; recorded for the artifact reader).
+    bit_identical: bool,
+    wall_secs: f64,
+    slots_per_sec: f64,
+    segments_per_sec: f64,
+    /// Per recovered segment: first lease expiry → acceptance, secs.
+    recovery_latency_secs: Vec<f64>,
+    node_stats: Vec<NodeRow>,
+}
+
+#[derive(Debug, Serialize)]
+struct ClusterArtifact {
+    scale: String,
+    total_slots: usize,
+    gop_slots: usize,
+    gops_per_segment: usize,
+    lease_timeout_secs: f64,
+    max_attempts: usize,
+    scenarios: Vec<ClusterScenario>,
+}
+
+/// The deterministic reference bitstream: every profiled tile encoded
+/// directly, slots in display order, tiles in tile order — what any
+/// correct reassembly must reproduce byte for byte.
+fn reference_bitstream(workload: &LiveWorkload, total_slots: usize) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for slot in 0..total_slots {
+        for thread in 0..workload.demand_at(slot).len() {
+            bytes.extend(
+                workload
+                    .encode_direct(slot, thread)
+                    .expect("profiled tile encodes")
+                    .bytes,
+            );
+        }
+    }
+    bytes
+}
+
+fn scenario(
+    cfg: &ClusterConfig,
+    workload: &LiveWorkload,
+    reference: &[u8],
+    killed_node: Option<usize>,
+) -> ClusterScenario {
+    let outcome = run_cluster(cfg, workload).expect("fleet completes the stream");
+    let bit_identical = outcome.bitstream == reference;
+    assert!(
+        bit_identical,
+        "{}-node reassembly diverged from the reference bitstream",
+        cfg.nodes.len()
+    );
+    println!(
+        "nodes {:>2}{}  segments {:>2}  granted {:>2}  expired {:>2}  \
+         wall {:>6.3}s  {:>8.1} slots/s  recoveries {}",
+        cfg.nodes.len(),
+        killed_node.map_or("    ".into(), |n| format!(" (x{n})")),
+        outcome.segments,
+        outcome.leases_granted,
+        outcome.leases_expired,
+        outcome.wall_secs,
+        cfg.total_slots as f64 / outcome.wall_secs,
+        outcome.recoveries.len(),
+    );
+    ClusterScenario {
+        nodes: cfg.nodes.len(),
+        killed_node,
+        segments: outcome.segments,
+        leases_granted: outcome.leases_granted,
+        leases_expired: outcome.leases_expired,
+        leases_requeued: outcome.leases_requeued,
+        duplicates: outcome.duplicates,
+        bitstream_bytes: outcome.bitstream.len(),
+        bit_identical,
+        wall_secs: outcome.wall_secs,
+        slots_per_sec: cfg.total_slots as f64 / outcome.wall_secs,
+        segments_per_sec: outcome.segments as f64 / outcome.wall_secs,
+        recovery_latency_secs: outcome.recoveries.iter().map(|r| r.latency_secs).collect(),
+        node_stats: outcome
+            .nodes
+            .iter()
+            .map(|n| NodeRow {
+                node: n.node,
+                capacity_cores: n.capacity_cores,
+                segments: n.segments,
+                tiles: n.tiles,
+                energy_j: n.energy_j,
+                declared_dead: n.declared_dead,
+            })
+            .collect(),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let node_sweep: Vec<usize> = match scale {
+        Scale::Quick => vec![1, 2],
+        Scale::Full => vec![1, 2, 3, 4],
+    };
+    let workload = live_workload("cluster-bench", BodyPart::Brain, "brain", 11);
+    let reference = reference_bitstream(&workload, TOTAL_SLOTS);
+    println!(
+        "cluster stream: {} slots, {} reference bytes",
+        TOTAL_SLOTS,
+        reference.len()
+    );
+
+    let base = ClusterConfig::new(mixed_fleet(1), TOTAL_SLOTS);
+    let mut scenarios = Vec::new();
+
+    // Healthy sweep: throughput vs node count.
+    for &n in &node_sweep {
+        let cfg = ClusterConfig::new(mixed_fleet(n), TOTAL_SLOTS);
+        scenarios.push(scenario(&cfg, &workload, &reference, None));
+    }
+
+    // Fault run: kill one worker after its first delivery and measure
+    // recovery. Two nodes so exactly one survivor reclaims the work.
+    let mut nodes = mixed_fleet(2);
+    nodes[1].kill_after_segments = Some(1);
+    let mut fault_cfg = ClusterConfig::new(nodes, TOTAL_SLOTS);
+    fault_cfg.lease_timeout = Duration::from_millis(1500);
+    fault_cfg.lease_backoff = Duration::from_millis(5);
+    let fault = scenario(&fault_cfg, &workload, &reference, Some(1));
+    assert!(
+        fault.leases_expired > 0 && !fault.recovery_latency_secs.is_empty(),
+        "the fault run must exercise lease recovery"
+    );
+    scenarios.push(fault);
+
+    let artifact = ClusterArtifact {
+        scale: format!("{scale:?}"),
+        total_slots: TOTAL_SLOTS,
+        gop_slots: base.gop_slots,
+        gops_per_segment: base.gops_per_segment,
+        lease_timeout_secs: base.lease_timeout.as_secs_f64(),
+        max_attempts: base.max_attempts,
+        scenarios,
+    };
+    let path = write_artifact("cluster_bench", &artifact);
+    println!("artifact: {}", path.display());
+}

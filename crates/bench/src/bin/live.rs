@@ -23,7 +23,9 @@
 //! `target/experiments`). `MEDVT_SCALE=full` enlarges the sweep.
 
 use medvt_admission::{serve_online, DeadlineClass, UserRequest};
-use medvt_bench::{live_online_config, live_workload, write_artifact, Scale};
+use medvt_bench::{
+    live_online_config, live_workload, suggested_host_speed_factor, write_artifact, Scale,
+};
 use medvt_frame::synth::BodyPart;
 use medvt_mpsoc::{Platform, PowerModel};
 use medvt_runtime::{SimBackend, ThreadPoolBackend, WindowTiming};
@@ -86,6 +88,11 @@ struct LiveArtifact {
     /// real work — the stability band of the model validation.
     ratio_min: Option<f64>,
     ratio_max: Option<f64>,
+    /// Geometric mean of the scenario ratios: the `rho` to feed
+    /// `CostModel::with_host_speed_factor` so the model predicts this
+    /// host's wall time (see README § "Calibrating the cost model to a
+    /// host").
+    suggested_host_speed_factor: Option<f64>,
 }
 
 fn window_rows(shards: &[(usize, &[WindowTiming])]) -> Vec<WindowRow> {
@@ -205,6 +212,13 @@ fn main() {
             "ratios must stay finite and positive"
         );
     }
+    let suggested = suggested_host_speed_factor(&ratios);
+    if let Some(rho) = suggested {
+        println!(
+            "suggested host speed factor (rho for \
+             CostModel::with_host_speed_factor): {rho:.4}"
+        );
+    }
 
     let artifact = LiveArtifact {
         scale: format!("{scale:?}"),
@@ -214,6 +228,7 @@ fn main() {
         scenarios,
         ratio_min,
         ratio_max,
+        suggested_host_speed_factor: suggested,
     };
     let path = write_artifact("live_bench", &artifact);
     println!("artifact: {}", path.display());

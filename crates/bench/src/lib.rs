@@ -272,6 +272,29 @@ pub fn live_online_config(horizon_slots: usize) -> OnlineConfig {
     }
 }
 
+/// The host-calibration factor `rho` suggested by a set of observed
+/// measured-over-modeled window-time ratios: their geometric mean.
+///
+/// The ratios are multiplicative errors around the true host-vs-
+/// reference speed factor, so the geometric mean — not the arithmetic
+/// one — is the unbiased center of the band; it is also what maps the
+/// band `[min, max]` to a symmetric `[min/rho, max/rho]` spread around
+/// 1.0 after calibration. Feed the result to
+/// [`medvt_encoder::CostModel::with_host_speed_factor`] to make
+/// `tile_seconds` predict this host's wall time. `None` when no
+/// scenario executed real work.
+pub fn suggested_host_speed_factor(ratios: &[f64]) -> Option<f64> {
+    if ratios.is_empty() {
+        return None;
+    }
+    assert!(
+        ratios.iter().all(|r| r.is_finite() && *r > 0.0),
+        "measured/modeled ratios must be finite and positive"
+    );
+    let log_mean = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
+    Some(log_mean.exp())
+}
+
 /// The execution backend selected by `MEDVT_BACKEND` (default `sim`),
 /// with its label for artifacts.
 pub fn backend_from_env(cfg: &ServerConfig) -> (&'static str, Box<dyn ExecutionBackend>) {
@@ -326,6 +349,30 @@ mod tests {
             assert!(!class.is_empty());
             assert_eq!(clip.len(), Scale::Quick.frames());
         }
+    }
+
+    #[test]
+    fn suggested_rho_is_the_geometric_mean() {
+        assert_eq!(suggested_host_speed_factor(&[]), None);
+        let rho = suggested_host_speed_factor(&[0.25, 4.0]).unwrap();
+        assert!((rho - 1.0).abs() < 1e-12, "geomean of 1/4 and 4 is 1");
+        let rho = suggested_host_speed_factor(&[0.5]).unwrap();
+        assert!((rho - 0.5).abs() < 1e-12, "a single ratio is its own rho");
+        // Round trip: calibrating the cost model by rho scales every
+        // modeled tile time by exactly rho.
+        let base = medvt_encoder::CostModel::default();
+        let calibrated = medvt_encoder::CostModel::with_host_speed_factor(rho);
+        let stats = medvt_encoder::TileStats {
+            sad_samples: 10_000,
+            transform_samples: 4_096,
+            bits: 20_000,
+            intra_blocks: 4,
+            inter_blocks: 12,
+            ..medvt_encoder::TileStats::new(Rect::new(0, 0, 64, 64))
+        };
+        let freq = 3.6e9;
+        let ratio = calibrated.tile_seconds(&stats, freq) / base.tile_seconds(&stats, freq);
+        assert!((ratio - rho).abs() < 1e-12);
     }
 
     #[test]

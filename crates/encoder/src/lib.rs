@@ -61,6 +61,7 @@ mod gop;
 mod intra;
 pub mod quant;
 mod scratch;
+mod segment;
 mod stats;
 mod tile;
 pub mod transform;
@@ -78,6 +79,7 @@ pub use frame_enc::{
 pub use gop::{GopEntry, GopStructure};
 pub use intra::{IntraMode, IntraRefs};
 pub use scratch::EncScratch;
+pub use segment::{plan_segments, SegmentSpec};
 pub use stats::{FrameStats, SequenceStats, TileStats};
 pub use tile::{encode_tile, encode_tile_with_scratch, TileOutcome};
 pub use video_enc::{

@@ -1,0 +1,116 @@
+//! Segment planning: the unit of cluster distribution.
+//!
+//! A *segment* is a contiguous run of whole GOPs — the smallest span a
+//! worker can transcode independently under the open-loop tile path
+//! (every frame depends only on the *original* previous frame, so any
+//! GOP-aligned span is self-contained). The coordinator splits a job's
+//! slot horizon into segments with [`plan_segments`], leases them to
+//! worker nodes, and stitches the returned bitstreams back together in
+//! [`SegmentSpec::index`] order.
+
+use serde::{Deserialize, Serialize};
+
+/// One contiguous GOP range of a job, with its frame-slot span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentSpec {
+    /// Position of this segment within the job (reassembly order).
+    pub index: usize,
+    /// First GOP covered (inclusive).
+    pub start_gop: usize,
+    /// Number of GOPs covered.
+    pub gops: usize,
+    /// First frame slot covered (inclusive): `start_gop * gop_slots`.
+    pub start_slot: usize,
+    /// Frame slots covered; the final segment of a job may be shorter
+    /// than `gops * gop_slots` when the horizon is not GOP-aligned.
+    pub slots: usize,
+}
+
+impl SegmentSpec {
+    /// One past the last slot covered.
+    pub fn end_slot(&self) -> usize {
+        self.start_slot + self.slots
+    }
+
+    /// The half-open slot range `start_slot..end_slot`.
+    pub fn slot_range(&self) -> std::ops::Range<usize> {
+        self.start_slot..self.end_slot()
+    }
+}
+
+/// Partitions `0..total_slots` into contiguous GOP-aligned segments of
+/// `gops_per_segment` GOPs each (the last segment takes whatever
+/// remains). Every slot lands in exactly one segment and concatenating
+/// the segments in `index` order reproduces the original slot span —
+/// the invariant bitstream reassembly relies on.
+///
+/// # Panics
+///
+/// Panics when `gop_slots` or `gops_per_segment` is zero.
+pub fn plan_segments(
+    total_slots: usize,
+    gop_slots: usize,
+    gops_per_segment: usize,
+) -> Vec<SegmentSpec> {
+    assert!(gop_slots > 0, "gop_slots must be non-zero");
+    assert!(gops_per_segment > 0, "gops_per_segment must be non-zero");
+    let seg_slots = gop_slots * gops_per_segment;
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start < total_slots {
+        let slots = seg_slots.min(total_slots - start);
+        out.push(SegmentSpec {
+            index: out.len(),
+            start_gop: start / gop_slots,
+            gops: slots.div_ceil(gop_slots),
+            start_slot: start,
+            slots,
+        });
+        start += slots;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_tile_the_horizon_exactly() {
+        for (total, gop, per) in [(96, 8, 2), (96, 8, 3), (100, 8, 2), (7, 8, 1), (0, 8, 2)] {
+            let segs = plan_segments(total, gop, per);
+            let mut cursor = 0usize;
+            for (i, s) in segs.iter().enumerate() {
+                assert_eq!(s.index, i);
+                assert_eq!(s.start_slot, cursor, "total={total} gop={gop} per={per}");
+                assert_eq!(s.start_gop, cursor / gop);
+                assert!(s.slots > 0);
+                cursor = s.end_slot();
+            }
+            assert_eq!(cursor, total, "segments must cover every slot once");
+        }
+    }
+
+    #[test]
+    fn aligned_horizon_yields_equal_segments() {
+        let segs = plan_segments(96, 8, 2);
+        assert_eq!(segs.len(), 6);
+        assert!(segs.iter().all(|s| s.slots == 16 && s.gops == 2));
+        assert_eq!(segs[3].slot_range(), 48..64);
+    }
+
+    #[test]
+    fn ragged_tail_is_a_short_segment() {
+        let segs = plan_segments(100, 8, 2);
+        let last = segs.last().unwrap();
+        assert_eq!(last.slots, 4);
+        assert_eq!(last.gops, 1);
+        assert_eq!(last.end_slot(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_gop_slots_rejected() {
+        plan_segments(10, 0, 1);
+    }
+}

@@ -74,12 +74,14 @@
 #![warn(missing_debug_implementations)]
 
 mod backend;
+mod node;
 mod pool;
 mod server;
 mod sim;
 mod threadpool;
 
 pub use backend::{ExecutionBackend, SlotOutcome, WorkUnit};
+pub use node::{Node, NodeCommand, NodeResponse};
 pub use pool::{ExecRecord, PoolScope, WorkerPool};
 pub use server::{
     ControllerTiming, DemandSource, LoopDriver, LoopReport, ReplanPolicy, ServerLoop,

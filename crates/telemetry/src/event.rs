@@ -68,6 +68,30 @@ pub enum EventKind {
         /// The miss was caused by DVFS transition overhead.
         transition_bound: bool,
     },
+    /// A cluster coordinator leased a segment to the node on this
+    /// track.
+    LeaseGranted {
+        /// Segment index within the job.
+        segment: u32,
+    },
+    /// A lease timed out on the node on this track (dead or stalled
+    /// worker); the segment goes back to the coordinator.
+    LeaseExpired {
+        /// Segment index within the job.
+        segment: u32,
+    },
+    /// An expired segment re-entered the coordinator's pending pool
+    /// (control track).
+    LeaseRequeued {
+        /// Segment index within the job.
+        segment: u32,
+    },
+    /// A completed segment was stitched into the output bitstream in
+    /// order (control track).
+    SegmentReassembled {
+        /// Segment index within the job.
+        segment: u32,
+    },
 }
 
 impl EventKind {
@@ -83,6 +107,10 @@ impl EventKind {
             EventKind::Reject { .. } => 6,
             EventKind::QueueDepth { .. } => 7,
             EventKind::SlotCore { .. } => 8,
+            EventKind::LeaseGranted { .. } => 9,
+            EventKind::LeaseExpired { .. } => 10,
+            EventKind::LeaseRequeued { .. } => 11,
+            EventKind::SegmentReassembled { .. } => 12,
         }
     }
 
@@ -98,6 +126,10 @@ impl EventKind {
             EventKind::Reject { .. } => "reject",
             EventKind::QueueDepth { .. } => "queue_depth",
             EventKind::SlotCore { .. } => "slot_core",
+            EventKind::LeaseGranted { .. } => "lease_granted",
+            EventKind::LeaseExpired { .. } => "lease_expired",
+            EventKind::LeaseRequeued { .. } => "lease_requeued",
+            EventKind::SegmentReassembled { .. } => "segment_reassembled",
         }
     }
 
@@ -111,6 +143,10 @@ impl EventKind {
             | EventKind::Abandon { user }
             | EventKind::Reject { user } => u64::from(user),
             EventKind::QueueDepth { depth } => u64::from(depth),
+            EventKind::LeaseGranted { segment }
+            | EventKind::LeaseExpired { segment }
+            | EventKind::LeaseRequeued { segment }
+            | EventKind::SegmentReassembled { segment } => u64::from(segment),
             EventKind::SlotCore {
                 core,
                 busy_ns,
@@ -142,6 +178,10 @@ impl EventKind {
                 carry: payload & 0b10 != 0,
                 transition_bound: payload & 0b1 != 0,
             },
+            9 => EventKind::LeaseGranted { segment: user },
+            10 => EventKind::LeaseExpired { segment: user },
+            11 => EventKind::LeaseRequeued { segment: user },
+            12 => EventKind::SegmentReassembled { segment: user },
             _ => return None,
         })
     }
@@ -224,6 +264,10 @@ mod tests {
                 carry: false,
                 transition_bound: true,
             },
+            EventKind::LeaseGranted { segment: 12 },
+            EventKind::LeaseExpired { segment: u32::MAX },
+            EventKind::LeaseRequeued { segment: 0 },
+            EventKind::SegmentReassembled { segment: 9_999 },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
             let ev = Event {

@@ -33,6 +33,12 @@ pub fn json_lines(events: &[Event]) -> String {
             | EventKind::Abandon { user }
             | EventKind::Reject { user } => out.push_str(&format!(",\"user\":{user}")),
             EventKind::QueueDepth { depth } => out.push_str(&format!(",\"depth\":{depth}")),
+            EventKind::LeaseGranted { segment }
+            | EventKind::LeaseExpired { segment }
+            | EventKind::LeaseRequeued { segment }
+            | EventKind::SegmentReassembled { segment } => {
+                out.push_str(&format!(",\"segment\":{segment}"))
+            }
             EventKind::SlotCore {
                 core,
                 busy_ns,
@@ -129,6 +135,20 @@ pub fn chrome_trace(events: &[Event], slot_secs: f64) -> String {
                     depth
                 ),
             ),
+            EventKind::LeaseGranted { segment }
+            | EventKind::LeaseExpired { segment }
+            | EventKind::LeaseRequeued { segment }
+            | EventKind::SegmentReassembled { segment } => emit(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"lease\",\"pid\":{},\"tid\":0,\"ts\":{:.3},\"s\":\"p\",\"args\":{{\"segment\":{}}}}}",
+                    e.kind.label(),
+                    pid(e.track),
+                    ts,
+                    segment
+                ),
+            ),
             _ => emit(
                 &mut out,
                 &mut first,
@@ -165,6 +185,14 @@ mod tests {
                     transition_bound: false,
                 },
             ),
+            Event::new(2, 5, EventKind::LeaseGranted { segment: 6 }),
+            Event::new(2, 9, EventKind::LeaseExpired { segment: 6 }),
+            Event::new(CONTROL_TRACK, 9, EventKind::LeaseRequeued { segment: 6 }),
+            Event::new(
+                CONTROL_TRACK,
+                14,
+                EventKind::SegmentReassembled { segment: 6 },
+            ),
         ]
     }
 
@@ -172,11 +200,14 @@ mod tests {
     fn json_lines_has_one_object_per_event() {
         let text = json_lines(&sample());
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 8);
         assert!(lines[0].starts_with("{\"kind\":\"gop_boundary\""));
         assert!(lines[1].contains("\"user\":7"));
         assert!(lines[2].contains("\"depth\":2"));
         assert!(lines[3].contains("\"busy_ns\":41666667"));
+        assert!(lines[4].contains("\"kind\":\"lease_granted\""));
+        assert!(lines[4].contains("\"segment\":6"));
+        assert!(lines[7].contains("\"kind\":\"segment_reassembled\""));
         assert!(lines.iter().all(|l| l.ends_with('}')));
     }
 
@@ -197,5 +228,20 @@ mod tests {
         assert!(text.contains("\"dur\":41666.667"));
         // No trailing comma / balanced braces — parse sanity by eye:
         assert!(!text.contains(",]"));
+    }
+
+    #[test]
+    fn chrome_trace_puts_lease_instants_on_the_node_track() {
+        let text = chrome_trace(&sample(), 1.0 / 24.0);
+        // Lease grant/expiry land on the leasing node's track (track 2
+        // -> pid 3), requeue/reassembly on the control plane (pid 0).
+        assert!(text.contains(
+            "{\"ph\":\"i\",\"name\":\"lease_granted\",\"cat\":\"lease\",\"pid\":3,\"tid\":0,"
+        ));
+        assert!(text.contains("\"name\":\"lease_expired\",\"cat\":\"lease\",\"pid\":3,"));
+        assert!(text.contains("\"name\":\"lease_requeued\",\"cat\":\"lease\",\"pid\":0,"));
+        assert!(text.contains("\"name\":\"segment_reassembled\",\"cat\":\"lease\",\"pid\":0,"));
+        assert!(text.contains("\"args\":{\"segment\":6}"));
+        assert!(text.contains("\"name\":\"shard 2\""));
     }
 }

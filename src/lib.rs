@@ -19,6 +19,7 @@
 //! | [`telemetry`] | `medvt-telemetry` | flight-recorder observability: typed events, lock-free rings, counters/histograms, trace export |
 //! | [`admission`] | `medvt-admission` | live admission control: request queue, shard policies, GOP-boundary admit/evict |
 //! | [`core`] | `medvt-core` | the full pipeline, baseline \[19\], multi-user server (batch, online, live) on either backend |
+//! | [`cluster`] | `medvt-cluster` | coordinator/worker cluster serving: segment leasing, fault-tolerant reassembly, heterogeneous fleets |
 //!
 //! # Examples
 //!
@@ -53,6 +54,7 @@
 
 pub use medvt_admission as admission;
 pub use medvt_analyze as analyze;
+pub use medvt_cluster as cluster;
 pub use medvt_core as core;
 pub use medvt_encoder as encoder;
 pub use medvt_frame as frame;

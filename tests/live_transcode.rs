@@ -6,10 +6,11 @@
 //! inside a documented tolerance.
 
 use medvt::admission::{serve_online, DeadlineClass, UserRequest, Workload};
+use medvt::encoder::CostModel;
 use medvt::frame::synth::BodyPart;
 use medvt::mpsoc::{Platform, PowerModel};
 use medvt::runtime::{SimBackend, ThreadPoolBackend};
-use medvt_bench::{live_online_config, live_workload};
+use medvt_bench::{live_online_config, live_workload, suggested_host_speed_factor};
 
 /// The CI scenario's documented measured/modeled tolerance band.
 ///
@@ -118,5 +119,40 @@ fn live_path_matches_model_and_direct_encoding() {
     assert!(
         (live.modeled_window_secs() - reference.modeled_window_secs()).abs() < 1e-12,
         "modeled time must be backend-independent"
+    );
+
+    // (4) Host calibration round trip: the rho the live bench suggests
+    // from this measured/modeled band, fed back through
+    // `CostModel::with_host_speed_factor`, must scale modeled time
+    // onto measured time — the automated closing of the validation
+    // loop.
+    let rho = suggested_host_speed_factor(&[ratio]).expect("ratio observed");
+    assert!((RATIO_LO..=RATIO_HI).contains(&rho));
+    let calibrated = CostModel::with_host_speed_factor(rho);
+    let base = CostModel::default();
+    // Calibration is a uniform rescaling: every modeled tile time
+    // scales by exactly rho...
+    let probe = medvt::encoder::TileStats {
+        sad_samples: 50_000,
+        transform_samples: 12_288,
+        bits: 40_000,
+        intra_blocks: 8,
+        inter_blocks: 40,
+        ..medvt::encoder::TileStats::new(medvt::frame::Rect::new(0, 0, 64, 64))
+    };
+    let scale = calibrated.tile_seconds(&probe, 3.6e9) / base.tile_seconds(&probe, 3.6e9);
+    assert!(
+        (scale - rho).abs() / rho < 1e-6,
+        "with_host_speed_factor must rescale tile time by rho \
+         (up to whole-cycle quantization): scale {scale}, rho {rho}"
+    );
+    // ...so the calibrated model's prediction of this run's window
+    // time lands on the measurement.
+    let predicted = live.modeled_window_secs() * rho;
+    assert!(
+        (predicted - live.measured_window_secs()).abs() <= 1e-9 * live.measured_window_secs(),
+        "calibrated model must predict the measured window time \
+         (predicted {predicted}, measured {})",
+        live.measured_window_secs()
     );
 }
