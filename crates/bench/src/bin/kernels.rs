@@ -13,10 +13,17 @@
 //!
 //! * candidate-evaluation throughput per search window and metric,
 //!   legacy vs fast path (exhaustive sweep, exact costs);
+//! * SIMD dispatch-tier throughput per metric: the active tier
+//!   (AVX2/SSE2) against the scalar tier pinned via
+//!   `cost::simd::with_tier`, plus the resolved dispatch metadata;
 //! * full-search throughput with the early-termination running-best
 //!   path (decision-identical, far fewer samples per candidate);
+//! * bitstream-writer throughput: word-batched `BitWriter` against the
+//!   retained per-bit `bits::reference` writer on coefficient coding
+//!   and Exp-Golomb bursts;
 //! * transform+quant round-trip blocks/s per size, allocating vs
-//!   scratch-reuse `_into` kernels;
+//!   scratch-reuse `_into` kernels, and the fixed-point `TxPath::Int`
+//!   pipeline against f64 with its measured max coefficient divergence;
 //! * full-tile encode wall time, legacy loop vs current loop.
 //!
 //! Usage: `cargo run --release -p medvt-bench --bin kernels`.
@@ -26,6 +33,7 @@ use medvt_encoder::{encode_tile, EncoderConfig, Qp, SearchSpec, TileConfig};
 use medvt_frame::synth::{BodyPart, MotionPattern, PhantomVideo};
 use medvt_frame::Resolution;
 use medvt_frame::{Frame, FrameKind, Plane, Rect};
+use medvt_motion::cost::simd;
 use medvt_motion::{cost, CostMetric, MotionVector, SearchWindow};
 use serde::Serialize;
 use std::hint::black_box;
@@ -396,6 +404,40 @@ struct CandidateThroughput {
 }
 
 #[derive(Debug, Serialize)]
+struct Dispatch {
+    /// Resolved dispatch tier (`avx2`, `sse2` or `scalar`).
+    tier: String,
+    /// Whether `MEDVT_FORCE_SCALAR` pinned the dispatch to scalar.
+    forced_scalar: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct SimdKernelThroughput {
+    metric: String,
+    tier: String,
+    scalar_mcand_per_s: f64,
+    simd_mcand_per_s: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct WriterThroughput {
+    workload: String,
+    per_bit_mbits_per_s: f64,
+    batched_mbits_per_s: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct IntTransformThroughput {
+    size: usize,
+    f64_blocks_per_s: f64,
+    int_blocks_per_s: f64,
+    speedup: f64,
+    max_abs_coeff_diff: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct FullSearchEarlyExit {
     window: usize,
     legacy_secs_per_search: f64,
@@ -424,9 +466,13 @@ struct TileEncodeResult {
 #[derive(Debug, Serialize)]
 struct KernelsArtifact {
     host_parallelism: usize,
+    dispatch: Dispatch,
     candidate_throughput: Vec<CandidateThroughput>,
+    simd_kernels: Vec<SimdKernelThroughput>,
     full_search_early_exit: Vec<FullSearchEarlyExit>,
+    bit_writer: Vec<WriterThroughput>,
     transform_throughput: Vec<TransformThroughput>,
+    int_transform: Vec<IntTransformThroughput>,
     tile_encode: Vec<TileEncodeResult>,
     headline_w64_sad_speedup: f64,
     headline_tile_encode_speedup: f64,
@@ -494,6 +540,175 @@ fn candidate_sweeps(cur: &Plane, reference: &Plane) -> Vec<CandidateThroughput> 
                 speedup: legacy / fast,
             });
         }
+    }
+    out
+}
+
+/// Exhaustive W32 sweeps per metric with the dispatch tier pinned:
+/// the active SIMD tier against the identical code path forced scalar.
+fn simd_kernel_sweeps(cur: &Plane, reference: &Plane) -> Vec<SimdKernelThroughput> {
+    let block = Rect::new(144, 112, 16, 16);
+    let active = simd::tier();
+    let r = SearchWindow::W32.radius();
+    let candidates = (2 * r as u64 + 1) * (2 * r as u64 + 1);
+    let mut out = Vec::new();
+    for metric in [CostMetric::Sad, CostMetric::Ssd, CostMetric::Satd] {
+        let sweep = || {
+            let mut acc = 0u64;
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    acc = acc.wrapping_add(cost::block_cost(
+                        metric,
+                        cur,
+                        reference,
+                        &block,
+                        MotionVector::new(dx, dy),
+                    ));
+                }
+            }
+            black_box(acc);
+        };
+        let simd_secs = simd::with_tier(active, || measure(5, sweep));
+        let scalar_secs = simd::with_tier(simd::DispatchTier::Scalar, || measure(5, sweep));
+        out.push(SimdKernelThroughput {
+            metric: format!("{metric:?}").to_lowercase(),
+            tier: active.name().to_string(),
+            scalar_mcand_per_s: candidates as f64 / scalar_secs / 1e6,
+            simd_mcand_per_s: candidates as f64 / simd_secs / 1e6,
+            speedup: scalar_secs / simd_secs,
+        });
+    }
+    out
+}
+
+/// Word-batched `BitWriter` against the retained per-bit reference
+/// writer, on the syntax workloads the encoder actually emits.
+fn writer_sweeps() -> Vec<WriterThroughput> {
+    use medvt_encoder::bits::{self, BitWriter};
+    // Two coefficient workloads: a high-QP sparse block (run-length
+    // dominated, ~70 bits) and a low-QP dense block where every
+    // position is significant (write-dominated, ~600 bits).
+    let sparse: Vec<i32> = (0..64)
+        .map(|i| match i {
+            0 => 13,
+            1 | 8 => -4,
+            2 | 9 | 16 => 2,
+            10 | 17 => -1,
+            24 | 3 => 1,
+            _ => 0,
+        })
+        .collect();
+    let dense: Vec<i32> = (0..64i32)
+        .map(|i| (20 - i % 19) * if i % 2 == 0 { 1 } else { -1 })
+        .collect();
+    let mut out = Vec::new();
+
+    // Coefficient coding: the dominant bitstream workload.
+    for (label, levels) in [("code_block dense", &dense), ("code_block sparse", &sparse)] {
+        let reps = 2000usize;
+        let mut w_new = BitWriter::new();
+        let batched = measure(9, || {
+            w_new.clear();
+            for _ in 0..reps {
+                black_box(bits::code_block(levels, 8, &mut w_new));
+            }
+        });
+        let bits_per_rep = bits::block_bits(levels, 8);
+        let per_bit = measure(9, || {
+            let mut w_old = bits::reference::BitWriter::new();
+            for _ in 0..reps {
+                black_box(bits::reference::code_block(levels, 8, &mut w_old));
+            }
+        });
+        let total_bits = (reps as u64 * bits_per_rep) as f64;
+        out.push(WriterThroughput {
+            workload: label.to_string(),
+            per_bit_mbits_per_s: total_bits / per_bit / 1e6,
+            batched_mbits_per_s: total_bits / batched / 1e6,
+            speedup: per_bit / batched,
+        });
+    }
+
+    // Exp-Golomb burst: header-style unsigned codes, short and long.
+    let values: Vec<u32> = (0..4096u32).map(|i| (i * 2654435761) % 100_000).collect();
+    let burst_bits: u64 = values.iter().map(|&v| bits::ue_len(v)).sum();
+    let mut w_new = BitWriter::new();
+    let batched = measure(9, || {
+        w_new.clear();
+        for &v in &values {
+            w_new.write_ue(v);
+        }
+        black_box(w_new.bits_written());
+    });
+    let per_bit = measure(9, || {
+        let mut w = bits::reference::BitWriter::new();
+        for &v in &values {
+            w.write_ue(v);
+        }
+        black_box(w.bits_written());
+    });
+    out.push(WriterThroughput {
+        workload: "write_ue burst".to_string(),
+        per_bit_mbits_per_s: burst_bits as f64 / per_bit / 1e6,
+        batched_mbits_per_s: burst_bits as f64 / batched / 1e6,
+        speedup: per_bit / batched,
+    });
+    out
+}
+
+/// Fixed-point `transform::int` against the f64 pipeline (forward +
+/// quant + dequant + inverse per block), plus the measured forward
+/// coefficient divergence on the bench input.
+fn int_transform_sweeps() -> Vec<IntTransformThroughput> {
+    use medvt_encoder::quant::{
+        dequantize_int_into, dequantize_into, quantize_int_into, quantize_into,
+    };
+    use medvt_encoder::transform::{forward_into, int, inverse_into, TRANSFORM_SIZES};
+    let qp = Qp::new(32).unwrap();
+    let mut out = Vec::new();
+    for n in TRANSFORM_SIZES {
+        let input: Vec<i32> = (0..n * n).map(|i| ((i * 37) % 511) as i32 - 255).collect();
+        let reps = (4096 / (n * n)).max(1);
+        let (mut coeffs, mut tmp, mut levels, mut rec, mut res) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let f64_secs = measure(5, || {
+            for _ in 0..reps {
+                forward_into(n, &input, &mut coeffs, &mut tmp);
+                quantize_into(&coeffs, qp, &mut levels);
+                dequantize_into(&levels, qp, &mut rec);
+                inverse_into(n, &rec, &mut res, &mut tmp);
+                black_box(res.first().copied());
+            }
+        });
+        let (mut coeffs_i, mut tmp_i, mut rec_i, mut res_i, mut wide) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let int_secs = measure(5, || {
+            for _ in 0..reps {
+                int::forward_into(n, &input, &mut coeffs_i, &mut tmp_i);
+                quantize_int_into(&coeffs_i, qp, &mut levels);
+                dequantize_int_into(&levels, qp, &mut rec_i);
+                int::inverse_into(n, &rec_i, &mut res_i, &mut tmp_i, &mut wide);
+                black_box(res_i.first().copied());
+            }
+        });
+        forward_into(n, &input, &mut coeffs, &mut tmp);
+        int::forward_into(n, &input, &mut coeffs_i, &mut tmp_i);
+        let max_abs_diff = coeffs
+            .iter()
+            .zip(&coeffs_i)
+            .map(|(&f, &i)| (f - i as f64).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_abs_diff <= int::MAX_ABS_DIFF_VS_F64 as f64,
+            "int transform diverged beyond its documented bound: {max_abs_diff}"
+        );
+        out.push(IntTransformThroughput {
+            size: n,
+            f64_blocks_per_s: reps as f64 / f64_secs,
+            int_blocks_per_s: reps as f64 / int_secs,
+            speedup: f64_secs / int_secs,
+            max_abs_coeff_diff: max_abs_diff,
+        });
     }
     out
 }
@@ -642,6 +857,14 @@ fn tile_encodes(cur: &Frame, reference: &Frame) -> Vec<TileEncodeResult> {
 
 fn main() {
     let (cur, reference) = bench_planes();
+    let dispatch = Dispatch {
+        tier: simd::tier().name().to_string(),
+        forced_scalar: simd::forced_scalar(),
+    };
+    println!(
+        "dispatch tier: {} (forced_scalar={})",
+        dispatch.tier, dispatch.forced_scalar
+    );
 
     println!("== candidate-evaluation throughput (exhaustive sweep, exact costs) ==");
     let candidate_throughput = candidate_sweeps(cur.y(), reference.y());
@@ -650,6 +873,38 @@ fn main() {
             "W{:<3} {:<5} {:>8.2} -> {:>8.2} Mcand/s   {:>5.2}x",
             c.window, c.metric, c.legacy_mcand_per_s, c.fast_mcand_per_s, c.speedup
         );
+    }
+
+    println!("== SIMD dispatch tier vs scalar (W32 sweep, same code path) ==");
+    let simd_kernels = simd_kernel_sweeps(cur.y(), reference.y());
+    for s in &simd_kernels {
+        println!(
+            "{:<5} {:<6} {:>8.2} -> {:>8.2} Mcand/s   {:>5.2}x",
+            s.metric, s.tier, s.scalar_mcand_per_s, s.simd_mcand_per_s, s.speedup
+        );
+        if s.tier == "avx2" && s.metric == "satd" {
+            assert!(
+                s.speedup >= 2.0,
+                "SATD SIMD speedup regressed below 2x on AVX2: {:.2}x",
+                s.speedup
+            );
+        }
+    }
+
+    println!("== bitstream writer: word-batched vs per-bit reference ==");
+    let bit_writer = writer_sweeps();
+    for w in &bit_writer {
+        println!(
+            "{:<16} {:>8.1} -> {:>8.1} Mbit/s   {:>5.2}x",
+            w.workload, w.per_bit_mbits_per_s, w.batched_mbits_per_s, w.speedup
+        );
+        if w.workload == "code_block dense" {
+            assert!(
+                w.speedup >= 3.0,
+                "coefficient coding regressed below 3x vs the per-bit writer: {:.2}x",
+                w.speedup
+            );
+        }
     }
 
     println!("== full search with early termination (decision-identical) ==");
@@ -678,6 +933,15 @@ fn main() {
         );
     }
 
+    println!("== fixed-point transform (TxPath::Int) vs f64 pipeline ==");
+    let int_transform = int_transform_sweeps();
+    for t in &int_transform {
+        println!(
+            "{:>2}x{:<2} {:>10.0} -> {:>10.0} blocks/s   {:>5.2}x   max|Δcoeff|={:.2}",
+            t.size, t.size, t.f64_blocks_per_s, t.int_blocks_per_s, t.speedup, t.max_abs_coeff_diff
+        );
+    }
+
     println!("== full-tile encode (inter, diamond search, luma+chroma) ==");
     let tile_encode = tile_encodes(&cur, &reference);
     for t in &tile_encode {
@@ -700,9 +964,13 @@ fn main() {
 
     let artifact = KernelsArtifact {
         host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        dispatch,
         candidate_throughput,
+        simd_kernels,
         full_search_early_exit: full_search,
+        bit_writer,
         transform_throughput,
+        int_transform,
         tile_encode,
         headline_w64_sad_speedup: headline_w64_sad,
         headline_tile_encode_speedup: headline_tile,

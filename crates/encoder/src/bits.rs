@@ -12,6 +12,13 @@ use std::sync::{Mutex, OnceLock};
 
 /// An MSB-first bit writer.
 ///
+/// Bits accumulate in a `u64` and flush to the byte buffer in whole
+/// bytes, so `write_bits` / `write_ue` / `write_se` append runs of up
+/// to 32 bits in O(1) amortized instead of poking the buffer once per
+/// bit. Output is byte-for-byte identical to the retained per-bit
+/// writer ([`reference::BitWriter`]) — enforced by differential
+/// proptests and the frozen FNV bitstream goldens.
+///
 /// # Examples
 ///
 /// ```
@@ -27,8 +34,13 @@ use std::sync::{Mutex, OnceLock};
 #[derive(Debug, Clone, Default)]
 pub struct BitWriter {
     buf: Vec<u8>,
-    /// Bits used in the trailing partial byte (0..8).
-    partial: u8,
+    /// Pending bits, right-aligned: the low `acc_bits` bits of `acc`
+    /// are the tail of the stream. Bits above `acc_bits` are stale and
+    /// never observed (the flush shifts them away before truncating).
+    acc: u64,
+    /// Number of pending bits in `acc` (always < 32 between calls, so
+    /// a 32-bit append still fits the 64-bit accumulator).
+    acc_bits: u8,
     bits: u64,
 }
 
@@ -47,21 +59,14 @@ impl BitWriter {
     /// so a reused writer appends without reallocating.
     pub fn clear(&mut self) {
         self.buf.clear();
-        self.partial = 0;
+        self.acc = 0;
+        self.acc_bits = 0;
         self.bits = 0;
     }
 
     /// Appends a single bit.
     pub fn write_bit(&mut self, bit: bool) {
-        if self.partial == 0 {
-            self.buf.push(0);
-        }
-        if bit {
-            let last = self.buf.last_mut().expect("buffer non-empty");
-            *last |= 1 << (7 - self.partial);
-        }
-        self.partial = (self.partial + 1) % 8;
-        self.bits += 1;
+        self.write_bits(bit as u32, 1);
     }
 
     /// Appends the `n` low bits of `value`, MSB first.
@@ -71,20 +76,35 @@ impl BitWriter {
     /// Panics when `n > 32`.
     pub fn write_bits(&mut self, value: u32, n: u8) {
         assert!(n <= 32, "at most 32 bits at a time");
-        for i in (0..n).rev() {
-            self.write_bit((value >> i) & 1 == 1);
+        // acc_bits < 32 on entry, so acc_bits + n <= 63 and the shift
+        // never loses pending bits.
+        let v = (value as u64) & ((1u64 << n) - 1);
+        self.acc = (self.acc << n) | v;
+        self.acc_bits += n;
+        self.bits += n as u64;
+        // Flush a whole 32-bit word at a time: one branch per call
+        // instead of a per-byte loop.
+        if self.acc_bits >= 32 {
+            self.acc_bits -= 32;
+            let word = (self.acc >> self.acc_bits) as u32;
+            self.buf.extend_from_slice(&word.to_be_bytes());
         }
     }
 
     /// Appends an unsigned exp-Golomb code.
+    ///
+    /// The `len - 1` prefix zeros go out as one `write_bits` run (the
+    /// seed writer looped `write_bit` per zero); codes longer than 32
+    /// bits (`value >= u32::MAX`, 33 info bits) split into two runs.
     pub fn write_ue(&mut self, value: u32) {
         let v = value as u64 + 1;
-        let len = 64 - v.leading_zeros() as u8; // bit length of v
-        for _ in 0..len - 1 {
-            self.write_bit(false);
-        }
-        for i in (0..len).rev() {
-            self.write_bit((v >> i) & 1 == 1);
+        let len = 64 - v.leading_zeros() as u8; // bit length of v: 1..=33
+        self.write_bits(0, len - 1);
+        if len <= 32 {
+            self.write_bits(v as u32, len);
+        } else {
+            self.write_bits((v >> 32) as u32, len - 32);
+            self.write_bits(v as u32, 32);
         }
     }
 
@@ -100,14 +120,19 @@ impl BitWriter {
 
     /// Pads with zero bits to the next byte boundary.
     pub fn byte_align(&mut self) {
-        while self.partial != 0 {
-            self.write_bit(false);
+        let rem = self.acc_bits % 8;
+        if rem != 0 {
+            self.write_bits(0, 8 - rem);
         }
     }
 
     /// Finishes the stream (byte-aligned) and returns the bytes.
     pub fn into_bytes(mut self) -> Vec<u8> {
         self.byte_align();
+        while self.acc_bits >= 8 {
+            self.acc_bits -= 8;
+            self.buf.push((self.acc >> self.acc_bits) as u8);
+        }
         self.buf
     }
 }
@@ -230,6 +255,129 @@ pub fn block_bits(levels: &[i32], n: usize) -> u64 {
             }
             bits
         }
+    }
+}
+
+/// The seed per-bit writer, kept verbatim as the executable
+/// specification of the bitstream layout.
+///
+/// The word-batched [`BitWriter`] must emit byte-for-byte
+/// identical streams for any call sequence (enforced by differential
+/// proptests in `tests/kernel_differential.rs`); the kernel benchmark
+/// measures it as the "before".
+pub mod reference {
+    /// Specification [`super::BitWriter`]: pushes one bit at a time
+    /// into the byte buffer.
+    #[derive(Debug, Clone, Default)]
+    pub struct BitWriter {
+        buf: Vec<u8>,
+        /// Bits used in the trailing partial byte (0..8).
+        partial: u8,
+        bits: u64,
+    }
+
+    impl BitWriter {
+        /// Creates an empty writer.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Total bits written so far.
+        pub fn bits_written(&self) -> u64 {
+            self.bits
+        }
+
+        /// Appends a single bit.
+        pub fn write_bit(&mut self, bit: bool) {
+            if self.partial == 0 {
+                self.buf.push(0);
+            }
+            if bit {
+                let last = self.buf.last_mut().expect("buffer non-empty");
+                *last |= 1 << (7 - self.partial);
+            }
+            self.partial = (self.partial + 1) % 8;
+            self.bits += 1;
+        }
+
+        /// Appends the `n` low bits of `value`, MSB first.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `n > 32`.
+        pub fn write_bits(&mut self, value: u32, n: u8) {
+            assert!(n <= 32, "at most 32 bits at a time");
+            for i in (0..n).rev() {
+                self.write_bit((value >> i) & 1 == 1);
+            }
+        }
+
+        /// Appends an unsigned exp-Golomb code (prefix zeros emitted
+        /// one [`Self::write_bit`] call at a time — the loop the
+        /// batched writer folds into a single run).
+        pub fn write_ue(&mut self, value: u32) {
+            let v = value as u64 + 1;
+            let len = 64 - v.leading_zeros() as u8; // bit length of v
+            for _ in 0..len - 1 {
+                self.write_bit(false);
+            }
+            for i in (0..len).rev() {
+                self.write_bit((v >> i) & 1 == 1);
+            }
+        }
+
+        /// Appends a signed exp-Golomb code (HEVC `se(v)` mapping).
+        pub fn write_se(&mut self, value: i32) {
+            let mapped = if value <= 0 {
+                (-2i64 * value as i64) as u32
+            } else {
+                (2i64 * value as i64 - 1) as u32
+            };
+            self.write_ue(mapped);
+        }
+
+        /// Pads with zero bits to the next byte boundary.
+        pub fn byte_align(&mut self) {
+            while self.partial != 0 {
+                self.write_bit(false);
+            }
+        }
+
+        /// Finishes the stream (byte-aligned) and returns the bytes.
+        pub fn into_bytes(mut self) -> Vec<u8> {
+            self.byte_align();
+            self.buf
+        }
+    }
+
+    /// Specification [`super::code_block`] driving the per-bit writer
+    /// (same syntax, same scan tables).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `levels.len()` is not `n * n`.
+    pub fn code_block(levels: &[i32], n: usize, w: &mut BitWriter) -> u64 {
+        assert_eq!(levels.len(), n * n, "block must be {n}x{n}");
+        let before = w.bits_written();
+        let scan = super::zigzag(n);
+        let last_sig = scan.iter().rposition(|&pos| levels[pos] != 0);
+        match last_sig {
+            None => w.write_bit(false),
+            Some(last) => {
+                w.write_bit(true);
+                w.write_ue(last as u32);
+                for &pos in &scan[..=last] {
+                    let level = levels[pos];
+                    if level == 0 {
+                        w.write_bit(false);
+                    } else {
+                        w.write_bit(true);
+                        w.write_se(level);
+                    }
+                }
+            }
+        }
+        w.bits_written() - before
     }
 }
 
@@ -371,6 +519,53 @@ mod tests {
             l
         };
         assert!(block_bits(&dense, 8) > block_bits(&sparse, 8));
+    }
+
+    #[test]
+    fn ue_long_codes_match_reference_writer() {
+        // u32::MAX is the worst case: a 32-zero prefix plus a 33-bit
+        // info field, which the batched writer must split across runs.
+        for v in [0, 1, 255, 65_535, 1 << 20, u32::MAX - 1, u32::MAX] {
+            let mut w = BitWriter::new();
+            w.write_ue(v);
+            let mut r = reference::BitWriter::new();
+            r.write_ue(v);
+            assert_eq!(w.bits_written(), r.bits_written(), "v={v}");
+            assert_eq!(w.bits_written(), ue_len(v), "v={v}");
+            assert_eq!(w.into_bytes(), r.into_bytes(), "v={v}");
+        }
+    }
+
+    #[test]
+    fn batched_writer_matches_reference_on_mixed_sequence() {
+        let mut w = BitWriter::new();
+        let mut r = reference::BitWriter::new();
+        for i in 0..500u32 {
+            match i % 5 {
+                0 => {
+                    w.write_bit(i % 2 == 0);
+                    r.write_bit(i % 2 == 0);
+                }
+                1 => {
+                    w.write_bits(i.wrapping_mul(2_654_435_761), (i % 33) as u8);
+                    r.write_bits(i.wrapping_mul(2_654_435_761), (i % 33) as u8);
+                }
+                2 => {
+                    w.write_ue(i * 37);
+                    r.write_ue(i * 37);
+                }
+                3 => {
+                    w.write_se(1000 - i as i32 * 7);
+                    r.write_se(1000 - i as i32 * 7);
+                }
+                _ => {
+                    w.byte_align();
+                    r.byte_align();
+                }
+            }
+            assert_eq!(w.bits_written(), r.bits_written(), "step {i}");
+        }
+        assert_eq!(w.into_bytes(), r.into_bytes());
     }
 
     proptest! {

@@ -3,8 +3,8 @@
 
 use crate::bits::{code_block, BitWriter};
 use crate::config::Qp;
-use crate::quant::{dequantize_into, quantize_into};
-use crate::transform;
+use crate::quant::{dequantize_int_into, dequantize_into, quantize_int_into, quantize_into};
+use crate::transform::{self, TxPath};
 
 /// Outcome of coding one residual region.
 #[derive(Debug, Clone)]
@@ -44,6 +44,12 @@ pub struct ResidualScratch {
     rec_coeffs: Vec<f64>,
     rec_res: Vec<f64>,
     dct_tmp: Vec<f64>,
+    // Integer-path ([`TxPath::Int`]) counterparts.
+    coeffs_i: Vec<i32>,
+    rec_coeffs_i: Vec<i32>,
+    rec_res_i: Vec<i32>,
+    dct_tmp_i: Vec<i32>,
+    dct_wide_i: Vec<i64>,
 }
 
 /// Codes the residual `original - prediction` of a `w x h` region using
@@ -74,6 +80,7 @@ pub fn code_residual(
         h,
         tx_size,
         qp,
+        TxPath::F64,
         writer,
         &mut scratch,
         &mut recon,
@@ -88,8 +95,10 @@ pub fn code_residual(
 
 /// Allocation-free [`code_residual`]: all intermediates live in
 /// `scratch` and the reconstruction is written into `recon` (cleared
-/// first). Emitted bits, reconstruction and counters are bit-exact
-/// with [`code_residual`].
+/// first). With [`TxPath::F64`], emitted bits, reconstruction and
+/// counters are bit-exact with [`code_residual`]; [`TxPath::Int`]
+/// runs the fixed-point transform of [`transform::int`] instead
+/// (different bitstream, its own goldens).
 ///
 /// # Panics
 ///
@@ -103,6 +112,7 @@ pub fn code_residual_into(
     h: usize,
     tx_size: usize,
     qp: Qp,
+    tx_path: TxPath,
     writer: &mut BitWriter,
     scratch: &mut ResidualScratch,
     recon: &mut Vec<u8>,
@@ -131,29 +141,58 @@ pub fn code_residual_into(
                         original[idx] as i32 - prediction[idx] as i32;
                 }
             }
-            transform::forward_into(
-                tx_size,
-                &scratch.residual,
-                &mut scratch.coeffs,
-                &mut scratch.dct_tmp,
-            );
-            quantize_into(&scratch.coeffs, qp, &mut scratch.levels);
-            bits += code_block(&scratch.levels, tx_size, writer);
-            transform_samples += (tx_size * tx_size) as u64;
-            dequantize_into(&scratch.levels, qp, &mut scratch.rec_coeffs);
-            transform::inverse_into(
-                tx_size,
-                &scratch.rec_coeffs,
-                &mut scratch.rec_res,
-                &mut scratch.dct_tmp,
-            );
-            for r in 0..tx_size {
-                for c in 0..tx_size {
-                    let idx = (ty + r) * w + (tx + c);
-                    let v = prediction[idx] as f64 + scratch.rec_res[r * tx_size + c];
-                    recon[idx] = v.round().clamp(0.0, 255.0) as u8;
+            match tx_path {
+                TxPath::F64 => {
+                    transform::forward_into(
+                        tx_size,
+                        &scratch.residual,
+                        &mut scratch.coeffs,
+                        &mut scratch.dct_tmp,
+                    );
+                    quantize_into(&scratch.coeffs, qp, &mut scratch.levels);
+                    bits += code_block(&scratch.levels, tx_size, writer);
+                    dequantize_into(&scratch.levels, qp, &mut scratch.rec_coeffs);
+                    transform::inverse_into(
+                        tx_size,
+                        &scratch.rec_coeffs,
+                        &mut scratch.rec_res,
+                        &mut scratch.dct_tmp,
+                    );
+                    for r in 0..tx_size {
+                        for c in 0..tx_size {
+                            let idx = (ty + r) * w + (tx + c);
+                            let v = prediction[idx] as f64 + scratch.rec_res[r * tx_size + c];
+                            recon[idx] = v.round().clamp(0.0, 255.0) as u8;
+                        }
+                    }
+                }
+                TxPath::Int => {
+                    transform::int::forward_into(
+                        tx_size,
+                        &scratch.residual,
+                        &mut scratch.coeffs_i,
+                        &mut scratch.dct_tmp_i,
+                    );
+                    quantize_int_into(&scratch.coeffs_i, qp, &mut scratch.levels);
+                    bits += code_block(&scratch.levels, tx_size, writer);
+                    dequantize_int_into(&scratch.levels, qp, &mut scratch.rec_coeffs_i);
+                    transform::int::inverse_into(
+                        tx_size,
+                        &scratch.rec_coeffs_i,
+                        &mut scratch.rec_res_i,
+                        &mut scratch.dct_tmp_i,
+                        &mut scratch.dct_wide_i,
+                    );
+                    for r in 0..tx_size {
+                        for c in 0..tx_size {
+                            let idx = (ty + r) * w + (tx + c);
+                            let v = prediction[idx] as i32 + scratch.rec_res_i[r * tx_size + c];
+                            recon[idx] = v.clamp(0, 255) as u8;
+                        }
+                    }
                 }
             }
+            transform_samples += (tx_size * tx_size) as u64;
             tx += tx_size;
         }
         ty += tx_size;
@@ -245,6 +284,44 @@ mod tests {
         let out = code_residual(&original, &prediction, 8, 8, 4, qp(10), &mut w);
         assert_eq!(out.transform_samples, 64);
         assert!(out.ssd <= 64);
+    }
+
+    #[test]
+    fn int_path_reconstruction_tracks_f64_path() {
+        let original: Vec<u8> = (0..256).map(|i| ((i * 13) % 200 + 20) as u8).collect();
+        let prediction = vec![128u8; 256];
+        let mut scratch = ResidualScratch::default();
+        let mut recon = Vec::new();
+        let mut w = BitWriter::new();
+        let out = code_residual_into(
+            &original,
+            &prediction,
+            16,
+            16,
+            8,
+            qp(22),
+            TxPath::Int,
+            &mut w,
+            &mut scratch,
+            &mut recon,
+        );
+        assert!(out.bits > 64);
+        assert_eq!(out.transform_samples, 256);
+        let mut wf = BitWriter::new();
+        let f64_out = code_residual(&original, &prediction, 16, 16, 8, qp(22), &mut wf);
+        // Near-boundary coefficients may flip one quantization level,
+        // so the bound is one step plus the transform divergence.
+        let bound = qp(22).step_size().ceil() as i32 + transform::int::MAX_ABS_DIFF_VS_F64;
+        let max_diff = recon
+            .iter()
+            .zip(&f64_out.recon)
+            .map(|(&a, &b)| (a as i32 - b as i32).abs())
+            .max()
+            .unwrap();
+        assert!(
+            max_diff <= bound,
+            "int recon diverged from f64 recon by {max_diff} (bound {bound})"
+        );
     }
 
     #[test]

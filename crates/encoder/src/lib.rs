@@ -82,6 +82,7 @@ pub use scratch::EncScratch;
 pub use segment::{plan_segments, SegmentSpec};
 pub use stats::{FrameStats, SequenceStats, TileStats};
 pub use tile::{encode_tile, encode_tile_with_scratch, TileOutcome};
+pub use transform::TxPath;
 pub use video_enc::{
     encode_uniform, EncodeController, FramePlanContext, UniformController, VideoEncoder,
 };

@@ -234,6 +234,7 @@ pub fn encode_tile_with_scratch(
                 bh,
                 8,
                 tcfg.qp,
+                ecfg.transform,
                 &mut writer,
                 residual,
                 recon_block,
@@ -278,6 +279,7 @@ pub fn encode_tile_with_scratch(
                         ch,
                         4,
                         chroma_qp,
+                        ecfg.transform,
                         &mut writer,
                         residual,
                         recon_block,

@@ -7,10 +7,29 @@
 //! is quantization — exactly the property the rate/distortion
 //! behaviour of the experiments depends on.
 
+use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
+
+pub mod int;
 
 /// Supported transform sizes (HEVC core transform sizes).
 pub const TRANSFORM_SIZES: [usize; 4] = [4, 8, 16, 32];
+
+/// Selects which transform arithmetic the residual coder runs.
+///
+/// The default stays [`TxPath::F64`] so every frozen bitstream golden
+/// holds; [`TxPath::Int`] switches to the fixed-point path in
+/// [`int`], which has its own pinned goldens and a bounded
+/// max-abs-diff cross-check against the f64 path (see
+/// [`int::MAX_ABS_DIFF_VS_F64`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TxPath {
+    /// Exact orthonormal `f64` DCT-II — the golden default.
+    #[default]
+    F64,
+    /// Fixed-point integer DCT approximation ([`int`]).
+    Int,
+}
 
 /// One lock-free lazily-initialized basis table per transform size.
 ///

@@ -1,0 +1,442 @@
+//! Fixed-point integer DCT — the staged migration path away from the
+//! `f64` transform.
+//!
+//! The basis is the orthonormal DCT-II matrix of [`super`] scaled by
+//! `2^SHIFT` and rounded to integers (HEVC's core transform is built
+//! the same way, at a different scale). Both matrix products run in
+//! integer arithmetic with one rounding shift per stage, so results
+//! are platform-exact by construction — no IEEE-754 determinism
+//! argument needed — and the inner loops vectorize as integer lanes,
+//! twice as many per register as `f64`.
+//!
+//! The path is **off by default** ([`super::TxPath::F64`]): switching
+//! it on changes the emitted bitstream, so it carries its own pinned
+//! goldens (`tests/encode_bit_identity.rs`) while the f64 goldens stay
+//! frozen. Against the f64 path, forward coefficients and same-input
+//! inverse reconstructions each differ by at most
+//! [`MAX_ABS_DIFF_VS_F64`]; through quantization the reconstruction
+//! bound widens by one quantization step because near-boundary
+//! coefficients may flip a level (enforced by tests here and
+//! documented in ARCHITECTURE.md).
+//!
+//! # Value ranges (why each accumulator width is safe)
+//!
+//! Inputs are prediction residuals in `[-1024, 1024]` (real residuals
+//! are `[-255, 255]`; the slack covers experimentation). A basis row
+//! has ℓ2 norm `2^SHIFT`, so by Cauchy–Schwarz a stage-1 forward
+//! accumulator is bounded by `√n · 2^13 · 1024 < 2^29` — comfortably
+//! `i32`. Forward stage 2 and inverse stage 1 stay below `2^30` by the
+//! same argument; inverse stage 2 can reach `~2.3e9 > i32::MAX` in the
+//! adversarial corner, so it accumulates in `i64`.
+
+use super::{basis, check_size, TRANSFORM_SIZES};
+use std::sync::OnceLock;
+
+/// Fixed-point fraction bits of the integer basis.
+pub const SHIFT: u32 = 13;
+
+/// Documented bound on the per-sample divergence of the integer
+/// transform pair from the f64 pair, across all transform sizes:
+///
+/// * forward coefficients differ by at most this much (measured worst
+///   case 1.5 over broad random sweeps);
+/// * inverting the *same* coefficients differs by at most this much
+///   (measured worst case 2).
+///
+/// End-to-end through quantization, a coefficient that lands within
+/// this bound of a dead-zone boundary can quantize to an adjacent
+/// level, so the reconstruction bound becomes
+/// `ceil(step_size(QP)) + MAX_ABS_DIFF_VS_F64` — enforced by
+/// `int_path_tracks_f64_within_bound`.
+pub const MAX_ABS_DIFF_VS_F64: i32 = 2;
+
+const ROUND: i64 = 1 << (SHIFT - 1);
+
+static INT_BASIS_CELLS: [OnceLock<Box<[i32]>>; 4] = [
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+];
+
+static INT_BASIS_T_CELLS: [OnceLock<Box<[i32]>>; 4] = [
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+    OnceLock::new(),
+];
+
+fn size_index(n: usize) -> usize {
+    TRANSFORM_SIZES
+        .iter()
+        .position(|&s| s == n)
+        .unwrap_or_else(|| panic!("unsupported transform size {n}; HEVC sizes are 4/8/16/32"))
+}
+
+/// `round(C · 2^SHIFT)`, row-major, cached per size. Entries fit
+/// comfortably in i16 range (max `√2 · 2^12 ≈ 5793`) but are stored as
+/// i32 for direct multiply-accumulate.
+fn int_basis(n: usize) -> &'static [i32] {
+    INT_BASIS_CELLS[size_index(n)].get_or_init(|| {
+        basis(n)
+            .iter()
+            .map(|&v| (v * (1i64 << SHIFT) as f64).round() as i32)
+            .collect()
+    })
+}
+
+/// Transposed integer basis, cached so stride-1 rows feed the ikj
+/// loops (same trick as the f64 path).
+fn int_basis_t(n: usize) -> &'static [i32] {
+    INT_BASIS_T_CELLS[size_index(n)].get_or_init(|| {
+        let c = int_basis(n);
+        let mut t = vec![0i32; n * n];
+        for k in 0..n {
+            for i in 0..n {
+                t[i * n + k] = c[k * n + i];
+            }
+        }
+        t.into_boxed_slice()
+    })
+}
+
+/// Rounding right-shift by [`SHIFT`] (arithmetic, so deterministic for
+/// negative values: round-half-up in two's complement).
+#[inline]
+fn descale(v: i64) -> i32 {
+    ((v + ROUND) >> SHIFT) as i32
+}
+
+/// Forward integer DCT of an `n x n` residual block.
+///
+/// # Panics
+///
+/// Panics when `n` is unsupported or `input.len() != n * n`; debug
+/// builds additionally check `|input| <= 1024` (the documented range
+/// the accumulator-width proof relies on).
+pub fn forward(n: usize, input: &[i32]) -> Vec<i32> {
+    let mut out = Vec::new();
+    let mut tmp = Vec::new();
+    forward_into(n, input, &mut out, &mut tmp);
+    out
+}
+
+/// Allocation-free [`forward`]: coefficients into `out`, stage-1
+/// products into `tmp` (both resized to `n * n`).
+///
+/// # Panics
+///
+/// Panics when `n` is unsupported or `input.len() != n * n`.
+pub fn forward_into(n: usize, input: &[i32], out: &mut Vec<i32>, tmp: &mut Vec<i32>) {
+    check_size(n);
+    assert_eq!(input.len(), n * n, "input must be {n}x{n}");
+    debug_assert!(
+        input.iter().all(|&x| x.abs() <= 1024),
+        "residuals must stay in [-1024, 1024]"
+    );
+    let c = int_basis(n);
+    let ct = int_basis_t(n);
+    // tmp = (C * X) >> SHIFT, accumulated in i32 (bounded < 2^29).
+    tmp.clear();
+    tmp.resize(n * n, 0);
+    for k in 0..n {
+        let trow = &mut tmp[k * n..(k + 1) * n];
+        for i in 0..n {
+            let cki = c[k * n + i];
+            let xrow = &input[i * n..(i + 1) * n];
+            for (t, &x) in trow.iter_mut().zip(xrow) {
+                *t += cki * x;
+            }
+        }
+    }
+    for t in tmp.iter_mut() {
+        *t = descale(*t as i64);
+    }
+    // out = (tmp * C^T) >> SHIFT, accumulated in i32 (bounded < 2^30).
+    out.clear();
+    out.resize(n * n, 0);
+    for k in 0..n {
+        let orow = &mut out[k * n..(k + 1) * n];
+        for j in 0..n {
+            let tkj = tmp[k * n + j];
+            let crow = &ct[j * n..(j + 1) * n];
+            for (o, &cc) in orow.iter_mut().zip(crow) {
+                *o += tkj * cc;
+            }
+        }
+    }
+    for o in out.iter_mut() {
+        *o = descale(*o as i64);
+    }
+}
+
+/// Inverse integer DCT, mapping coefficients back to residual samples.
+///
+/// # Panics
+///
+/// Panics when `n` is unsupported or `coeffs.len() != n * n`; debug
+/// builds additionally check `|coeff| <= 255 * n + 512` (the range any
+/// quantize/dequantize round trip of a real residual stays inside,
+/// and the bound the stage-1 `i32` accumulation is proven against).
+pub fn inverse(n: usize, coeffs: &[i32]) -> Vec<i32> {
+    let mut out = Vec::new();
+    let mut tmp = Vec::new();
+    let mut wide = Vec::new();
+    inverse_into(n, coeffs, &mut out, &mut tmp, &mut wide);
+    out
+}
+
+/// Allocation-free [`inverse`]: residual samples into `out`, stage-1
+/// products into `tmp`, stage-2 `i64` accumulators into `wide` (all
+/// resized to `n * n`).
+///
+/// # Panics
+///
+/// Panics when `n` is unsupported or `coeffs.len() != n * n`.
+pub fn inverse_into(
+    n: usize,
+    coeffs: &[i32],
+    out: &mut Vec<i32>,
+    tmp: &mut Vec<i32>,
+    wide: &mut Vec<i64>,
+) {
+    check_size(n);
+    assert_eq!(coeffs.len(), n * n, "coeffs must be {n}x{n}");
+    debug_assert!(
+        coeffs.iter().all(|&y| y.abs() <= 255 * n as i32 + 512),
+        "coefficients outside the dequantized range"
+    );
+    let c = int_basis(n);
+    let ct = int_basis_t(n);
+    // tmp = (C^T * Y) >> SHIFT, i32 (|Σ| < √n · 2^13 · 8672 < 2^29).
+    tmp.clear();
+    tmp.resize(n * n, 0);
+    for i in 0..n {
+        let trow = &mut tmp[i * n..(i + 1) * n];
+        for k in 0..n {
+            let cik = ct[i * n + k];
+            let yrow = &coeffs[k * n..(k + 1) * n];
+            for (t, &y) in trow.iter_mut().zip(yrow) {
+                *t += cik * y;
+            }
+        }
+    }
+    for t in tmp.iter_mut() {
+        *t = descale(*t as i64);
+    }
+    // wide = tmp * C; the only product that can exceed i32, so it
+    // accumulates in i64 before the final descale.
+    wide.clear();
+    wide.resize(n * n, 0);
+    for i in 0..n {
+        let wrow = &mut wide[i * n..(i + 1) * n];
+        for l in 0..n {
+            let til = tmp[i * n + l] as i64;
+            let crow = &c[l * n..(l + 1) * n];
+            for (w, &cc) in wrow.iter_mut().zip(crow) {
+                *w += til * cc as i64;
+            }
+        }
+    }
+    out.clear();
+    out.extend(wide.iter().map(|&w| descale(w)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Qp;
+    use crate::quant;
+    use proptest::prelude::*;
+
+    fn textured(n: usize) -> Vec<i32> {
+        (0..n * n)
+            .map(|i| (((i * 73 + 11) % 511) as i32 - 255) * if i % 3 == 0 { -1 } else { 1 })
+            .collect()
+    }
+
+    #[test]
+    fn dc_block_concentrates_energy() {
+        let input = vec![10i32; 64];
+        let coeffs = forward(8, &input);
+        // Orthonormal scaling: DC = 10 * 8 = 80 (± rounding).
+        assert!((coeffs[0] - 80).abs() <= 1, "dc={}", coeffs[0]);
+        for (i, &c) in coeffs.iter().enumerate().skip(1) {
+            assert!(c.abs() <= 1, "ac[{i}]={c}");
+        }
+    }
+
+    #[test]
+    fn round_trip_error_is_tiny() {
+        for n in TRANSFORM_SIZES {
+            let input = textured(n);
+            let rec = inverse(n, &forward(n, &input));
+            let max = input
+                .iter()
+                .zip(&rec)
+                .map(|(a, b)| (a - b).abs())
+                .max()
+                .unwrap();
+            assert!(
+                max <= MAX_ABS_DIFF_VS_F64,
+                "n={n} max round-trip error {max}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_f64_coefficients_closely() {
+        for n in TRANSFORM_SIZES {
+            let input = textured(n);
+            let int_coeffs = forward(n, &input);
+            let f64_coeffs = super::super::forward(n, &input);
+            for (i, (&ic, fc)) in int_coeffs.iter().zip(&f64_coeffs).enumerate() {
+                assert!(
+                    (ic as f64 - fc).abs() <= MAX_ABS_DIFF_VS_F64 as f64,
+                    "n={n} coeff {i}: int {ic} vs f64 {fc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_coefficients_invert_within_bound() {
+        // The transform-only half of the MAX_ABS_DIFF_VS_F64 contract:
+        // inverting identical (rounded) coefficients through both
+        // paths stays within the bound — no quantization involved.
+        for n in TRANSFORM_SIZES {
+            let input = textured(n);
+            let fc = super::super::forward(n, &input);
+            let rounded: Vec<i32> = fc.iter().map(|&c| c.round() as i32).collect();
+            let frec = super::super::inverse(n, &fc);
+            let irec = inverse(n, &rounded);
+            for (i, (&a, b)) in irec.iter().zip(&frec).enumerate() {
+                let diff = (a as f64 - b.round()).abs() as i32;
+                assert!(
+                    diff <= MAX_ABS_DIFF_VS_F64,
+                    "n={n} sample {i}: int {a} vs f64 {b} (diff {diff})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int_path_tracks_f64_within_bound() {
+        // End-to-end through quantization: near-boundary coefficients
+        // may flip one level, so the bound widens by one step.
+        for n in TRANSFORM_SIZES {
+            let input = textured(n);
+            for qp in [
+                Qp::new(22).unwrap(),
+                Qp::new(32).unwrap(),
+                Qp::new(42).unwrap(),
+            ] {
+                let bound = qp.step_size().ceil() as i32 + MAX_ABS_DIFF_VS_F64;
+                // f64 path.
+                let fc = super::super::forward(n, &input);
+                let levels = quant::quantize(&fc, qp);
+                let frec = super::super::inverse(n, &quant::dequantize(&levels, qp));
+                // Integer path.
+                let ic = forward(n, &input);
+                let ilevels = quant::quantize_int(&ic, qp);
+                let mut rec_i = Vec::new();
+                quant::dequantize_int_into(&ilevels, qp, &mut rec_i);
+                let irec = inverse(n, &rec_i);
+                for (i, (&a, b)) in irec.iter().zip(&frec).enumerate() {
+                    let diff = (a as f64 - b.round()).abs() as i32;
+                    assert!(
+                        diff <= bound,
+                        "n={n} {qp} sample {i}: int {a} vs f64 {b} (diff {diff} > {bound})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_residuals_do_not_overflow() {
+        // ±255 checkerboards and solid blocks exercise the largest
+        // accumulator magnitudes at every size.
+        for n in TRANSFORM_SIZES {
+            for pattern in [0usize, 1, 2] {
+                let input: Vec<i32> = (0..n * n)
+                    .map(|i| match pattern {
+                        0 => 255,
+                        1 => -255,
+                        _ => {
+                            if (i / n + i % n) % 2 == 0 {
+                                255
+                            } else {
+                                -255
+                            }
+                        }
+                    })
+                    .collect();
+                let rec = inverse(n, &forward(n, &input));
+                let max = input
+                    .iter()
+                    .zip(&rec)
+                    .map(|(a, b)| (a - b).abs())
+                    .max()
+                    .unwrap();
+                assert!(
+                    max <= MAX_ABS_DIFF_VS_F64,
+                    "n={n} pattern={pattern} error {max}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_variants() {
+        let mut out = vec![7i32; 3]; // dirty buffers must not leak through
+        let mut tmp = vec![9i32; 5];
+        let mut wide = vec![11i64; 2];
+        for n in TRANSFORM_SIZES {
+            let input = textured(n);
+            forward_into(n, &input, &mut out, &mut tmp);
+            assert_eq!(out, forward(n, &input), "forward_into diverged at n={n}");
+            let coeffs = out.clone();
+            inverse_into(n, &coeffs, &mut out, &mut tmp, &mut wide);
+            assert_eq!(out, inverse(n, &coeffs), "inverse_into diverged at n={n}");
+        }
+    }
+
+    #[test]
+    fn basis_tables_are_shared_statics() {
+        assert!(std::ptr::eq(int_basis(8), int_basis(8)));
+        assert!(std::ptr::eq(int_basis_t(8), int_basis_t(8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported transform size")]
+    fn rejects_odd_sizes() {
+        forward(6, &[0; 36]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_8(input in proptest::collection::vec(-255i32..=255, 64)) {
+            let rec = inverse(8, &forward(8, &input));
+            for (a, b) in input.iter().zip(&rec) {
+                prop_assert!((a - b).abs() <= MAX_ABS_DIFF_VS_F64);
+            }
+        }
+
+        #[test]
+        fn prop_linearity_is_near(
+            a in proptest::collection::vec(-128i32..=127, 16),
+            b in proptest::collection::vec(-128i32..=127, 16),
+        ) {
+            // Integer rounding breaks exact linearity, but only by ±1
+            // per stage.
+            let sum: Vec<i32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+            let fa = forward(4, &a);
+            let fb = forward(4, &b);
+            let fsum = forward(4, &sum);
+            for i in 0..16 {
+                prop_assert!((fa[i] + fb[i] - fsum[i]).abs() <= 2);
+            }
+        }
+    }
+}

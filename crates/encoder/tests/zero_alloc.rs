@@ -49,7 +49,7 @@ fn alloc_events() -> u64 {
 use medvt_encoder::bits::BitWriter;
 use medvt_encoder::{
     code_residual_into, encode_tile_with_scratch, EncScratch, EncoderConfig, IntraMode, IntraRefs,
-    Qp, ResidualScratch, SearchSpec, TileConfig,
+    Qp, ResidualScratch, SearchSpec, TileConfig, TxPath,
 };
 use medvt_frame::synth::{BodyPart, MotionPattern, PhantomVideo};
 use medvt_frame::{Frame, FrameKind, Plane, Rect, Resolution};
@@ -118,6 +118,7 @@ fn block_iteration(
         block.h,
         8,
         Qp::new(32).unwrap(),
+        TxPath::F64,
         writer,
         rs,
         recon_block,
@@ -130,6 +131,7 @@ fn block_iteration(
         block.h / 2,
         4,
         Qp::new(34).unwrap(),
+        TxPath::F64,
         writer,
         rs,
         recon_block,

@@ -144,6 +144,32 @@ impl Plane {
         &mut self.data[start..start + self.width]
     }
 
+    /// Borrows `w` samples of `row` starting at column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the span reaches outside the plane.
+    #[inline]
+    pub fn row_span(&self, row: usize, col: usize, w: usize) -> &[u8] {
+        debug_assert!(col + w <= self.width && row < self.height);
+        let start = row * self.width + col;
+        &self.data[start..start + w]
+    }
+
+    /// Borrows the sample buffer from `(col, row)` to the end of the
+    /// plane. Row `r` of a block anchored at that origin starts at
+    /// offset `r * width()` in the returned slice, which lets strided
+    /// kernels walk a block without per-row bounds arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the origin is outside the plane.
+    #[inline]
+    pub fn span_from(&self, col: usize, row: usize) -> &[u8] {
+        debug_assert!(col < self.width && row < self.height);
+        &self.data[row * self.width + col..]
+    }
+
     /// Fills `rect` (clamped to the plane) with `value`.
     pub fn fill_rect(&mut self, rect: &Rect, value: u8) {
         let r = rect.clamped_to(&self.bounds());

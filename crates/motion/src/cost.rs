@@ -9,7 +9,9 @@
 //!
 //! * an **interior fast path** taken when the displaced block lies
 //!   fully inside the reference plane — both operands are then plain
-//!   row slices and the inner loops autovectorize;
+//!   row slices and the inner loops run explicit SIMD kernels picked
+//!   at runtime by [`mod@simd`] (AVX2 → SSE2 → scalar), every tier
+//!   bit-equal to the scalar code;
 //! * the **clamped path** for boundary candidates, identical to the
 //!   original per-sample [`Plane::get_clamped`] access (kept verbatim
 //!   in [`mod@reference`] as the executable specification).
@@ -25,6 +27,8 @@
 use crate::MotionVector;
 use medvt_frame::{Plane, Rect};
 use serde::{Deserialize, Serialize};
+
+pub mod simd;
 
 /// Distortion metric selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -56,25 +60,6 @@ fn interior_origin(reference: &Plane, block: &Rect, mv: MotionVector) -> Option<
     }
 }
 
-#[inline]
-fn row_sad(cur: &[u8], reference: &[u8]) -> u64 {
-    cur.iter()
-        .zip(reference)
-        .map(|(&c, &r)| (c as i16 - r as i16).unsigned_abs() as u32)
-        .sum::<u32>() as u64
-}
-
-#[inline]
-fn row_ssd(cur: &[u8], reference: &[u8]) -> u64 {
-    cur.iter()
-        .zip(reference)
-        .map(|(&c, &r)| {
-            let d = (c as i32 - r as i32).unsigned_abs();
-            (d * d) as u64
-        })
-        .sum()
-}
-
 /// Sum of absolute differences between `block` of `cur` and the block
 /// displaced by `mv` in `reference`.
 ///
@@ -99,10 +84,12 @@ pub fn sad_upto(cur: &Plane, reference: &Plane, block: &Rect, mv: MotionVector, 
     );
     let mut acc = 0u64;
     if let Some((rx, ry)) = interior_origin(reference, block, mv) {
+        // Resolve the SIMD tier once, not per row.
+        let t = simd::tier();
         for (i, row) in (block.y..block.bottom()).enumerate() {
             let cur_row = &cur.row(row)[block.x..block.right()];
             let ref_row = &reference.row(ry + i)[rx..rx + block.w];
-            acc += row_sad(cur_row, ref_row);
+            acc += simd::row_sad(t, cur_row, ref_row);
             if acc >= bound {
                 return acc;
             }
@@ -145,10 +132,12 @@ pub fn ssd_upto(cur: &Plane, reference: &Plane, block: &Rect, mv: MotionVector, 
     );
     let mut acc = 0u64;
     if let Some((rx, ry)) = interior_origin(reference, block, mv) {
+        // Resolve the SIMD tier once, not per row.
+        let t = simd::tier();
         for (i, row) in (block.y..block.bottom()).enumerate() {
             let cur_row = &cur.row(row)[block.x..block.right()];
             let ref_row = &reference.row(ry + i)[rx..rx + block.w];
-            acc += row_ssd(cur_row, ref_row);
+            acc += simd::row_ssd(t, cur_row, ref_row);
             if acc >= bound {
                 return acc;
             }
@@ -242,19 +231,21 @@ pub fn satd_upto(
     let full_h = block.h - block.h % 4;
     let mut res = [0i32; 16];
     let interior = interior_origin(reference, block, mv);
+    // Resolve the SIMD tier once, not per sub-block.
+    let t = simd::tier();
     let mut by = 0;
     while by < full_h {
         let mut bx = 0;
         while bx < full_w {
             if let Some((rx, ry)) = interior {
-                for sy in 0..4 {
-                    let cur_row = cur.row(block.y + by + sy);
-                    let ref_row = reference.row(ry + by + sy);
-                    let col = block.x + bx;
-                    for sx in 0..4 {
-                        res[sy * 4 + sx] = cur_row[col + sx] as i32 - ref_row[rx + bx + sx] as i32;
-                    }
-                }
+                // Normalize by 2 to keep SATD on a SAD-comparable scale.
+                acc += simd::satd4(
+                    t,
+                    cur.span_from(block.x + bx, block.y + by),
+                    cur.width(),
+                    reference.span_from(rx + bx, ry + by),
+                    reference.width(),
+                ) / 2;
             } else {
                 for sy in 0..4 {
                     let row = block.y + by + sy;
@@ -266,9 +257,8 @@ pub fn satd_upto(
                             cur.get(col, row) as i32 - reference.get_clamped(ref_x, ref_y) as i32;
                     }
                 }
+                acc += hadamard4_cost(&res) / 2;
             }
-            // Normalize by 2 to keep SATD on a SAD-comparable scale.
-            acc += hadamard4_cost(&res) / 2;
             bx += 4;
         }
         if acc >= bound {

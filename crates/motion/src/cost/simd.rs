@@ -1,0 +1,535 @@
+//! Runtime-dispatched SIMD kernels behind the cost metrics.
+//!
+//! Every metric in [`super`] funnels its inner loops through this
+//! module. Dispatch picks the widest instruction set the host supports
+//! — AVX2, then SSE2, then portable scalar — once per process via
+//! [`std::arch::is_x86_feature_detected!`], and each `*_upto` call
+//! resolves the tier exactly once before its row loop so the hot path
+//! never touches thread-locals per row.
+//!
+//! # The bit-exactness contract
+//!
+//! Every tier computes the *same integer result* as the scalar code
+//! (which is itself differential-tested against
+//! [`super::reference`]): SAD/SSD/SATD are sums of integer terms, and
+//! integer SIMD addition is exact, so lane order cannot change the
+//! total. The SATD kernel performs the 4x4 Hadamard butterfly
+//! column-first instead of row-first; since the butterfly is the
+//! linear map `H·X·Hᵀ` either way (associativity) and every
+//! intermediate fits `i16` (inputs in `[-255, 255]` grow to at most
+//! 4080), the 16 transformed values — and therefore their absolute
+//! sum — are identical. Proptests in `tests/kernel_differential.rs`
+//! enforce equality across every available tier.
+//!
+//! # Overriding dispatch
+//!
+//! * `MEDVT_FORCE_SCALAR=1` (any non-empty value other than `0`) pins
+//!   the process-wide tier to scalar — CI runs the kernel lanes twice,
+//!   once per setting, so the fallback stays covered.
+//! * [`with_tier`] pins a tier for the current thread inside a closure
+//!   (benchmarks measuring one tier against another, differential
+//!   tests sweeping all tiers).
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Instruction-set tier a kernel call executes under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DispatchTier {
+    /// 256-bit AVX2 paths (x86_64 with runtime-detected `avx2`).
+    Avx2,
+    /// 128-bit SSE2 paths (baseline on x86_64, runtime-detected).
+    Sse2,
+    /// Portable scalar fallback — the pre-SIMD loops, verbatim.
+    Scalar,
+}
+
+impl DispatchTier {
+    /// All tiers, widest first (the order dispatch probes them).
+    pub const ALL: [DispatchTier; 3] =
+        [DispatchTier::Avx2, DispatchTier::Sse2, DispatchTier::Scalar];
+
+    /// Stable lowercase name recorded in benchmark artifacts.
+    pub const fn name(self) -> &'static str {
+        match self {
+            DispatchTier::Avx2 => "avx2",
+            DispatchTier::Sse2 => "sse2",
+            DispatchTier::Scalar => "scalar",
+        }
+    }
+
+    /// Whether the host can execute this tier.
+    pub fn available(self) -> bool {
+        match self {
+            DispatchTier::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            DispatchTier::Sse2 => std::arch::is_x86_feature_detected!("sse2"),
+            #[cfg(target_arch = "x86_64")]
+            DispatchTier::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+}
+
+/// Whether `MEDVT_FORCE_SCALAR` pins dispatch to the scalar tier.
+pub fn forced_scalar() -> bool {
+    match std::env::var("MEDVT_FORCE_SCALAR") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+fn detect() -> DispatchTier {
+    if forced_scalar() {
+        return DispatchTier::Scalar;
+    }
+    DispatchTier::ALL
+        .into_iter()
+        .find(|t| t.available())
+        .unwrap_or(DispatchTier::Scalar)
+}
+
+static GLOBAL_TIER: OnceLock<DispatchTier> = OnceLock::new();
+
+thread_local! {
+    static TIER_OVERRIDE: Cell<Option<DispatchTier>> = const { Cell::new(None) };
+}
+
+/// The tier the calling thread dispatches to right now: a
+/// [`with_tier`] override when active, otherwise the process-wide
+/// detected tier (environment override applied once, then cached).
+pub fn tier() -> DispatchTier {
+    TIER_OVERRIDE
+        .with(|o| o.get())
+        .unwrap_or_else(|| *GLOBAL_TIER.get_or_init(detect))
+}
+
+/// Runs `f` with dispatch pinned to `t` on the current thread,
+/// restoring the previous override afterwards (also on panic, so a
+/// failing proptest cannot leak a tier into later cases).
+///
+/// # Panics
+///
+/// Panics when the host cannot execute `t`.
+pub fn with_tier<T>(t: DispatchTier, f: impl FnOnce() -> T) -> T {
+    assert!(
+        t.available(),
+        "tier {} not available on this host",
+        t.name()
+    );
+    struct Restore(Option<DispatchTier>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TIER_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _guard = TIER_OVERRIDE.with(|o| {
+        let prev = o.get();
+        o.set(Some(t));
+        Restore(prev)
+    });
+    f()
+}
+
+// ---------------------------------------------------------------------
+// Row kernels. Each takes the tier resolved once by the caller.
+// ---------------------------------------------------------------------
+
+/// Sum of absolute differences over one row pair (zip semantics:
+/// trailing samples of the longer slice are ignored).
+#[inline]
+pub fn row_sad(t: DispatchTier, cur: &[u8], reference: &[u8]) -> u64 {
+    match t {
+        DispatchTier::Scalar => row_sad_scalar(cur, reference),
+        #[cfg(target_arch = "x86_64")]
+        DispatchTier::Sse2 => unsafe { row_sad_sse2(cur, reference) },
+        #[cfg(target_arch = "x86_64")]
+        DispatchTier::Avx2 => unsafe { row_sad_avx2(cur, reference) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => row_sad_scalar(cur, reference),
+    }
+}
+
+/// Sum of squared differences over one row pair.
+#[inline]
+pub fn row_ssd(t: DispatchTier, cur: &[u8], reference: &[u8]) -> u64 {
+    match t {
+        DispatchTier::Scalar => row_ssd_scalar(cur, reference),
+        #[cfg(target_arch = "x86_64")]
+        DispatchTier::Sse2 => unsafe { row_ssd_sse2(cur, reference) },
+        #[cfg(target_arch = "x86_64")]
+        DispatchTier::Avx2 => unsafe { row_ssd_avx2(cur, reference) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => row_ssd_scalar(cur, reference),
+    }
+}
+
+/// Σ|coeff| of the 4x4 Hadamard transform of the residual between two
+/// strided 4x4 blocks (`cur[r * cur_stride + c]` vs
+/// `reference[r * ref_stride + c]`). The caller halves the result to
+/// keep SATD on the SAD scale, exactly like the scalar path.
+#[inline]
+pub fn satd4(
+    t: DispatchTier,
+    cur: &[u8],
+    cur_stride: usize,
+    reference: &[u8],
+    ref_stride: usize,
+) -> u64 {
+    debug_assert!(cur.len() >= 3 * cur_stride + 4);
+    debug_assert!(reference.len() >= 3 * ref_stride + 4);
+    match t {
+        DispatchTier::Scalar => satd4_scalar(cur, cur_stride, reference, ref_stride),
+        #[cfg(target_arch = "x86_64")]
+        DispatchTier::Sse2 | DispatchTier::Avx2 => unsafe {
+            satd4_sse2(cur, cur_stride, reference, ref_stride)
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => satd4_scalar(cur, cur_stride, reference, ref_stride),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scalar tier: the pre-SIMD loops, verbatim.
+// ---------------------------------------------------------------------
+
+fn row_sad_scalar(cur: &[u8], reference: &[u8]) -> u64 {
+    cur.iter()
+        .zip(reference)
+        .map(|(&c, &r)| (c as i16 - r as i16).unsigned_abs() as u32)
+        .sum::<u32>() as u64
+}
+
+fn row_ssd_scalar(cur: &[u8], reference: &[u8]) -> u64 {
+    cur.iter()
+        .zip(reference)
+        .map(|(&c, &r)| {
+            let d = (c as i32 - r as i32).unsigned_abs();
+            (d * d) as u64
+        })
+        .sum()
+}
+
+fn satd4_scalar(cur: &[u8], cur_stride: usize, reference: &[u8], ref_stride: usize) -> u64 {
+    let mut res = [0i32; 16];
+    for sy in 0..4 {
+        for sx in 0..4 {
+            res[sy * 4 + sx] =
+                cur[sy * cur_stride + sx] as i32 - reference[sy * ref_stride + sx] as i32;
+        }
+    }
+    super::hadamard4_cost(&res)
+}
+
+// ---------------------------------------------------------------------
+// x86_64 tiers.
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum of the two u64 lanes (SSE2 only — no SSE4.1
+    /// `_mm_extract_epi64`).
+    #[inline]
+    unsafe fn hsum_epi64(v: __m128i) -> u64 {
+        let hi = _mm_unpackhi_epi64(v, v);
+        _mm_cvtsi128_si64(_mm_add_epi64(v, hi)) as u64
+    }
+
+    /// Horizontal sum of four i32 lanes, widened to u64 before adding
+    /// so lane totals near `i32::MAX` cannot wrap.
+    #[inline]
+    unsafe fn hsum_epi32(v: __m128i) -> u64 {
+        let mut lanes = [0i32; 4];
+        _mm_storeu_si128(lanes.as_mut_ptr() as *mut __m128i, v);
+        lanes.iter().map(|&x| x as u32 as u64).sum()
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn row_sad_sse2(cur: &[u8], reference: &[u8]) -> u64 {
+        let n = cur.len().min(reference.len());
+        let mut acc = _mm_setzero_si128();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let a = _mm_loadu_si128(cur.as_ptr().add(i) as *const __m128i);
+            let b = _mm_loadu_si128(reference.as_ptr().add(i) as *const __m128i);
+            acc = _mm_add_epi64(acc, _mm_sad_epu8(a, b));
+            i += 16;
+        }
+        if i + 8 <= n {
+            let a = _mm_loadl_epi64(cur.as_ptr().add(i) as *const __m128i);
+            let b = _mm_loadl_epi64(reference.as_ptr().add(i) as *const __m128i);
+            acc = _mm_add_epi64(acc, _mm_sad_epu8(a, b));
+            i += 8;
+        }
+        let mut total = hsum_epi64(acc);
+        while i < n {
+            total += (cur[i] as i16 - reference[i] as i16).unsigned_abs() as u64;
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn row_sad_avx2(cur: &[u8], reference: &[u8]) -> u64 {
+        let n = cur.len().min(reference.len());
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 32 <= n {
+            let a = _mm256_loadu_si256(cur.as_ptr().add(i) as *const __m256i);
+            let b = _mm256_loadu_si256(reference.as_ptr().add(i) as *const __m256i);
+            acc = _mm256_add_epi64(acc, _mm256_sad_epu8(a, b));
+            i += 32;
+        }
+        let head = hsum_epi64(_mm_add_epi64(
+            _mm256_castsi256_si128(acc),
+            _mm256_extracti128_si256(acc, 1),
+        ));
+        // 16/8-byte chunks and the scalar tail via the SSE2 kernel.
+        head + row_sad_sse2(&cur[i..n], &reference[i..n])
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn row_ssd_sse2(cur: &[u8], reference: &[u8]) -> u64 {
+        let n = cur.len().min(reference.len());
+        // Each i32 lane gains at most 2 * 255^2 per 16-sample chunk, so
+        // lanes stay far from i32::MAX for any plausible row length.
+        debug_assert!(n <= 1 << 15, "row too long for i32 lane accumulation");
+        let zero = _mm_setzero_si128();
+        let mut acc = _mm_setzero_si128();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            let a = _mm_loadu_si128(cur.as_ptr().add(i) as *const __m128i);
+            let b = _mm_loadu_si128(reference.as_ptr().add(i) as *const __m128i);
+            let dlo = _mm_sub_epi16(_mm_unpacklo_epi8(a, zero), _mm_unpacklo_epi8(b, zero));
+            let dhi = _mm_sub_epi16(_mm_unpackhi_epi8(a, zero), _mm_unpackhi_epi8(b, zero));
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(dlo, dlo));
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(dhi, dhi));
+            i += 16;
+        }
+        if i + 8 <= n {
+            let a = _mm_loadl_epi64(cur.as_ptr().add(i) as *const __m128i);
+            let b = _mm_loadl_epi64(reference.as_ptr().add(i) as *const __m128i);
+            let d = _mm_sub_epi16(_mm_unpacklo_epi8(a, zero), _mm_unpacklo_epi8(b, zero));
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(d, d));
+            i += 8;
+        }
+        let mut total = hsum_epi32(acc);
+        while i < n {
+            let d = (cur[i] as i32 - reference[i] as i32).unsigned_abs();
+            total += (d * d) as u64;
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn row_ssd_avx2(cur: &[u8], reference: &[u8]) -> u64 {
+        let n = cur.len().min(reference.len());
+        debug_assert!(n <= 1 << 15, "row too long for i32 lane accumulation");
+        let zero = _mm256_setzero_si256();
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 32 <= n {
+            let a = _mm256_loadu_si256(cur.as_ptr().add(i) as *const __m256i);
+            let b = _mm256_loadu_si256(reference.as_ptr().add(i) as *const __m256i);
+            // unpack interleaves within 128-bit halves; a sum is
+            // order-independent, so lane placement is irrelevant.
+            let dlo =
+                _mm256_sub_epi16(_mm256_unpacklo_epi8(a, zero), _mm256_unpacklo_epi8(b, zero));
+            let dhi =
+                _mm256_sub_epi16(_mm256_unpackhi_epi8(a, zero), _mm256_unpackhi_epi8(b, zero));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(dlo, dlo));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(dhi, dhi));
+            i += 32;
+        }
+        let head = hsum_epi32(_mm_add_epi32(
+            _mm256_castsi256_si128(acc),
+            _mm256_extracti128_si256(acc, 1),
+        ));
+        head + row_ssd_sse2(&cur[i..n], &reference[i..n])
+    }
+
+    #[inline]
+    fn row4(p: &[u8], off: usize) -> u64 {
+        u32::from_le_bytes(p[off..off + 4].try_into().expect("4-byte row")) as u64
+    }
+
+    /// 4x4 Hadamard |coeff| sum over packed i16 lanes.
+    ///
+    /// Layout: two registers hold the residual, rows 0|1 and rows 2|3
+    /// (4 lanes each half). The butterfly runs column-first, then the
+    /// block is transposed with unpack ops and the butterfly runs
+    /// again — `H·(H·X)ᵀ`-style, which by associativity produces the
+    /// same 16 values as the scalar row-first order. All intermediates
+    /// fit i16: inputs in [-255, 255] grow to at most 4080.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn satd4_sse2(
+        cur: &[u8],
+        cur_stride: usize,
+        reference: &[u8],
+        ref_stride: usize,
+    ) -> u64 {
+        let zero = _mm_setzero_si128();
+        let d01 = _mm_sub_epi16(
+            load_pair_epi16(cur, cur_stride, 0),
+            load_pair_epi16(reference, ref_stride, 0),
+        );
+        let d23 = _mm_sub_epi16(
+            load_pair_epi16(cur, cur_stride, 2),
+            load_pair_epi16(reference, ref_stride, 2),
+        );
+        // Vertical butterfly on [row0|row1], [row2|row3].
+        let (t0, t1) = butterfly_pairs(d01, d23);
+        // Transpose: t0 = [m0|m2], t1 = [m1|m3] → [col0|col1], [col2|col3].
+        let u0 = _mm_unpacklo_epi16(t0, t1);
+        let u1 = _mm_unpackhi_epi16(t0, t1);
+        let v0 = _mm_unpacklo_epi32(u0, u1);
+        let v1 = _mm_unpackhi_epi32(u0, u1);
+        // Second butterfly along the other axis.
+        let (f0, f1) = butterfly_pairs(v0, v1);
+        // |x| = max(x, -x); values ≤ 4080 so i16::MIN never appears.
+        let a0 = _mm_max_epi16(f0, _mm_sub_epi16(zero, f0));
+        let a1 = _mm_max_epi16(f1, _mm_sub_epi16(zero, f1));
+        let ones = _mm_set1_epi16(1);
+        let sums = _mm_add_epi32(_mm_madd_epi16(a0, ones), _mm_madd_epi16(a1, ones));
+        hsum_epi32(sums)
+    }
+
+    /// Rows `r` and `r + 1` of a strided 4-wide block, widened to the
+    /// eight i16 lanes of one register (row `r` low, row `r + 1` high).
+    #[inline]
+    unsafe fn load_pair_epi16(p: &[u8], stride: usize, r: usize) -> __m128i {
+        let packed = row4(p, r * stride) | (row4(p, (r + 1) * stride) << 32);
+        _mm_unpacklo_epi8(_mm_set_epi64x(0, packed as i64), _mm_setzero_si128())
+    }
+
+    /// One Hadamard butterfly stage over registers packing elements
+    /// 0|1 and 2|3 of the transformed axis in their 64-bit halves:
+    /// returns `([b0|b2], [b1|b3])` where
+    /// `(b0,b1,b2,b3) = (s0+s1, s0-s1, d0+d1, d0-d1)` with
+    /// `s0 = e0+e2, s1 = e1+e3, d0 = e0-e2, d1 = e1-e3` per lane.
+    #[inline]
+    unsafe fn butterfly_pairs(p01: __m128i, p23: __m128i) -> (__m128i, __m128i) {
+        let sum = _mm_add_epi16(p01, p23); // [s0|s1]
+        let dif = _mm_sub_epi16(p01, p23); // [d0|d1]
+        let x = _mm_unpacklo_epi64(sum, dif); // [s0|d0]
+        let y = _mm_unpackhi_epi64(sum, dif); // [s1|d1]
+        (_mm_add_epi16(x, y), _mm_sub_epi16(x, y))
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use x86::{row_sad_avx2, row_sad_sse2, row_ssd_avx2, row_ssd_sse2, satd4_sse2};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes(n: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scalar_always_available_and_named() {
+        assert!(DispatchTier::Scalar.available());
+        assert_eq!(DispatchTier::Scalar.name(), "scalar");
+        assert_eq!(DispatchTier::Avx2.name(), "avx2");
+        assert_eq!(DispatchTier::Sse2.name(), "sse2");
+    }
+
+    #[test]
+    fn with_tier_overrides_and_restores() {
+        let outer = tier();
+        with_tier(DispatchTier::Scalar, || {
+            assert_eq!(tier(), DispatchTier::Scalar);
+        });
+        assert_eq!(tier(), outer);
+    }
+
+    #[test]
+    fn with_tier_restores_on_panic() {
+        let outer = tier();
+        let result = std::panic::catch_unwind(|| {
+            with_tier(DispatchTier::Scalar, || panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert_eq!(tier(), outer);
+    }
+
+    #[test]
+    fn row_kernels_agree_across_tiers_and_lengths() {
+        // Lengths cover every chunk boundary: 32/16/8-byte blocks plus
+        // ragged tails of 0..=7.
+        for len in 0..=67usize {
+            let a = bytes(len, 3);
+            let b = bytes(len, 17);
+            let want_sad = row_sad_scalar(&a, &b);
+            let want_ssd = row_ssd_scalar(&a, &b);
+            for t in DispatchTier::ALL {
+                if !t.available() {
+                    continue;
+                }
+                assert_eq!(row_sad(t, &a, &b), want_sad, "sad len={len} tier={t:?}");
+                assert_eq!(row_ssd(t, &a, &b), want_ssd, "ssd len={len} tier={t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_kernels_honor_zip_semantics() {
+        let a = bytes(20, 5);
+        let b = bytes(33, 9);
+        for t in DispatchTier::ALL {
+            if !t.available() {
+                continue;
+            }
+            assert_eq!(row_sad(t, &a, &b), row_sad_scalar(&a, &b));
+            assert_eq!(row_sad(t, &b, &a), row_sad_scalar(&b, &a));
+            assert_eq!(row_ssd(t, &a, &b), row_ssd_scalar(&a, &b));
+        }
+    }
+
+    #[test]
+    fn satd4_agrees_across_tiers_and_strides() {
+        for (cs, rs) in [(4usize, 4usize), (7, 5), (24, 24), (31, 16)] {
+            let cur = bytes(3 * cs + 4, 11);
+            let reference = bytes(3 * rs + 4, 29);
+            let want = satd4_scalar(&cur, cs, &reference, rs);
+            for t in DispatchTier::ALL {
+                if !t.available() {
+                    continue;
+                }
+                assert_eq!(
+                    satd4(t, &cur, cs, &reference, rs),
+                    want,
+                    "tier={t:?} cs={cs} rs={rs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn satd4_extreme_residuals_fit_i16() {
+        // All-255 vs all-0: the largest possible residual magnitudes.
+        let cur = vec![255u8; 16];
+        let reference = vec![0u8; 16];
+        let want = satd4_scalar(&cur, 4, &reference, 4);
+        for t in DispatchTier::ALL {
+            if !t.available() {
+                continue;
+            }
+            assert_eq!(satd4(t, &cur, 4, &reference, 4), want, "tier={t:?}");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Microbenchmark for the two PR-level kernel hot paths: one SATD
+//! block cost per dispatch tier and one Exp-Golomb burst per writer.
+//!
+//! Run with `cargo run --release --example kernel_micro`. On an AVX2
+//! host expect the SIMD SATD to land well under half the scalar time
+//! and the word-batched writer an order of magnitude under the
+//! per-bit reference writer; `MEDVT_FORCE_SCALAR=1` pins the resolved
+//! tier (the per-tier rows still override it explicitly).
+
+use medvt::encoder::bits::{self, BitWriter};
+use medvt::frame::{Plane, Rect};
+use medvt::motion::cost::{self, simd};
+use medvt::motion::MotionVector;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SATD_REPS: u32 = 200_000;
+const UE_VALUES: u32 = 1_000_000;
+
+fn textured(width: usize, height: usize, salt: usize) -> Plane {
+    let mut p = Plane::new(width, height);
+    for row in 0..height {
+        for col in 0..width {
+            p.set(col, row, ((col * 31 + row * 17 + salt * 7) % 256) as u8);
+        }
+    }
+    p
+}
+
+fn main() {
+    println!(
+        "resolved dispatch tier: {} (forced_scalar={})",
+        simd::tier().name(),
+        simd::forced_scalar()
+    );
+
+    // One 16x16 SATD block cost, interior candidate, per tier.
+    let cur = textured(64, 64, 1);
+    let reference = textured(64, 64, 2);
+    let block = Rect::new(24, 24, 16, 16);
+    let mv = MotionVector::new(3, -2);
+    for tier in simd::DispatchTier::ALL {
+        if !tier.available() {
+            println!("satd 16x16 [{}]:    unavailable on this host", tier.name());
+            continue;
+        }
+        let ns = simd::with_tier(tier, || {
+            let clock = Instant::now();
+            for _ in 0..SATD_REPS {
+                black_box(cost::satd(&cur, &reference, &block, mv));
+            }
+            clock.elapsed().as_nanos() as f64 / f64::from(SATD_REPS)
+        });
+        println!("satd 16x16 [{}]:    {ns:>7.1} ns/call", tier.name());
+    }
+
+    // One million-value write_ue burst, batched vs per-bit writer.
+    let values: Vec<u32> = (0..UE_VALUES).map(|i| (i * 2654435761) % 100_000).collect();
+    let mut w = BitWriter::new();
+    let clock = Instant::now();
+    for &v in &values {
+        w.write_ue(v);
+    }
+    let batched = clock.elapsed().as_nanos() as f64 / f64::from(UE_VALUES);
+    let mut r = bits::reference::BitWriter::new();
+    let clock = Instant::now();
+    for &v in &values {
+        r.write_ue(v);
+    }
+    let per_bit = clock.elapsed().as_nanos() as f64 / f64::from(UE_VALUES);
+    assert_eq!(w.bits_written(), r.bits_written());
+    println!("write_ue (batched):  {batched:>7.1} ns/code");
+    println!("write_ue (per-bit):  {per_bit:>7.1} ns/code");
+}

@@ -15,7 +15,7 @@
 //! `MEDVT_PRINT_HASHES=1` and updating the constants — but kernel
 //! PRs must never need that.
 
-use medvt::encoder::{encode_frame, EncoderConfig, FramePlan, Qp, SearchSpec, TileConfig};
+use medvt::encoder::{encode_frame, EncoderConfig, FramePlan, Qp, SearchSpec, TileConfig, TxPath};
 use medvt::frame::synth::{BodyPart, MotionPattern, PhantomVideo};
 use medvt::frame::{Frame, FrameKind, Rect, Resolution};
 use medvt::motion::SearchWindow;
@@ -127,9 +127,37 @@ fn luma_only_encode_matches_golden() {
     );
 }
 
+#[test]
+fn int_transform_encode_matches_its_own_golden() {
+    let frame_rect = Rect::frame(128, 96);
+    let plan = plan_mixed(frame_rect);
+    let ecfg = EncoderConfig {
+        transform: TxPath::Int,
+        ..Default::default()
+    };
+    let (bytes_hash, mv_hash) = encode_sequence(&plan, &ecfg);
+    if std::env::var("MEDVT_PRINT_HASHES").is_ok() {
+        println!("int_bytes_hash = {bytes_hash:#018x}");
+        println!("int_mv_hash    = {mv_hash:#018x}");
+    }
+    assert_eq!(
+        bytes_hash, GOLDEN_INT_BYTES_HASH,
+        "integer-transform bitstream diverged from its pinned golden"
+    );
+    assert_eq!(
+        mv_hash, GOLDEN_INT_MV_HASH,
+        "integer-transform motion decisions diverged from the pinned golden"
+    );
+}
+
 // Captured from the seed kernels (per-pixel clamped SAD, HashMap memo,
 // mutexed DCT basis, allocating encode loop) before the fast paths
 // landed. The optimized kernels must reproduce them bit for bit.
 const GOLDEN_BYTES_HASH: u64 = 0x8d73f24316b57bc2;
 const GOLDEN_MV_HASH: u64 = 0x8559cc17348ab034;
 const GOLDEN_LUMA_BYTES_HASH: u64 = 0x17244043249ef2f3;
+// The fixed-point transform path ([`TxPath::Int`]) produces a
+// deliberately different bitstream; these goldens pin it separately so
+// the f64 goldens above stay frozen.
+const GOLDEN_INT_BYTES_HASH: u64 = 0xa173bac1c1ed705b;
+const GOLDEN_INT_MV_HASH: u64 = 0xbea857534a9b432c;
