@@ -30,7 +30,13 @@
 //! transcoding on heterogeneous cloud workers) motivates the queueing
 //! half: Poisson arrivals, heavy-tailed session lengths
 //! ([`synthesize_trace`]), deadline classes and admission against a
-//! measured capacity model rather than a wish.
+//! measured capacity model rather than a wish. Its cost half lives in
+//! the provisioning layer: [`ProvisionPolicy`] rents a
+//! priced platform mix ([`preset_catalogue`]) for a forecast load,
+//! [`CostPlan`] lets [`serve_online`] admit against per-window budget
+//! headroom, and evicted users re-enter the queue one
+//! [`DeadlineClass`] lower instead of being dropped
+//! (`degrade_on_evict`).
 //!
 //! Decisions read only the analytical accounting shared by every
 //! execution backend, so one trace replays the **identical**
@@ -71,17 +77,22 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod provision;
 mod reference;
 mod request;
 mod serve;
 mod shard;
 mod trace;
 
+pub use provision::{
+    forecast_demand_cores, preset_catalogue, provision_fleet, replay_cost, CheapestFit, CostReport,
+    FastestFit, ProvisionOutcome, ProvisionPolicy, ProvisionPreset, QosAware,
+};
 pub use reference::serve_online_reference;
 pub use request::{AdmitDecision, DeadlineClass, RequestQueue, UserRequest};
 pub use serve::{
-    serve_online, serve_online_with, AdmissionEvent, EventKind, OnlineConfig, OnlineReport,
-    ShardReport, Workload,
+    serve_online, serve_online_with, AdmissionEvent, CostPlan, EventKind, OnlineConfig,
+    OnlineReport, ShardReport, Workload,
 };
 pub use shard::{ShardPolicy, Sharder};
 pub use trace::{synthesize_trace, TraceConfig};

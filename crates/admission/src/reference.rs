@@ -168,6 +168,7 @@ pub fn serve_online_reference<W: Workload, B: ExecutionBackend>(
                     demand_cores: demand,
                     departure_slot: request.departure_slot,
                     miss_tolerance: request.class.miss_tolerance() * cfg.evict_miss_windows.max(1),
+                    class: request.class,
                 },
             );
             admissions += 1;

@@ -28,6 +28,18 @@ impl DeadlineClass {
         }
     }
 
+    /// The next-lower service tier — where graceful degradation
+    /// re-queues an evicted user (the Li et al. cost/QoS trade).
+    /// `None` from [`DeadlineClass::BestEffort`]: there is nothing
+    /// below it, so a best-effort eviction is final.
+    pub const fn downgrade(&self) -> Option<DeadlineClass> {
+        match self {
+            DeadlineClass::Strict => Some(DeadlineClass::Standard),
+            DeadlineClass::Standard => Some(DeadlineClass::BestEffort),
+            DeadlineClass::BestEffort => None,
+        }
+    }
+
     /// Display label.
     pub const fn label(&self) -> &'static str {
         match self {
@@ -155,6 +167,15 @@ impl RequestQueue {
     /// `true` when nothing waits.
     pub fn is_empty(&self) -> bool {
         self.live == 0
+    }
+
+    /// Departure-index entries currently held (heap entries in
+    /// unbounded mode, undrained bucket entries in bounded mode),
+    /// stale ones included. Purely observational — the bounded-mode
+    /// contract "a departure at or past the bound is never indexed"
+    /// is asserted through this.
+    pub fn indexed_departures(&self) -> usize {
+        self.departures.len() + self.dep_buckets.iter().map(Vec::len).sum::<usize>()
     }
 
     /// `true` when the request pushed as `seq` still waits.
@@ -458,6 +479,31 @@ mod tests {
         assert_eq!(gone.iter().map(|r| r.user).collect::<Vec<_>>(), [0]);
         assert_eq!(q.iter().map(|r| r.user).collect::<Vec<_>>(), [1, 2]);
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn downgrade_chain_descends_and_terminates() {
+        assert_eq!(
+            DeadlineClass::Strict.downgrade(),
+            Some(DeadlineClass::Standard)
+        );
+        assert_eq!(
+            DeadlineClass::Standard.downgrade(),
+            Some(DeadlineClass::BestEffort)
+        );
+        assert_eq!(DeadlineClass::BestEffort.downgrade(), None);
+    }
+
+    #[test]
+    fn bounded_queue_reports_indexed_departures() {
+        let mut q = RequestQueue::with_departure_bound(100);
+        q.push(req(0, 0, Some(50))); // in-horizon: indexed
+        q.push(req(1, 0, Some(100))); // at the bound: unindexed
+        q.push(req(2, 0, Some(400))); // past it: unindexed
+        q.push(req(3, 0, None)); // never departs: unindexed
+        assert_eq!(q.indexed_departures(), 1);
+        q.drain_departed(60);
+        assert_eq!(q.indexed_departures(), 0);
     }
 
     #[test]

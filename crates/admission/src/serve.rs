@@ -7,9 +7,13 @@
 //! 2. removes departed users (and queued requests whose user gave up);
 //! 3. evicts users whose consecutive missed one-second windows exceed
 //!    their [`DeadlineClass`](crate::DeadlineClass) tolerance — read
-//!    from the runtime's per-user accounting;
+//!    from the runtime's per-user accounting; under
+//!    [`CostPlan::degrade_on_evict`] the evicted user re-enters the
+//!    queue one deadline class lower instead of being dropped;
 //! 4. admits queued users whose Algorithm 2 line 1 core demand fits a
-//!    shard chosen by the [`ShardPolicy`];
+//!    shard chosen by the [`ShardPolicy`] *and* — when the
+//!    [`CostPlan`] budget is finite — whose billing keeps the window
+//!    spend within budget;
 //! 5. pushes the membership *delta* into each shard's serving
 //!    [`Node`](medvt_runtime::Node) as a
 //!    [`NodeCommand`](medvt_runtime::NodeCommand) (the wrapped
@@ -93,6 +97,64 @@ pub trait Workload {
     }
 }
 
+/// Cost policy of an online run: how admitted demand is billed, how
+/// much the operator will spend per GOP window, and whether eviction
+/// degrades users instead of dropping them.
+///
+/// The default ([`CostPlan::unlimited`]) disables both mechanisms
+/// structurally: with an infinite budget the admission path never
+/// consults the spend ledger and with `degrade_on_evict` off the
+/// eviction path never re-queues, so the decision stream stays
+/// bit-identical to [`serve_online_reference`](crate::serve_online_reference)
+/// — the provisioning extension of the sim-vs-pool invariant.
+///
+/// With a finite budget, a request is admitted only when *both* a
+/// shard fits its demand and billing it keeps the window spend within
+/// budget (`spend + demand × rate ≤ budget`). The check is
+/// demand-monotone like the capacity probe, so the controller's
+/// early-stop admission scans stay sound. Budget refusals are not
+/// offered to a `RoundRobin` rotation (the shard never saw the
+/// request), which is unobservable at infinite budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostPlan {
+    /// Credits billed per admitted reference core per GOP window —
+    /// the serving-side price of capacity (see
+    /// `medvt_mpsoc::CostModel` for where the rate comes from).
+    pub credits_per_core_window: f64,
+    /// Spend ceiling per GOP window, in credits. `f64::INFINITY`
+    /// disables cost-constrained admission entirely.
+    pub budget_credits_per_window: f64,
+    /// When `true`, an evicted user re-enters the queue at the
+    /// next-lower [`DeadlineClass`](crate::DeadlineClass) (emitting
+    /// [`EventKind::Downgrade`]) instead of being dropped; a
+    /// best-effort eviction stays final.
+    pub degrade_on_evict: bool,
+}
+
+impl CostPlan {
+    /// No budget, no degradation — the cost-oblivious default whose
+    /// decisions are bit-identical to the frozen reference controller.
+    pub const fn unlimited() -> Self {
+        Self {
+            credits_per_core_window: 0.0,
+            budget_credits_per_window: f64::INFINITY,
+            degrade_on_evict: false,
+        }
+    }
+
+    /// `true` when the budget binds (finite), i.e. the admission path
+    /// consults the spend ledger.
+    pub fn is_budgeted(&self) -> bool {
+        self.budget_credits_per_window.is_finite()
+    }
+}
+
+impl Default for CostPlan {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
 /// Online serving configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OnlineConfig {
@@ -111,6 +173,11 @@ pub struct OnlineConfig {
     /// Base eviction threshold in consecutive missed windows; each
     /// user's class tolerance multiplies it.
     pub evict_miss_windows: usize,
+    /// Cost policy: per-window billing rate, spend budget and
+    /// eviction degradation. Defaults to [`CostPlan::unlimited`],
+    /// which keeps the controller cost-oblivious and bit-identical to
+    /// the frozen reference.
+    pub cost: CostPlan,
 }
 
 impl Default for OnlineConfig {
@@ -123,6 +190,7 @@ impl Default for OnlineConfig {
             policy: DvfsPolicy::StretchToDeadline,
             shard_policy: ShardPolicy::LeastLoaded,
             evict_miss_windows: 1,
+            cost: CostPlan::unlimited(),
         }
     }
 }
@@ -140,6 +208,11 @@ pub enum EventKind {
     Abandon,
     /// Request can never fit any shard — dropped at the door.
     Reject,
+    /// Evicted user re-entered the queue at the next-lower deadline
+    /// class (graceful degradation under [`CostPlan::degrade_on_evict`])
+    /// instead of being dropped. Always immediately follows that
+    /// user's [`EventKind::Evict`] at the same boundary.
+    Downgrade,
 }
 
 /// One entry of the admission log — the decision stream compared
@@ -322,6 +395,9 @@ pub(crate) struct ActiveUser {
     pub(crate) demand_cores: f64,
     pub(crate) departure_slot: Option<usize>,
     pub(crate) miss_tolerance: usize,
+    /// Service tier admitted at — the degradation ladder position an
+    /// eviction downgrades from. Inert in the frozen reference.
+    pub(crate) class: crate::request::DeadlineClass,
 }
 
 /// Validated trace-independent inputs shared by [`serve_online`] and
@@ -501,6 +577,14 @@ pub fn serve_online_with<W: Workload, B: ExecutionBackend, R: Recorder + Copy>(
     // Queue-side telemetry meter; `ControllerTiming` is derived from
     // it at the end, so the report schema is unchanged.
     let meter = Metrics::new();
+    // Cost ledger: credits currently billed per window for the active
+    // set. Only consulted when the budget is finite, so the default
+    // (unlimited) plan leaves every decision untouched.
+    let plan = cfg.cost;
+    let budgeted = plan.is_budgeted();
+    let rate = plan.credits_per_core_window;
+    let budget = plan.budget_credits_per_window;
+    let mut window_spend = 0.0f64;
 
     let ms_remove = |set: &mut BTreeMap<u64, usize>, demand: f64| {
         let bits = demand.to_bits();
@@ -555,10 +639,16 @@ pub fn serve_online_with<W: Workload, B: ExecutionBackend, R: Recorder + Copy>(
             }
         }
         departing.sort_unstable();
+        // A degraded-then-readmitted user carries two identical heap
+        // entries (same departure slot, same user): depart it once.
+        departing.dedup();
         meter.add(CounterId::Decisions, departing.len() as u64);
         for user in departing {
             let a = active.remove(&user).expect("departing user is active");
             sharder.release_load(a.shard, a.demand_cores);
+            if budgeted {
+                window_spend -= a.demand_cores * rate;
+            }
             shard_users[a.shard] -= 1;
             removed[a.shard].push(user);
             departures += 1;
@@ -622,6 +712,9 @@ pub fn serve_online_with<W: Workload, B: ExecutionBackend, R: Recorder + Copy>(
         for user in evicting {
             let a = active.remove(&user).expect("evicted user is active");
             sharder.release_load(a.shard, a.demand_cores);
+            if budgeted {
+                window_spend -= a.demand_cores * rate;
+            }
             shard_users[a.shard] -= 1;
             removed[a.shard].push(user);
             evictions += 1;
@@ -639,6 +732,50 @@ pub fn serve_online_with<W: Workload, B: ExecutionBackend, R: Recorder + Copy>(
                 shard: Some(a.shard),
                 kind: EventKind::Evict,
             });
+            // Graceful degradation: the evicted user re-enters the
+            // queue one deadline class lower (best-effort evictions
+            // stay final). Departures ran above, so the re-queued
+            // departure slot — if any — is strictly in the future and
+            // the bounded queue indexes it like a fresh arrival. The
+            // same boundary's admission step may re-admit immediately
+            // onto whatever capacity the eviction freed.
+            if plan.degrade_on_evict {
+                if let Some(lower) = a.class.downgrade() {
+                    let profile = setup.profile_of[&user];
+                    let demand = setup.demand_of[profile];
+                    *queued_demands.entry(demand.to_bits()).or_insert(0) += 1;
+                    if demand > setup.max_capacity + 1e-9 {
+                        queued_inadmissible += 1;
+                    }
+                    let seq = queue.push(UserRequest {
+                        user,
+                        arrival_slot: slot,
+                        profile,
+                        class: lower,
+                        departure_slot: a.departure_slot,
+                    });
+                    if indexed {
+                        fifo_by_demand
+                            .entry(demand.to_bits())
+                            .or_default()
+                            .push_back(seq);
+                    }
+                    meter.add(CounterId::Decisions, 1);
+                    if R::ENABLED {
+                        recorder.record(TelEvent::new(
+                            CONTROL_TRACK,
+                            slot as u32,
+                            TelKind::Downgraded { user: user as u32 },
+                        ));
+                    }
+                    events.push(AdmissionEvent {
+                        slot,
+                        user,
+                        shard: None,
+                        kind: EventKind::Downgrade,
+                    });
+                }
+            }
         }
         // 4. Admissions from the FIFO queue. Both paths below replay
         // the reference's FIFO scan semantics — a request is admitted
@@ -690,6 +827,13 @@ pub fn serve_online_with<W: Workload, B: ExecutionBackend, R: Recorder + Copy>(
                     if demand > setup.max_capacity + 1e-9 || !sharder.any_fits(demand) {
                         continue;
                     }
+                    // Cost headroom: billing this class must keep the
+                    // window spend within budget. Demand-monotone like
+                    // the capacity probe, so skipping the class is
+                    // exactly "every member would Wait".
+                    if budgeted && window_spend + demand * rate > budget + 1e-9 {
+                        continue;
+                    }
                     let Some(fifo) = fifo_by_demand.get_mut(&bits) else {
                         continue;
                     };
@@ -716,6 +860,9 @@ pub fn serve_online_with<W: Workload, B: ExecutionBackend, R: Recorder + Copy>(
                     .pick_attached(demand, workloads[request.profile].content_class())
                     .expect("any_fits implies a pick for stateless policies");
                 sharder.admit_load(shard, demand);
+                if budgeted {
+                    window_spend += demand * rate;
+                }
                 admitted.push((request, shard));
             }
             (admitted, rejected)
@@ -734,7 +881,14 @@ pub fn serve_online_with<W: Workload, B: ExecutionBackend, R: Recorder + Copy>(
             let decided = queue.try_admit_while(|request| {
                 if allow_stop {
                     let min_bits = *queued_demands.keys().next().expect("scan implies queued");
-                    if !sharder.any_fits(f64::from_bits(min_bits)) {
+                    let min_demand = f64::from_bits(min_bits);
+                    if !sharder.any_fits(min_demand) {
+                        return None;
+                    }
+                    // Cost headroom is demand-monotone too: when even
+                    // the smallest queued demand is unaffordable,
+                    // every later request would also Wait.
+                    if budgeted && window_spend + min_demand * rate > budget + 1e-9 {
                         return None;
                     }
                 }
@@ -743,11 +897,19 @@ pub fn serve_online_with<W: Workload, B: ExecutionBackend, R: Recorder + Copy>(
                 if demand > setup.max_capacity + 1e-9 {
                     return Some(AdmitDecision::Reject);
                 }
+                // Budget refusals wait without being offered to the
+                // rotation — the shard never saw the request.
+                if budgeted && window_spend + demand * rate > budget + 1e-9 {
+                    return Some(AdmitDecision::Wait);
+                }
                 match sharder.pick_attached(demand, workloads[request.profile].content_class()) {
                     Some(shard) => {
                         // Reserve immediately so later queue entries
                         // see the updated load.
                         sharder.admit_load(shard, demand);
+                        if budgeted {
+                            window_spend += demand * rate;
+                        }
                         Some(AdmitDecision::Admit(shard))
                     }
                     None => Some(AdmitDecision::Wait),
@@ -792,6 +954,7 @@ pub fn serve_online_with<W: Workload, B: ExecutionBackend, R: Recorder + Copy>(
                     demand_cores: demand,
                     departure_slot: request.departure_slot,
                     miss_tolerance: request.class.miss_tolerance() * cfg.evict_miss_windows.max(1),
+                    class: request.class,
                 },
             );
             admissions += 1;
@@ -1393,6 +1556,134 @@ mod tests {
             assert!(fast.rejected >= 1, "{policy:?} must exercise rejection");
             assert!(fast.departures >= 1, "{policy:?} must exercise departure");
         }
+    }
+
+    #[test]
+    fn budget_caps_admissions_and_departures_free_headroom() {
+        // Each user demands ~1.917 cores; two 4-core shards hold four.
+        // A 4-credit window budget at 1 credit per core-window holds
+        // exactly two (3.83 credits) — cost, not capacity, binds.
+        let workloads = [Flat {
+            tiles: 2,
+            secs: SLOT / 24.0 * 20.0,
+            class: "busy",
+        }];
+        let trace = vec![
+            request(0, 0, Some(24)),
+            request(1, 0, None),
+            request(2, 0, None),
+            request(3, 0, None),
+        ];
+        let budgeted = OnlineConfig {
+            cost: CostPlan {
+                credits_per_core_window: 1.0,
+                budget_credits_per_window: 4.0,
+                degrade_on_evict: false,
+            },
+            ..cfg(96)
+        };
+        let report = serve_online(&budgeted, &workloads, &trace, quad_shards(2));
+        assert_eq!(report.admissions, 3, "two upfront, one after the departure");
+        assert_eq!(report.rejected, 0, "budget waits, it never rejects");
+        assert_eq!(report.departures, 1);
+        assert_eq!(report.queued_at_end, 1);
+        assert_eq!(report.active_at_end, 2);
+        let admit_slots: Vec<usize> = report
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Admit)
+            .map(|e| e.slot)
+            .collect();
+        assert_eq!(
+            admit_slots,
+            vec![0, 0, 24],
+            "third admit lands exactly when the departure frees credits"
+        );
+        // Without the budget the same trace fills both shards at 0.
+        let free = serve_online(&cfg(96), &workloads, &trace, quad_shards(2));
+        assert_eq!(free.admissions, 4);
+    }
+
+    #[test]
+    fn huge_finite_budget_changes_nothing() {
+        let workloads = [Flat {
+            tiles: 2,
+            secs: SLOT / 24.0 * 20.0,
+            class: "busy",
+        }];
+        let trace: Vec<UserRequest> = (0..5).map(|u| request(u, 0, None)).collect();
+        let roomy = OnlineConfig {
+            cost: CostPlan {
+                credits_per_core_window: 1.0,
+                budget_credits_per_window: 1e9,
+                degrade_on_evict: false,
+            },
+            ..cfg(96)
+        };
+        let budgeted = serve_online(&roomy, &workloads, &trace, quad_shards(2));
+        let free = serve_online(&cfg(96), &workloads, &trace, quad_shards(2));
+        assert_eq!(budgeted.events, free.events, "a slack budget never binds");
+    }
+
+    #[test]
+    fn evicted_user_degrades_down_the_deadline_ladder() {
+        // The lying profile misses every window once admitted. With
+        // degradation on, a Strict user walks the whole ladder: each
+        // eviction immediately requeues one class lower (same
+        // boundary re-admission), and the miss streak keeps growing,
+        // so tolerances 1 → 2 → 4 windows evict at slots 24 → 48 →
+        // 96. After BestEffort there is nowhere lower: dropped.
+        struct Lying;
+        impl Workload for Lying {
+            fn steady_demand(&self) -> Vec<f64> {
+                vec![SLOT / 4.0; 4]
+            }
+            fn demand_at(&self, _slot: usize) -> Vec<f64> {
+                vec![SLOT * 1.5; 4]
+            }
+            fn content_class(&self) -> &str {
+                "chaos"
+            }
+        }
+        let trace = vec![UserRequest {
+            user: 0,
+            arrival_slot: 0,
+            profile: 0,
+            class: DeadlineClass::Strict,
+            departure_slot: None,
+        }];
+        let degrading = OnlineConfig {
+            cost: CostPlan {
+                degrade_on_evict: true,
+                ..CostPlan::unlimited()
+            },
+            ..cfg(240)
+        };
+        let report = serve_online(&degrading, &[Lying], &trace, quad_shards(1));
+        assert_eq!(report.admissions, 3, "one admission per deadline class");
+        assert_eq!(report.evictions, 3);
+        assert_eq!(report.active_at_end, 0);
+        assert_eq!(report.queued_at_end, 0);
+        let kinds_and_slots: Vec<(EventKind, usize)> =
+            report.events.iter().map(|e| (e.kind, e.slot)).collect();
+        assert_eq!(
+            kinds_and_slots,
+            vec![
+                (EventKind::Admit, 0),
+                (EventKind::Evict, 24),
+                (EventKind::Downgrade, 24),
+                (EventKind::Admit, 24),
+                (EventKind::Evict, 48),
+                (EventKind::Downgrade, 48),
+                (EventKind::Admit, 48),
+                (EventKind::Evict, 96),
+            ],
+            "Downgrade rides immediately behind its Evict; BestEffort is final"
+        );
+        // Without degradation the same trace is one admit, one evict.
+        let plain = serve_online(&cfg(240), &[Lying], &trace, quad_shards(1));
+        assert_eq!(plain.admissions, 1);
+        assert_eq!(plain.evictions, 1);
     }
 
     #[test]

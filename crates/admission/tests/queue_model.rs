@@ -1,0 +1,104 @@
+//! Model test for the bounded-departure request queue.
+//!
+//! [`RequestQueue::with_departure_bound`] replaces the departure heap
+//! with per-slot buckets, promising that (a) sessions departing at or
+//! past the bound are never indexed at all, and (b) under the serving
+//! loop's contract (monotone drain slots; every push departs after the
+//! last drained slot), `drain_departed` returns exactly what a naive
+//! linear scan over the live queue would. This proptest drives random
+//! push / take / drain interleavings against that linear-scan oracle.
+
+use medvt_admission::{DeadlineClass, RequestQueue, UserRequest};
+use proptest::prelude::*;
+
+fn request(user: usize, arrival: usize, departure: Option<usize>) -> UserRequest {
+    UserRequest {
+        user,
+        arrival_slot: arrival,
+        profile: user % 3,
+        class: DeadlineClass::Standard,
+        departure_slot: departure,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The bounded queue agrees with a linear-scan oracle op for op:
+    /// same membership, same arrival order, same drain results, same
+    /// take results — and it never indexes an out-of-horizon session.
+    #[test]
+    fn bounded_queue_matches_linear_scan_oracle(
+        bound in 4usize..48,
+        ops in proptest::collection::vec((0u8..3, 0usize..96), 1..160),
+    ) {
+        let mut queue = RequestQueue::with_departure_bound(bound);
+        // The oracle: live requests with their seq, arrival order.
+        let mut oracle: Vec<(u64, UserRequest)> = Vec::new();
+        let mut next_seq = 0u64;
+        let mut slot = 0usize; // last drained slot (serving-loop clock)
+        let mut in_horizon_pushes = 0usize;
+
+        for (op, a) in ops {
+            match op {
+                // Push: departs strictly after the current slot (the
+                // serving loop ingests arrivals before draining the
+                // boundary), possibly past the bound, possibly never.
+                0 => {
+                    let departure = match a % 4 {
+                        0 => None,
+                        _ => Some(slot + 1 + a % (bound + 16)),
+                    };
+                    if departure.is_some_and(|d| d < bound) {
+                        in_horizon_pushes += 1;
+                    }
+                    let user = next_seq as usize;
+                    let seq = queue.push(request(user, slot, departure));
+                    prop_assert_eq!(seq, next_seq, "sequence numbers are dense");
+                    oracle.push((seq, request(user, slot, departure)));
+                    next_seq += 1;
+                }
+                // Take: a previously issued seq — maybe live, maybe
+                // already gone. Result must match the oracle exactly.
+                1 => {
+                    if next_seq == 0 {
+                        continue;
+                    }
+                    let seq = a as u64 % next_seq;
+                    let expected = oracle
+                        .iter()
+                        .position(|(s, _)| *s == seq)
+                        .map(|i| oracle.remove(i).1);
+                    prop_assert_eq!(queue.take(seq), expected);
+                }
+                // Drain: advance the clock and compare against the
+                // linear scan "every live request departing by now".
+                _ => {
+                    slot = (slot + a % 8).min(bound - 1);
+                    let expected: Vec<UserRequest> = oracle
+                        .iter()
+                        .filter(|(_, r)| r.departure_slot.is_some_and(|d| d <= slot))
+                        .map(|(_, r)| r.clone())
+                        .collect();
+                    oracle.retain(|(_, r)| r.departure_slot.is_none_or(|d| d > slot));
+                    prop_assert_eq!(queue.drain_departed(slot), expected);
+                }
+            }
+            // Membership and order agree after every operation.
+            prop_assert_eq!(queue.len(), oracle.len());
+            prop_assert!(queue
+                .iter()
+                .eq(oracle.iter().map(|(_, r)| r)), "arrival order preserved");
+            for (seq, _) in &oracle {
+                prop_assert!(queue.contains(*seq));
+            }
+            // Out-of-horizon sessions are never indexed: the index can
+            // hold at most one (possibly stale) entry per in-horizon
+            // push, and exactly zero when there were none.
+            prop_assert!(queue.indexed_departures() <= in_horizon_pushes);
+            if in_horizon_pushes == 0 {
+                prop_assert_eq!(queue.indexed_departures(), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Provisioning experiment: cost vs QoS across rental policies, plus
+//! budget-constrained serving with deadline-class degradation.
+//!
+//! Three sections, one artifact (`provision_bench.json`):
+//!
+//! * **Pareto sweep** — an overload trace (Poisson arrivals ≫ service
+//!   rate, heavy-tailed sessions, three honest service tiers at 1/2/3
+//!   cores) is served on fleets rented by cheapest-fit, fastest-fit
+//!   and Li-style QoS-aware provisioning at per-window rental budgets
+//!   of 12/24/36 credits (the lcm of the catalogue prices, so the
+//!   greedy extremes spend *exactly* the budget and points are
+//!   cost-comparable). Each (policy, budget) point records spend,
+//!   capacity, admissions and on-time rate — the cost-vs-on-time
+//!   Pareto front.
+//! * **equal-cost domination** — at every equal-spend sweep point the
+//!   QoS-aware fleet must weakly dominate cheapest-fit on on-time
+//!   rate, and beat it outright on served users somewhere: capacity
+//!   per credit is what deadline-meeting buys.
+//! * **budgeted serving + degradation** — a fixed big.LITTLE fleet
+//!   with a finite `CostPlan` and `degrade_on_evict` under a lying
+//!   headroom (0.6): evictions re-enter one deadline class lower,
+//!   the replayed spend trajectory never exceeds the budget, and the
+//!   decision stream with an *unlimited* plan stays bit-identical to
+//!   the frozen reference controller.
+//!
+//! Honours `MEDVT_OUT` like the other experiment binaries.
+
+use medvt_admission::{
+    forecast_demand_cores, preset_catalogue, provision_fleet, replay_cost, serve_online,
+    serve_online_reference, synthesize_trace, CheapestFit, CostPlan, FastestFit, OnlineConfig,
+    ProvisionPolicy, QosAware, TraceConfig, UserRequest,
+};
+use medvt_bench::{live_online_config, synthetic_profile, write_artifact};
+use medvt_core::VideoProfile;
+use medvt_mpsoc::{CostModel, Platform, PowerModel};
+use medvt_runtime::SimBackend;
+use medvt_telemetry::{EventKind as TelKind, FlightRecorder};
+use serde::Serialize;
+
+const HORIZON: usize = 192;
+/// Rental budgets swept, credits per GOP window. 12 is the lcm of the
+/// catalogue prices {4, 3, 2, 1, 6}: every greedy policy lands on an
+/// identical spend, so the on-time comparison is at exactly equal cost.
+const BUDGETS: [u64; 3] = [12, 24, 36];
+
+#[derive(Serialize)]
+struct CatalogueRow {
+    name: String,
+    price_credits: u64,
+    capacity_cores: f64,
+    cores_per_credit: f64,
+}
+
+#[derive(Serialize)]
+struct SweepPoint {
+    policy: String,
+    budget_credits: u64,
+    spent_credits: u64,
+    fleet: Vec<String>,
+    capacity_cores: f64,
+    admissions: usize,
+    rejected: usize,
+    avg_concurrent_users: f64,
+    on_time_rate: f64,
+}
+
+#[derive(Serialize)]
+struct DominationPoint {
+    budget_credits: u64,
+    equal_spend: bool,
+    qos_on_time_rate: f64,
+    cheapest_on_time_rate: f64,
+    qos_admissions: usize,
+    cheapest_admissions: usize,
+}
+
+#[derive(Serialize)]
+struct BudgetedSection {
+    budget_credits_per_window: f64,
+    admissions: usize,
+    evictions: usize,
+    downgrades: usize,
+    peak_window_credits: f64,
+    total_credits: f64,
+    within_budget: bool,
+    downgraded_events: usize,
+}
+
+#[derive(Serialize)]
+struct Artifact {
+    catalogue: Vec<CatalogueRow>,
+    forecast_cores: f64,
+    sweep: Vec<SweepPoint>,
+    equal_cost_domination: Vec<DominationPoint>,
+    budgeted: BudgetedSection,
+    unlimited_plan_matches_reference: bool,
+}
+
+/// Three honest service tiers at exactly 1 / 2 / 3 admission cores
+/// under the live config's 1.15 headroom.
+fn tier_profiles() -> Vec<VideoProfile> {
+    let unit = (1.0 / 24.0) * 0.25 / 1.15;
+    vec![
+        synthetic_profile("rent-light", "brain", 4, unit),
+        synthetic_profile("rent-standard", "spine", 8, unit),
+        synthetic_profile("rent-heavy", "cardiac", 12, unit),
+    ]
+}
+
+fn overload_trace() -> Vec<UserRequest> {
+    synthesize_trace(&TraceConfig {
+        horizon_slots: HORIZON,
+        arrivals_per_slot: 0.8,
+        min_session_slots: 96,
+        tail_alpha: 1.5,
+        profiles: 3,
+        seed: 77,
+    })
+}
+
+fn sweep(
+    catalogue: &[medvt_admission::ProvisionPreset],
+    cfg: &OnlineConfig,
+    tiers: &[VideoProfile],
+    trace: &[UserRequest],
+    forecast: f64,
+) -> Vec<SweepPoint> {
+    let policies: [&dyn ProvisionPolicy; 3] = [&CheapestFit, &FastestFit, &QosAware];
+    let mut points = Vec::new();
+    for &budget in &BUDGETS {
+        for policy in policies {
+            let recorder = FlightRecorder::modeled(1, 4096);
+            let outcome = provision_fleet(policy, catalogue, forecast, budget, &recorder);
+            let rented = recorder
+                .events()
+                .iter()
+                .filter(|e| matches!(e.kind, TelKind::Provisioned { .. }))
+                .count();
+            assert_eq!(
+                rented,
+                outcome.chosen.len(),
+                "one Provisioned event per rental"
+            );
+            let report = serve_online(cfg, tiers, trace, outcome.sim_shards(catalogue));
+            points.push(SweepPoint {
+                policy: outcome.policy.clone(),
+                budget_credits: budget,
+                spent_credits: outcome.spent_credits,
+                fleet: outcome
+                    .chosen
+                    .iter()
+                    .map(|&i| catalogue[i].name.clone())
+                    .collect(),
+                capacity_cores: outcome.capacity_cores,
+                admissions: report.admissions,
+                rejected: report.rejected,
+                avg_concurrent_users: report.avg_concurrent_users,
+                on_time_rate: report.on_time_rate(),
+            });
+            println!(
+                "budget {budget:>2}: {:<12} spent {:>2}  capacity {:>5.1}  admitted {:>3}  on-time {:.3}",
+                points.last().unwrap().policy,
+                outcome.spent_credits,
+                outcome.capacity_cores,
+                report.admissions,
+                report.on_time_rate()
+            );
+        }
+    }
+    points
+}
+
+/// At equal spend the QoS-aware fleet must never meet fewer deadlines
+/// than cheapest-fit, and must serve strictly more users somewhere.
+fn check_domination(points: &[SweepPoint]) -> Vec<DominationPoint> {
+    let mut rows = Vec::new();
+    let mut strictly_better_somewhere = false;
+    for &budget in &BUDGETS {
+        let find = |label: &str| {
+            points
+                .iter()
+                .find(|p| p.budget_credits == budget && p.policy == label)
+                .expect("sweep covers every (policy, budget)")
+        };
+        let qos = find("qos-aware");
+        let cheap = find("cheapest-fit");
+        let equal_spend = qos.spent_credits == cheap.spent_credits;
+        if equal_spend {
+            assert!(
+                qos.on_time_rate >= cheap.on_time_rate - 1e-9,
+                "budget {budget}: qos-aware on-time {} trails cheapest-fit {} at equal spend",
+                qos.on_time_rate,
+                cheap.on_time_rate
+            );
+            if qos.admissions > cheap.admissions {
+                strictly_better_somewhere = true;
+            }
+        }
+        rows.push(DominationPoint {
+            budget_credits: budget,
+            equal_spend,
+            qos_on_time_rate: qos.on_time_rate,
+            cheapest_on_time_rate: cheap.on_time_rate,
+            qos_admissions: qos.admissions,
+            cheapest_admissions: cheap.admissions,
+        });
+    }
+    assert!(
+        rows.iter().any(|r| r.equal_spend),
+        "lcm budgets must produce at least one equal-spend point"
+    );
+    assert!(
+        strictly_better_somewhere,
+        "qos-aware must serve strictly more users than cheapest-fit somewhere at equal spend"
+    );
+    rows
+}
+
+/// Budget-constrained serving with degradation on a fixed fleet, plus
+/// the unlimited-plan parity check against the frozen reference.
+fn budgeted_section(tiers: &[VideoProfile], trace: &[UserRequest]) -> (BudgetedSection, bool) {
+    let bl = Platform::big_little();
+    let shards = || -> Vec<SimBackend> {
+        (0..2)
+            .map(|s| SimBackend::new(bl.socket_view(s), PowerModel::default()))
+            .collect()
+    };
+    // Headroom 0.6 admits ~1.67x real load: sustained misses, then
+    // evictions, then class degradation — under a finite budget.
+    let cfg = OnlineConfig {
+        headroom: 0.6,
+        cost: CostPlan {
+            credits_per_core_window: 1.0,
+            budget_credits_per_window: 6.0,
+            degrade_on_evict: true,
+        },
+        ..live_online_config(HORIZON)
+    };
+    let recorder = FlightRecorder::modeled(4, 65_536);
+    let report = medvt_admission::serve_online_with(&cfg, tiers, trace, shards(), &recorder);
+    let cost = replay_cost(&cfg, tiers, trace, &report);
+    let downgraded_events = recorder
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, TelKind::Downgraded { .. }))
+        .count();
+    assert!(
+        cost.within_budget,
+        "replayed spend {} exceeds the {}-credit window budget",
+        cost.peak_window_credits, cfg.cost.budget_credits_per_window
+    );
+    assert!(report.evictions > 0, "the lying headroom must evict");
+    assert!(
+        cost.downgrades > 0,
+        "evictions under degrade_on_evict must downgrade"
+    );
+    assert_eq!(
+        cost.downgrades, downgraded_events,
+        "decision-stream downgrades and telemetry events must agree"
+    );
+    println!(
+        "budgeted: {} admissions, {} evictions, {} downgrades, peak window spend {:.2}/{:.0}",
+        report.admissions,
+        report.evictions,
+        cost.downgrades,
+        cost.peak_window_credits,
+        cfg.cost.budget_credits_per_window
+    );
+
+    // Unlimited plan ≡ frozen reference, bit for bit.
+    let unlimited = live_online_config(HORIZON);
+    let fast = serve_online(&unlimited, tiers, trace, shards());
+    let slow = serve_online_reference(&unlimited, tiers, trace, shards());
+    let parity = fast.events == slow.events
+        && fast.windows == slow.windows
+        && fast.window_misses == slow.window_misses
+        && fast.energy_j == slow.energy_j;
+    println!("unlimited plan matches reference: {parity}");
+    assert!(
+        parity,
+        "an unlimited CostPlan must replay the reference decision stream bit-identically"
+    );
+
+    (
+        BudgetedSection {
+            budget_credits_per_window: cfg.cost.budget_credits_per_window,
+            admissions: report.admissions,
+            evictions: report.evictions,
+            downgrades: cost.downgrades,
+            peak_window_credits: cost.peak_window_credits,
+            total_credits: cost.total_credits,
+            within_budget: cost.within_budget,
+            downgraded_events,
+        },
+        parity,
+    )
+}
+
+fn main() {
+    let pricing = CostModel::default();
+    let catalogue = preset_catalogue(&pricing);
+    let rows: Vec<CatalogueRow> = catalogue
+        .iter()
+        .map(|p| CatalogueRow {
+            name: p.name.clone(),
+            price_credits: p.price_credits,
+            capacity_cores: p.capacity_cores,
+            cores_per_credit: p.capacity_cores / p.price_credits as f64,
+        })
+        .collect();
+    for r in &rows {
+        println!(
+            "{:<18} {:>2} credits  {:>4.1} cores  {:.2} cores/credit",
+            r.name, r.price_credits, r.capacity_cores, r.cores_per_credit
+        );
+    }
+
+    let tiers = tier_profiles();
+    let trace = overload_trace();
+    let cfg = live_online_config(HORIZON);
+    let forecast = forecast_demand_cores(&cfg, &tiers, &trace);
+    println!(
+        "forecast peak demand: {forecast:.1} cores over {} users",
+        trace.len()
+    );
+
+    let sweep_points = sweep(&catalogue, &cfg, &tiers, &trace, forecast);
+    let domination = check_domination(&sweep_points);
+    let (budgeted, parity) = budgeted_section(&tiers, &trace);
+
+    let path = write_artifact(
+        "provision_bench",
+        &Artifact {
+            catalogue: rows,
+            forecast_cores: forecast,
+            sweep: sweep_points,
+            equal_cost_domination: domination,
+            budgeted,
+            unlimited_plan_matches_reference: parity,
+        },
+    );
+    println!("wrote {}", path.display());
+}

@@ -121,6 +121,7 @@ fn online_config() -> OnlineConfig {
         policy: DvfsPolicy::StretchToDeadline,
         shard_policy: ShardPolicy::LeastLoaded,
         evict_miss_windows: 1,
+        cost: medvt_admission::CostPlan::unlimited(),
     }
 }
 

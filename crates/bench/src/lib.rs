@@ -269,6 +269,7 @@ pub fn live_online_config(horizon_slots: usize) -> OnlineConfig {
         policy: DvfsPolicy::RaceToIdle,
         shard_policy: ShardPolicy::LeastLoaded,
         evict_miss_windows: 1,
+        cost: medvt_admission::CostPlan::unlimited(),
     }
 }
 

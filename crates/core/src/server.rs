@@ -287,6 +287,7 @@ impl ServerSim {
             policy: self.cfg.policy,
             shard_policy,
             evict_miss_windows: 1,
+            cost: medvt_admission::CostPlan::unlimited(),
         }
     }
 

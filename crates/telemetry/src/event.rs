@@ -92,6 +92,18 @@ pub enum EventKind {
         /// Segment index within the job.
         segment: u32,
     },
+    /// The provisioning layer rented one instance of a priced platform
+    /// preset for the serving fleet (control track).
+    Provisioned {
+        /// Index into the provisioning catalogue.
+        preset: u32,
+    },
+    /// An evicted user re-entered the queue at the next-lower deadline
+    /// class instead of being dropped (control track).
+    Downgraded {
+        /// Global user id.
+        user: u32,
+    },
 }
 
 impl EventKind {
@@ -111,6 +123,8 @@ impl EventKind {
             EventKind::LeaseExpired { .. } => 10,
             EventKind::LeaseRequeued { .. } => 11,
             EventKind::SegmentReassembled { .. } => 12,
+            EventKind::Provisioned { .. } => 13,
+            EventKind::Downgraded { .. } => 14,
         }
     }
 
@@ -130,6 +144,8 @@ impl EventKind {
             EventKind::LeaseExpired { .. } => "lease_expired",
             EventKind::LeaseRequeued { .. } => "lease_requeued",
             EventKind::SegmentReassembled { .. } => "segment_reassembled",
+            EventKind::Provisioned { .. } => "provisioned",
+            EventKind::Downgraded { .. } => "downgraded",
         }
     }
 
@@ -147,6 +163,8 @@ impl EventKind {
             | EventKind::LeaseExpired { segment }
             | EventKind::LeaseRequeued { segment }
             | EventKind::SegmentReassembled { segment } => u64::from(segment),
+            EventKind::Provisioned { preset } => u64::from(preset),
+            EventKind::Downgraded { user } => u64::from(user),
             EventKind::SlotCore {
                 core,
                 busy_ns,
@@ -182,6 +200,8 @@ impl EventKind {
             10 => EventKind::LeaseExpired { segment: user },
             11 => EventKind::LeaseRequeued { segment: user },
             12 => EventKind::SegmentReassembled { segment: user },
+            13 => EventKind::Provisioned { preset: user },
+            14 => EventKind::Downgraded { user },
             _ => return None,
         })
     }
@@ -268,6 +288,8 @@ mod tests {
             EventKind::LeaseExpired { segment: u32::MAX },
             EventKind::LeaseRequeued { segment: 0 },
             EventKind::SegmentReassembled { segment: 9_999 },
+            EventKind::Provisioned { preset: 4 },
+            EventKind::Downgraded { user: 2_000_000 },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
             let ev = Event {

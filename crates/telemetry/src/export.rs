@@ -31,7 +31,9 @@ pub fn json_lines(events: &[Event]) -> String {
             | EventKind::Evict { user }
             | EventKind::Depart { user }
             | EventKind::Abandon { user }
-            | EventKind::Reject { user } => out.push_str(&format!(",\"user\":{user}")),
+            | EventKind::Reject { user }
+            | EventKind::Downgraded { user } => out.push_str(&format!(",\"user\":{user}")),
+            EventKind::Provisioned { preset } => out.push_str(&format!(",\"preset\":{preset}")),
             EventKind::QueueDepth { depth } => out.push_str(&format!(",\"depth\":{depth}")),
             EventKind::LeaseGranted { segment }
             | EventKind::LeaseExpired { segment }

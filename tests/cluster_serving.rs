@@ -169,3 +169,77 @@ fn worker_death_requeues_leases_and_preserves_bit_identity() {
     assert_eq!(expired, outcome.leases_expired);
     assert_eq!(reassembled, outcome.segments);
 }
+
+#[test]
+fn two_concurrent_worker_deaths_still_reassemble_bit_identically() {
+    let captured = stream().with_capture();
+    let reference = single_node_bitstream(&captured);
+
+    let workload = stream();
+    let mut nodes = mixed_fleet(4);
+    // Two of the four nodes die holding their very first leases
+    // (initial grants spread least-loaded, so every node holds one).
+    // Both must be condemned and the two survivors must absorb every
+    // orphaned lease — concurrently, not one recovery after another.
+    nodes[1].kill_after_segments = Some(0);
+    nodes[3].kill_after_segments = Some(0);
+    let mut cfg = ClusterConfig::new(nodes, TOTAL_SLOTS);
+    cfg.lease_timeout = Duration::from_millis(1500);
+    cfg.lease_backoff = Duration::from_millis(5);
+
+    let recorder = FlightRecorder::modeled(6, 2048);
+    let outcome = run_cluster_with(&cfg, &workload, &recorder)
+        .expect("two survivors complete the re-queued segments");
+
+    assert_eq!(
+        outcome.bitstream, reference,
+        "doubly-recovered segments must reassemble byte-identically"
+    );
+    assert!(outcome.nodes[1].declared_dead, "node 1 must be condemned");
+    assert!(outcome.nodes[3].declared_dead, "node 3 must be condemned");
+    assert!(!outcome.nodes[0].declared_dead);
+    assert!(!outcome.nodes[2].declared_dead);
+    assert!(outcome.leases_expired > 0, "both dead nodes' leases expire");
+    assert!(outcome.leases_requeued > 0, "expired leases re-queue");
+    assert!(
+        outcome.leases_granted > outcome.segments,
+        "re-leases exceed the segment count"
+    );
+    assert!(
+        outcome.leases_expired >= 2,
+        "each dead node must lose at least its first lease"
+    );
+    assert_eq!(outcome.nodes[1].segments, 0, "node 1 died empty-handed");
+    assert_eq!(outcome.nodes[3].segments, 0, "node 3 died empty-handed");
+    let delivered: usize = outcome.nodes.iter().map(|n| n.segments).sum();
+    assert_eq!(delivered, outcome.segments, "no segment lost or doubled");
+    assert_eq!(
+        outcome.nodes[0].segments + outcome.nodes[2].segments,
+        outcome.segments,
+        "the survivors serve everything"
+    );
+
+    // Telemetry counts track the outcome exactly, even under
+    // concurrent failures.
+    let events = recorder.events();
+    let granted = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::LeaseGranted { .. }))
+        .count();
+    let expired = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::LeaseExpired { .. }))
+        .count();
+    let requeued = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::LeaseRequeued { .. }))
+        .count();
+    let reassembled = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::SegmentReassembled { .. }))
+        .count();
+    assert_eq!(granted, outcome.leases_granted);
+    assert_eq!(expired, outcome.leases_expired);
+    assert_eq!(requeued, outcome.leases_requeued);
+    assert_eq!(reassembled, outcome.segments);
+}

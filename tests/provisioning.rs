@@ -1,0 +1,230 @@
+//! Provisioning-layer conservation and parity tests.
+//!
+//! The degrade-on-evict path re-enters evicted users into the request
+//! queue one deadline class lower, which makes user accounting easy to
+//! get subtly wrong (lost users, duplicated admissions, queue-order
+//! corruption). These tests pin it down:
+//!
+//! * **conservation** — replaying the decision stream as a per-user
+//!   state machine proves every user is in exactly one legal state at
+//!   every step (a `Downgrade` may only follow that user's `Evict`, an
+//!   `Admit` requires the user to be queued — catching duplication and
+//!   loss), bounded by the deadline ladder's depth, and that the final
+//!   census reconciles with the report's counters.
+//! * **parity** — with the default unlimited [`CostPlan`] the
+//!   optimized controller must stay bit-identical to the frozen
+//!   reference controller, and a budgeted + degrading run must replay
+//!   the same decision stream on analytical and thread-pool shards.
+
+use medvt::admission::{
+    replay_cost, serve_online, serve_online_reference, synthesize_trace, AdmissionEvent, CostPlan,
+    EventKind, OnlineConfig, TraceConfig, UserRequest,
+};
+use medvt::core::VideoProfile;
+use medvt::mpsoc::{Platform, PowerModel};
+use medvt::runtime::{SimBackend, ThreadPoolBackend};
+use medvt_bench::synthetic_profile as profile;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const HORIZON: usize = 144;
+
+/// 1 / 2 / 3 admission cores at 1.15 headroom; under a lying 0.6
+/// headroom the same tiles overcommit shards and force evictions.
+fn tier_profiles() -> Vec<VideoProfile> {
+    let unit = (1.0 / 24.0) * 0.25 / 1.15;
+    vec![
+        profile("prov-light", "brain", 4, unit),
+        profile("prov-standard", "spine", 8, unit),
+        profile("prov-heavy", "cardiac", 12, unit),
+    ]
+}
+
+fn bl_shards() -> Vec<SimBackend> {
+    let bl = Platform::big_little();
+    (0..2)
+        .map(|s| SimBackend::new(bl.socket_view(s), PowerModel::default()))
+        .collect()
+}
+
+fn trace_for(arrivals: f64, seed: u64) -> Vec<UserRequest> {
+    synthesize_trace(&TraceConfig {
+        horizon_slots: HORIZON,
+        arrivals_per_slot: arrivals,
+        min_session_slots: 24,
+        tail_alpha: 1.5,
+        profiles: 3,
+        seed,
+    })
+}
+
+/// Per-user lifecycle derived from the decision stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum UserState {
+    Queued,
+    Active,
+    Evicted,
+    Terminal,
+}
+
+/// Replays `events` as a per-user state machine, panicking on any
+/// illegal transition, and returns the final state census plus the
+/// per-user downgrade counts.
+fn replay_states(
+    trace: &[UserRequest],
+    horizon: usize,
+    events: &[AdmissionEvent],
+) -> (BTreeMap<usize, UserState>, BTreeMap<usize, usize>) {
+    let mut state: BTreeMap<usize, UserState> = trace
+        .iter()
+        .filter(|r| r.arrival_slot < horizon)
+        .map(|r| (r.user, UserState::Queued))
+        .collect();
+    let mut downgrades: BTreeMap<usize, usize> = BTreeMap::new();
+    for e in events {
+        let s = state
+            .get_mut(&e.user)
+            .unwrap_or_else(|| panic!("event for user {} outside the horizon's trace", e.user));
+        *s = match (e.kind, *s) {
+            (EventKind::Admit, UserState::Queued) => UserState::Active,
+            (EventKind::Depart, UserState::Active) => UserState::Terminal,
+            (EventKind::Evict, UserState::Active) => UserState::Evicted,
+            (EventKind::Downgrade, UserState::Evicted) => {
+                *downgrades.entry(e.user).or_insert(0) += 1;
+                UserState::Queued
+            }
+            (EventKind::Abandon, UserState::Queued) | (EventKind::Reject, UserState::Queued) => {
+                UserState::Terminal
+            }
+            (kind, from) => panic!(
+                "illegal transition for user {} at slot {}: {kind:?} from {from:?}",
+                e.user, e.slot
+            ),
+        };
+    }
+    (state, downgrades)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every user the controller ever touches is in exactly one legal
+    /// lifecycle state, never lost and never duplicated, even while
+    /// budget-constrained admission and eviction-degradation churn the
+    /// queue; and the final census reconciles with the report.
+    #[test]
+    fn degrading_controller_conserves_users(
+        arrivals in 0.3f64..1.4,
+        seed in 0u64..400,
+        budget in 3.0f64..15.0,
+    ) {
+        let tiers = tier_profiles();
+        let trace = trace_for(arrivals, seed);
+        prop_assume!(!trace.is_empty());
+        let cfg = OnlineConfig {
+            horizon_slots: HORIZON,
+            headroom: 0.6, // overcommit: evictions and downgrades happen
+            cost: CostPlan {
+                credits_per_core_window: 1.0,
+                budget_credits_per_window: budget,
+                degrade_on_evict: true,
+            },
+            ..Default::default()
+        };
+        let report = serve_online(&cfg, &tiers, &trace, bl_shards());
+        let (census, downgrades) = replay_states(&trace, HORIZON, &report.events);
+
+        // The ladder has exactly two downward steps below Strict.
+        for (&user, &n) in &downgrades {
+            prop_assert!(n <= 2, "user {user} downgraded {n} times");
+        }
+
+        // Census vs report counters.
+        let count = |want: UserState| census.values().filter(|&&s| s == want).count();
+        prop_assert_eq!(count(UserState::Active), report.active_at_end);
+        prop_assert_eq!(count(UserState::Queued), report.queued_at_end);
+        let total_downgrades: usize = downgrades.values().sum();
+        // Dropped-for-good users sit in Evicted: every eviction either
+        // degraded back into the queue or ended the session.
+        prop_assert_eq!(count(UserState::Evicted), report.evictions - total_downgrades);
+        // Queue flow conservation: pushes (arrivals + re-entries) =
+        // pops (admissions + abandons + rejects) + still queued.
+        prop_assert_eq!(
+            report.arrivals + total_downgrades,
+            report.admissions + report.abandoned + report.rejected + report.queued_at_end
+        );
+        // Active flow conservation.
+        prop_assert_eq!(
+            report.admissions,
+            report.departures + report.evictions + report.active_at_end
+        );
+        // The replayed spend trajectory respects the budget window by
+        // window — the controller's own ledger, audited from outside.
+        let cost = replay_cost(&cfg, &tiers, &trace, &report);
+        prop_assert!(cost.within_budget,
+            "peak window spend {} over budget {budget}", cost.peak_window_credits);
+        prop_assert_eq!(cost.downgrades, total_downgrades);
+    }
+
+    /// With the default (unlimited, non-degrading) cost plan the
+    /// optimized controller replays the frozen reference bit for bit
+    /// on the same random traces the conservation test churns.
+    #[test]
+    fn unlimited_budget_replays_the_reference_stream(
+        arrivals in 0.3f64..1.4,
+        seed in 0u64..400,
+    ) {
+        let tiers = tier_profiles();
+        let trace = trace_for(arrivals, seed);
+        let cfg = OnlineConfig {
+            horizon_slots: HORIZON,
+            ..Default::default()
+        };
+        prop_assert!(!cfg.cost.is_budgeted());
+        let fast = serve_online(&cfg, &tiers, &trace, bl_shards());
+        let slow = serve_online_reference(&cfg, &tiers, &trace, bl_shards());
+        prop_assert_eq!(&fast.events, &slow.events);
+        prop_assert_eq!(fast.windows, slow.windows);
+        prop_assert_eq!(fast.window_misses, slow.window_misses);
+        prop_assert_eq!(fast.energy_j, slow.energy_j);
+        prop_assert_eq!(fast.admissions, slow.admissions);
+        prop_assert_eq!(fast.evictions, slow.evictions);
+    }
+}
+
+/// A budgeted, degrading run makes identical decisions on analytical
+/// and thread-pool shards: the cost ledger reads only backend-shared
+/// accounting.
+#[test]
+fn budgeted_degrading_decisions_are_backend_independent() {
+    let tiers = tier_profiles();
+    let trace = trace_for(0.9, 42);
+    let cfg = OnlineConfig {
+        horizon_slots: HORIZON,
+        headroom: 0.6,
+        cost: CostPlan {
+            credits_per_core_window: 1.0,
+            budget_credits_per_window: 6.0,
+            degrade_on_evict: true,
+        },
+        ..Default::default()
+    };
+    let bl = Platform::big_little();
+    let sim: Vec<SimBackend> = (0..2)
+        .map(|s| SimBackend::new(bl.socket_view(s), PowerModel::default()))
+        .collect();
+    let pool: Vec<ThreadPoolBackend> = (0..2)
+        .map(|s| ThreadPoolBackend::with_workers(bl.socket_view(s), PowerModel::default(), 2))
+        .collect();
+    let a = serve_online(&cfg, &tiers, &trace, sim);
+    let b = serve_online(&cfg, &tiers, &trace, pool);
+    assert_eq!(a.events, b.events, "budgeted decision streams diverged");
+    assert!(
+        a.events.iter().any(|e| e.kind == EventKind::Downgrade),
+        "the scenario must exercise degradation"
+    );
+    assert!(
+        a.events.iter().any(|e| e.kind == EventKind::Evict),
+        "the scenario must exercise eviction"
+    );
+}
